@@ -1,0 +1,68 @@
+// FIG-4.1 / CONJ-6: the counting family and the Section 6 conjecture.
+#include <benchmark/benchmark.h>
+
+#include "ictl.hpp"
+
+namespace {
+
+using namespace ictl;
+
+void BM_CountingFormula(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  auto reg = kripke::make_registry();
+  const auto m = network::counting_network(n, reg);
+  const auto f = network::at_least_k_processes(k);
+  bool verdict = false;
+  for (auto _ : state) {
+    verdict = mc::holds(m, f);
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.SetLabel(verdict ? "holds" : "fails");
+  state.counters["states"] = static_cast<double>(m.num_states());
+}
+BENCHMARK(BM_CountingFormula)
+    ->Args({4, 2})->Args({4, 4})->Args({4, 6})
+    ->Args({8, 4})->Args({8, 8})
+    ->Args({10, 5})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DepthFamilyAgreement(benchmark::State& state) {
+  // Evaluate every depth-k formula on sizes k+1 and k+2 and count
+  // agreements (the conjecture says: all of them).
+  const auto k = static_cast<std::size_t>(state.range(0));
+  auto reg = kripke::make_registry();
+  const auto m1 = network::counting_network(k + 1, reg);
+  const auto m2 = network::counting_network(k + 2, reg);
+  const auto family = network::depth_k_formula_family(k);
+  std::size_t agreements = 0;
+  for (auto _ : state) {
+    agreements = 0;
+    for (const auto& f : family)
+      agreements += mc::holds(m1, f) == mc::holds(m2, f) ? 1 : 0;
+    benchmark::DoNotOptimize(agreements);
+  }
+  state.counters["formulas"] = static_cast<double>(family.size());
+  state.counters["agreements"] = static_cast<double>(agreements);
+}
+BENCHMARK(BM_DepthFamilyAgreement)->DenseRange(0, 3, 1)->Unit(benchmark::kMillisecond);
+
+void BM_CountingNetworkCorrespondence(benchmark::State& state) {
+  // Free products of identical processes correspond across sizes (which is
+  // why only UNRESTRICTED formulas can count them).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto reg = kripke::make_registry();
+  const auto a = network::counting_network(n, reg);
+  const auto b = network::counting_network(n + 1, reg);
+  for (auto _ : state) {
+    auto found = bisim::find_indexed_correspondence(a, b, 1, 1);
+    benchmark::DoNotOptimize(found.corresponds());
+  }
+  state.counters["states_a"] = static_cast<double>(a.num_states());
+}
+BENCHMARK(BM_CountingNetworkCorrespondence)->DenseRange(2, 6, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

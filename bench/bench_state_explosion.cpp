@@ -1,0 +1,66 @@
+// EXPLOSION: the state explosion phenomenon (paper introduction).
+//
+// |S_r| = r * 2^r grows exponentially; this bench measures explicit
+// construction of M_r and contrasts it with the O(1)-in-r cost of the
+// analytic certificate that makes the paper's method worthwhile.
+#include <benchmark/benchmark.h>
+
+#include "ictl.hpp"
+
+namespace {
+
+using namespace ictl;
+
+void BM_BuildRing(benchmark::State& state) {
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  std::size_t states = 0, transitions = 0;
+  for (auto _ : state) {
+    const auto sys = ring::RingSystem::build(r);
+    states = sys.structure().num_states();
+    transitions = sys.structure().num_transitions();
+    benchmark::DoNotOptimize(sys);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["transitions"] = static_cast<double>(transitions);
+  state.counters["r"] = r;
+}
+BENCHMARK(BM_BuildRing)->DenseRange(2, 14, 1)->Unit(benchmark::kMillisecond);
+
+void BM_BuildRingLarge(benchmark::State& state) {
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto sys = ring::RingSystem::build(r);
+    benchmark::DoNotOptimize(sys);
+  }
+  state.counters["states"] = static_cast<double>(ring::ring_state_count(r));
+}
+BENCHMARK(BM_BuildRingLarge)->Arg(16)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// The paper's alternative: never build M_r at all.
+void BM_AnalyticCertificate(benchmark::State& state) {
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto cert = ring::analytic_ring_certificate(r);
+    benchmark::DoNotOptimize(cert);
+  }
+  state.counters["r"] = r;
+}
+BENCHMARK(BM_AnalyticCertificate)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Free products explode too (2^n): the Fig. 4.1 family.
+void BM_BuildCountingNetwork(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    auto reg = kripke::make_registry();
+    const auto m = network::counting_network(n, reg);
+    states = m.num_states();
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_BuildCountingNetwork)->DenseRange(2, 14, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,272 @@
+#include "bisim/correspondence.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "bisim/stuttering.hpp"
+#include "support/error.hpp"
+
+namespace ictl::bisim {
+
+using kripke::StateId;
+
+CorrespondenceRelation::CorrespondenceRelation(const kripke::Structure& m1,
+                                               const kripke::Structure& m2)
+    : m1_(&m1), m2_(&m2) {
+  support::require<ModelError>(m1.registry() == m2.registry(),
+                               "CorrespondenceRelation: structures must share a "
+                               "proposition registry");
+}
+
+void CorrespondenceRelation::add(StateId s, StateId s2, std::uint32_t degree) {
+  support::require<ModelError>(s < m1_->num_states() && s2 < m2_->num_states(),
+                               "CorrespondenceRelation::add: state out of range");
+  support::require<ModelError>(degree != kNoDegree,
+                               "CorrespondenceRelation::add: invalid degree");
+  auto [it, inserted] = min_degree_.try_emplace(key(s, s2), degree);
+  if (!inserted) it->second = std::min(it->second, degree);
+}
+
+bool CorrespondenceRelation::related(StateId s, StateId s2) const {
+  return min_degree_.count(key(s, s2)) > 0;
+}
+
+std::optional<std::uint32_t> CorrespondenceRelation::min_degree(StateId s,
+                                                                StateId s2) const {
+  if (auto it = min_degree_.find(key(s, s2)); it != min_degree_.end())
+    return it->second;
+  return std::nullopt;
+}
+
+std::vector<std::tuple<StateId, StateId, std::uint32_t>>
+CorrespondenceRelation::entries() const {
+  std::vector<std::tuple<StateId, StateId, std::uint32_t>> out;
+  out.reserve(min_degree_.size());
+  const std::uint64_t n2 = m2_->num_states();
+  for (const auto& [k, deg] : min_degree_)
+    out.emplace_back(static_cast<StateId>(k / n2), static_cast<StateId>(k % n2), deg);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool labels_equal(const kripke::Structure& m1, StateId s, const kripke::Structure& m2,
+                  StateId s2) {
+  // Widths can differ when the shared registry grew between builds; compare
+  // the set-bit positions.
+  return m1.label(s).to_indices() == m2.label(s2).to_indices();
+}
+
+bool CorrespondenceRelation::clause_2b(StateId s, StateId s2, std::uint32_t k) const {
+  // First disjunct: s' can advance while s stays, with a strictly smaller
+  // degree:  ∃s1' in succ(s2): min_degree(s, s1') < k.
+  for (const StateId t2 : m2_->successors(s2)) {
+    if (const auto d = min_degree(s, t2); d.has_value() && *d < k) return true;
+  }
+  // Second disjunct: every move of s is answered.
+  for (const StateId t : m1_->successors(s)) {
+    if (const auto d = min_degree(t, s2); d.has_value() && *d < k) continue;
+    bool matched = false;
+    for (const StateId t2 : m2_->successors(s2)) {
+      if (related(t, t2)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+bool CorrespondenceRelation::clause_2c(StateId s, StateId s2, std::uint32_t k) const {
+  for (const StateId t : m1_->successors(s)) {
+    if (const auto d = min_degree(t, s2); d.has_value() && *d < k) return true;
+  }
+  for (const StateId t2 : m2_->successors(s2)) {
+    if (const auto d = min_degree(s, t2); d.has_value() && *d < k) continue;
+    bool matched = false;
+    for (const StateId t : m1_->successors(s)) {
+      if (related(t, t2)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+std::vector<CorrespondenceRelation::Violation> CorrespondenceRelation::validate(
+    std::size_t max_violations) const {
+  std::vector<Violation> violations;
+  auto report = [&](StateId s, StateId s2, std::uint32_t degree, std::string reason) {
+    if (violations.size() < max_violations)
+      violations.push_back({s, s2, degree, std::move(reason)});
+  };
+
+  // Clause 1: initial states related.
+  if (!related(m1_->initial(), m2_->initial()))
+    report(m1_->initial(), m2_->initial(), 0,
+           "clause 1: initial states are not related");
+
+  // Totality for both state spaces.
+  {
+    std::vector<bool> hit1(m1_->num_states(), false), hit2(m2_->num_states(), false);
+    const std::uint64_t n2 = m2_->num_states();
+    for (const auto& [k, deg] : min_degree_) {
+      static_cast<void>(deg);
+      hit1[static_cast<std::size_t>(k / n2)] = true;
+      hit2[static_cast<std::size_t>(k % n2)] = true;
+    }
+    for (StateId s = 0; s < m1_->num_states(); ++s)
+      if (!hit1[s]) report(s, 0, 0, "totality: state of M unrelated to every state of M'");
+    for (StateId s2 = 0; s2 < m2_->num_states(); ++s2)
+      if (!hit2[s2])
+        report(0, s2, 0, "totality: state of M' unrelated to every state of M");
+  }
+
+  // Clauses 2a/2b/2c for every recorded (minimal-degree) triple.
+  const std::uint64_t n2 = m2_->num_states();
+  for (const auto& [k, degree] : min_degree_) {
+    if (violations.size() >= max_violations) break;
+    const auto s = static_cast<StateId>(k / n2);
+    const auto s2 = static_cast<StateId>(k % n2);
+    if (!labels_equal(*m1_, s, *m2_, s2))
+      report(s, s2, degree, "clause 2a: labels differ");
+    if (!clause_2b(s, s2, degree)) report(s, s2, degree, "clause 2b fails");
+    if (!clause_2c(s, s2, degree)) report(s, s2, degree, "clause 2c fails");
+  }
+  return violations;
+}
+
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max() / 4;
+
+}  // namespace
+
+FindResult find_correspondence(const kripke::Structure& m1, const kripke::Structure& m2,
+                               FindOptions options) {
+  support::require<ModelError>(
+      m1.registry() == m2.registry(),
+      "find_correspondence: structures must share a proposition registry");
+
+  FindResult result;
+  const std::size_t n1 = m1.num_states();
+  const std::size_t n2 = m2.num_states();
+  const std::uint64_t cap =
+      options.degree_cap != 0 ? options.degree_cap
+                              : static_cast<std::uint64_t>(n1) + n2;
+
+  // Candidate pairs: equal labels, optionally same stuttering class.
+  std::vector<std::uint32_t> stutter_class;
+  if (options.use_stuttering_prefilter) {
+    const kripke::Structure u = kripke::disjoint_union(m1, m2);
+    const Partition p = stuttering_partition(u);
+    stutter_class.resize(n1 + n2);
+    for (StateId s = 0; s < n1 + n2; ++s) stutter_class[s] = p.block_of(s);
+  }
+
+  // md[s * n2 + s2] = current lower bound on the minimal degree; kInf = dead.
+  std::vector<std::uint64_t> md(n1 * n2, kInf);
+  std::vector<std::uint64_t> candidates;
+  for (StateId s = 0; s < n1; ++s) {
+    for (StateId s2 = 0; s2 < n2; ++s2) {
+      if (options.use_stuttering_prefilter &&
+          stutter_class[s] != stutter_class[n1 + s2])
+        continue;
+      if (!labels_equal(m1, s, m2, s2)) continue;
+      md[static_cast<std::size_t>(s) * n2 + s2] = 0;
+      candidates.push_back(static_cast<std::uint64_t>(s) * n2 + s2);
+    }
+  }
+  result.candidate_pairs = candidates.size();
+
+  auto md_of = [&](StateId s, StateId s2) -> std::uint64_t {
+    return md[static_cast<std::size_t>(s) * n2 + s2];
+  };
+
+  // Greatest fixpoint: raise each pair's minimal degree until the Section 3
+  // clauses hold; pairs exceeding the cap die.  Monotone (degrees only
+  // grow), so this terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.iterations;
+    for (const std::uint64_t k : candidates) {
+      std::uint64_t& entry = md[k];
+      if (entry >= kInf) continue;
+      const auto s = static_cast<StateId>(k / n2);
+      const auto s2 = static_cast<StateId>(k % n2);
+
+      // Minimal degree satisfying clause 2b:
+      //   min( A + 1, max over s-moves of per-move cost ), where
+      //   A = min over s'-moves t2 of md(s, t2)   (first disjunct), and the
+      //   per-move cost of s->t is 0 when t pairs with some s'-move, else
+      //   md(t, s2) + 1 (t stays against s2, consuming one degree).
+      std::uint64_t stay_b = kInf;  // A + 1
+      for (const StateId t2 : m2.successors(s2))
+        stay_b = std::min(stay_b, md_of(s, t2) >= kInf ? kInf : md_of(s, t2) + 1);
+      std::uint64_t all_b = 0;
+      for (const StateId t : m1.successors(s)) {
+        bool joint = false;
+        for (const StateId t2 : m2.successors(s2))
+          if (md_of(t, t2) < kInf) {
+            joint = true;
+            break;
+          }
+        if (joint) continue;
+        const std::uint64_t cost = md_of(t, s2) >= kInf ? kInf : md_of(t, s2) + 1;
+        all_b = std::max(all_b, cost);
+      }
+      const std::uint64_t need_b = std::min(stay_b, all_b);
+
+      // Mirror for clause 2c.
+      std::uint64_t stay_c = kInf;
+      for (const StateId t : m1.successors(s))
+        stay_c = std::min(stay_c, md_of(t, s2) >= kInf ? kInf : md_of(t, s2) + 1);
+      std::uint64_t all_c = 0;
+      for (const StateId t2 : m2.successors(s2)) {
+        bool joint = false;
+        for (const StateId t : m1.successors(s))
+          if (md_of(t, t2) < kInf) {
+            joint = true;
+            break;
+          }
+        if (joint) continue;
+        const std::uint64_t cost = md_of(s, t2) >= kInf ? kInf : md_of(s, t2) + 1;
+        all_c = std::max(all_c, cost);
+      }
+      const std::uint64_t need_c = std::min(stay_c, all_c);
+
+      const std::uint64_t need = std::max({entry, need_b, need_c});
+      if (need != entry) {
+        entry = need > cap ? kInf : need;
+        changed = true;
+      }
+    }
+  }
+
+  std::size_t surviving = 0;
+  for (const std::uint64_t k : candidates)
+    if (md[k] < kInf) ++surviving;
+  result.surviving_pairs = surviving;
+
+  const std::uint64_t init_md = md_of(m1.initial(), m2.initial());
+  if (init_md >= kInf) return result;  // no correspondence
+
+  CorrespondenceRelation relation(m1, m2);
+  for (const std::uint64_t k : candidates) {
+    if (md[k] >= kInf) continue;
+    relation.add(static_cast<StateId>(k / n2), static_cast<StateId>(k % n2),
+                 static_cast<std::uint32_t>(md[k]));
+  }
+  result.relation = std::move(relation);
+  return result;
+}
+
+bool correspond(const kripke::Structure& m1, const kripke::Structure& m2,
+                FindOptions options) {
+  return find_correspondence(m1, m2, options).relation.has_value();
+}
+
+}  // namespace ictl::bisim

@@ -1,0 +1,73 @@
+#include "bisim/partition.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace ictl::bisim {
+
+Partition::Partition(std::size_t num_states) : block_of_(num_states, 0) {
+  blocks_.resize(num_states == 0 ? 0 : 1);
+  for (kripke::StateId s = 0; s < num_states; ++s) blocks_[0].push_back(s);
+}
+
+Partition Partition::by_labels(const kripke::Structure& m) {
+  Partition p(m.num_states());
+  // hash -> [(representative state, block id)]; exact label comparison
+  // resolves hash collisions.
+  std::unordered_map<std::size_t, std::vector<std::pair<kripke::StateId, std::uint32_t>>>
+      by_hash;
+  std::vector<std::uint32_t> assignment(m.num_states());
+  std::uint32_t next_block = 0;
+  for (kripke::StateId s = 0; s < m.num_states(); ++s) {
+    auto& candidates = by_hash[m.label(s).hash()];
+    bool found = false;
+    for (const auto& [representative, block] : candidates) {
+      if (m.label(representative) == m.label(s)) {
+        assignment[s] = block;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      assignment[s] = next_block;
+      candidates.emplace_back(s, next_block);
+      ++next_block;
+    }
+  }
+  p.block_of_ = std::move(assignment);
+  p.rebuild_blocks(next_block);
+  return p;
+}
+
+bool Partition::refine(const std::function<Signature(kripke::StateId)>& signature_of) {
+  // Within each block, group by (signature); assign new dense block ids.
+  std::map<std::pair<std::uint32_t, Signature>, std::uint32_t> groups;
+  std::vector<std::uint32_t> new_assignment(block_of_.size());
+  std::uint32_t next_block = 0;
+  for (kripke::StateId s = 0; s < block_of_.size(); ++s) {
+    auto key = std::make_pair(block_of_[s], signature_of(s));
+    auto [it, inserted] = groups.emplace(std::move(key), next_block);
+    if (inserted) ++next_block;
+    new_assignment[s] = it->second;
+  }
+  const bool changed = next_block != blocks_.size();
+  block_of_ = std::move(new_assignment);
+  rebuild_blocks(next_block);
+  return changed;
+}
+
+void Partition::refine_to_fixpoint(
+    const std::function<Signature(kripke::StateId)>& signature_of) {
+  while (refine(signature_of)) {
+  }
+}
+
+void Partition::rebuild_blocks(std::size_t num_blocks) {
+  blocks_.assign(num_blocks, {});
+  for (kripke::StateId s = 0; s < block_of_.size(); ++s)
+    blocks_[block_of_[s]].push_back(s);
+}
+
+}  // namespace ictl::bisim

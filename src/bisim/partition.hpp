@@ -1,0 +1,56 @@
+// Partition of a state space with signature-based refinement, the shared
+// machinery of the strong-bisimulation and stuttering-equivalence
+// algorithms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kripke/structure.hpp"
+
+namespace ictl::bisim {
+
+class Partition {
+ public:
+  /// All states in one block.
+  explicit Partition(std::size_t num_states);
+
+  /// Initial partition grouping states with identical label bitsets.
+  [[nodiscard]] static Partition by_labels(const kripke::Structure& m);
+
+  [[nodiscard]] std::uint32_t block_of(kripke::StateId s) const {
+    ICTL_ASSERT(s < block_of_.size());
+    return block_of_[s];
+  }
+
+  [[nodiscard]] std::size_t num_blocks() const noexcept { return blocks_.size(); }
+  [[nodiscard]] std::size_t num_states() const noexcept { return block_of_.size(); }
+
+  [[nodiscard]] const std::vector<std::vector<kripke::StateId>>& blocks() const noexcept {
+    return blocks_;
+  }
+
+  /// Signature of a state: any vector of integers; states in the same block
+  /// with different signatures are separated.
+  using Signature = std::vector<std::uint32_t>;
+
+  /// One refinement round; returns true when some block was split.
+  bool refine(const std::function<Signature(kripke::StateId)>& signature_of);
+
+  /// Refines until stable.
+  void refine_to_fixpoint(const std::function<Signature(kripke::StateId)>& signature_of);
+
+  /// True when s and t are in the same block.
+  [[nodiscard]] bool same_block(kripke::StateId s, kripke::StateId t) const {
+    return block_of(s) == block_of(t);
+  }
+
+ private:
+  void rebuild_blocks(std::size_t num_blocks);
+
+  std::vector<std::uint32_t> block_of_;
+  std::vector<std::vector<kripke::StateId>> blocks_;
+};
+
+}  // namespace ictl::bisim

@@ -1,0 +1,127 @@
+#include "bisim/path_match.hpp"
+
+#include "support/error.hpp"
+
+namespace ictl::bisim {
+
+using kripke::StateId;
+
+std::optional<PathMatch> match_path(const CorrespondenceRelation& corr,
+                                    std::span<const StateId> path1, StateId start2) {
+  support::require<ModelError>(!path1.empty(), "match_path: empty path");
+  support::require<ModelError>(corr.related(path1.front(), start2),
+                               "match_path: path start unrelated to start2");
+
+  const kripke::Structure& m2 = corr.m2();
+  PathMatch match;
+  match.path2.push_back(start2);
+  match.block_starts1.push_back(0);
+  match.block_starts2.push_back(0);
+
+  for (std::size_t l = 1; l < path1.size(); ++l) {
+    const StateId s_next = path1[l];
+    // Inner induction on the degree of (s_cur, t_cur): either both sides
+    // advance jointly (case 1), or M2 stutters with a strictly smaller
+    // degree (case 2), or M1 stutters with a strictly smaller degree
+    // (case 3).  Case 2 loops with the smaller degree; the others finish.
+    bool placed = false;
+    std::size_t guard = corr.m1().num_states() + m2.num_states() + 2;
+    while (!placed) {
+      const StateId s_cur = path1[l - 1];
+      const StateId t_cur = match.path2.back();
+      const auto k_opt = corr.min_degree(s_cur, t_cur);
+      if (!k_opt.has_value() || guard-- == 0) return std::nullopt;
+      const std::uint32_t k = *k_opt;
+
+      // Case 1: a successor of t_cur is related to s_next.
+      StateId joint = kripke::kNoState;
+      for (const StateId t : m2.successors(t_cur)) {
+        if (corr.related(s_next, t)) {
+          joint = t;
+          break;
+        }
+      }
+      if (joint != kripke::kNoState) {
+        match.block_starts1.push_back(l);
+        match.block_starts2.push_back(match.path2.size());
+        match.path2.push_back(joint);
+        placed = true;
+        break;
+      }
+
+      // Case 2: t_cur can advance while s_cur stays, consuming degree.
+      StateId stutter2 = kripke::kNoState;
+      std::uint32_t best = k;
+      for (const StateId t : m2.successors(t_cur)) {
+        if (const auto d = corr.min_degree(s_cur, t); d.has_value() && *d < best) {
+          best = *d;
+          stutter2 = t;
+        }
+      }
+      if (stutter2 != kripke::kNoState) {
+        const std::size_t block1_size = l - match.block_starts1.back();
+        if (block1_size != 1) {
+          // Move s_cur out into a fresh block paired with (stutter2).
+          match.block_starts1.push_back(l - 1);
+          match.block_starts2.push_back(match.path2.size());
+        }
+        match.path2.push_back(stutter2);
+        continue;  // retry with the smaller degree
+      }
+
+      // Case 3: s_next still corresponds to t_cur with a smaller degree.
+      if (const auto d = corr.min_degree(s_next, t_cur); d.has_value() && *d < k) {
+        const std::size_t block2_size = match.path2.size() - match.block_starts2.back();
+        if (block2_size != 1) {
+          // Move t_cur out into a fresh block paired with (s_next).
+          match.block_starts1.push_back(l);
+          match.block_starts2.push_back(match.path2.size() - 1);
+        }
+        // Otherwise s_next simply joins the current block of path1.
+        placed = true;
+        break;
+      }
+
+      return std::nullopt;  // the relation violates clause 2b
+    }
+  }
+  return match;
+}
+
+bool verify_path_match(const CorrespondenceRelation& corr,
+                       std::span<const StateId> path1, const PathMatch& match) {
+  const kripke::Structure& m1 = corr.m1();
+  const kripke::Structure& m2 = corr.m2();
+
+  // path2 must be a genuine path of M2.
+  for (std::size_t i = 0; i + 1 < match.path2.size(); ++i) {
+    const auto succ = m2.successors(match.path2[i]);
+    bool found = false;
+    for (const StateId t : succ) found = found || t == match.path2[i + 1];
+    if (!found) return false;
+  }
+
+  if (match.block_starts1.size() != match.block_starts2.size()) return false;
+  if (match.block_starts1.empty()) return false;
+  if (match.block_starts1.front() != 0 || match.block_starts2.front() != 0)
+    return false;
+
+  const std::size_t num_blocks = match.block_starts1.size();
+  const std::size_t bound = m1.num_states() + m2.num_states();
+  for (std::size_t j = 0; j < num_blocks; ++j) {
+    const std::size_t b1 = match.block_starts1[j];
+    const std::size_t e1 =
+        j + 1 < num_blocks ? match.block_starts1[j + 1] : path1.size();
+    const std::size_t b2 = match.block_starts2[j];
+    const std::size_t e2 =
+        j + 1 < num_blocks ? match.block_starts2[j + 1] : match.path2.size();
+    if (b1 >= e1 || b2 >= e2) return false;                  // |B_j| >= 1
+    if (e1 - b1 > bound || e2 - b2 > bound) return false;    // |B_j| <= |S|+|S'|
+    for (std::size_t i = b1; i < e1; ++i)
+      for (std::size_t i2 = b2; i2 < e2; ++i2)
+        if (!corr.related(path1[i], match.path2[i2])) return false;
+  }
+  return true;
+}
+
+}  // namespace ictl::bisim

@@ -1,0 +1,44 @@
+// Constructive Lemma 1: given corresponding structures and a finite path in
+// M, build a path in M' together with block partitions of both paths such
+// that corresponding blocks are fully related.  This follows the paper's
+// inductive proof step by step (cases 1-3 of the inner induction on the
+// degree), so tests can check the lemma's statement — including the
+// |S| + |S'| block-size bound — on concrete systems.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bisim/correspondence.hpp"
+
+namespace ictl::bisim {
+
+struct PathMatch {
+  /// The matched path pi' through M2 (starts at the state paired with
+  /// path1's first state).
+  std::vector<kripke::StateId> path2;
+  /// Block boundaries: blocks1[j] is the index in path1 where block j
+  /// starts; blocks are contiguous and cover the whole path.  blocks2
+  /// likewise for path2.  Both vectors always have equal length.
+  std::vector<std::size_t> block_starts1;
+  std::vector<std::size_t> block_starts2;
+};
+
+/// Matches `path1` (a finite path of corr.m1() starting at a state related
+/// to `start2`) against M2 starting from `start2`.  Returns nullopt only if
+/// `corr` is not a valid correspondence relation (for valid relations the
+/// lemma guarantees success).
+[[nodiscard]] std::optional<PathMatch> match_path(const CorrespondenceRelation& corr,
+                                                  std::span<const kripke::StateId> path1,
+                                                  kripke::StateId start2);
+
+/// Checks the Lemma 1 conditions for a produced match: path2 is a real path
+/// of M2, the partitions have the same number of blocks, every block is
+/// non-empty and at most |S| + |S'| long, and every state of block j in
+/// path1 is related to every state of block j in path2.
+[[nodiscard]] bool verify_path_match(const CorrespondenceRelation& corr,
+                                     std::span<const kripke::StateId> path1,
+                                     const PathMatch& match);
+
+}  // namespace ictl::bisim

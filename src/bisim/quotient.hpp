@@ -1,0 +1,46 @@
+// Quotient structures: collapse a Kripke structure by an equivalence
+// partition.  This is the constructive payoff of the equivalence algorithms
+// — the small machine the paper's related work (Kurshan's homomorphic
+// collapse) obtains.  The quotient by the divergence-sensitive stuttering
+// partition satisfies exactly the same nexttime-free CTL* formulas as the
+// original (validated by formula batteries in the tests).
+//
+// A reproduction finding lives here (see tests/bisim/incompleteness_test):
+// the Section 3 finite correspondence relation is SOUND for CTL* without
+// nexttime (Theorem 2) but NOT COMPLETE — a structure whose inert cycle
+// alternates between states with different immediate exits is stuttering
+// bisimilar to its quotient, and no CTL*-without-X formula distinguishes
+// them, yet no finite-degree correspondence relates them: matching the
+// quotient's self-loop state forces a cyclic strict decrease of degrees,
+// which the well-founded degree bound forbids.  Consequently
+// find_correspondence may conservatively refuse structure/quotient pairs
+// that are in fact logically equivalent.
+#pragma once
+
+#include "bisim/partition.hpp"
+#include "kripke/structure.hpp"
+
+namespace ictl::bisim {
+
+struct QuotientResult {
+  kripke::Structure structure;
+  /// block id of each original state = quotient state id.
+  std::vector<std::uint32_t> block_of;
+};
+
+/// Strong-bisimulation quotient: one state per block, an edge per pair of
+/// blocks connected by any member transition (self-loops included).  The
+/// partition must respect labels (as strong_bisimulation_partition
+/// guarantees); throws ModelError otherwise.
+[[nodiscard]] QuotientResult quotient_strong(const kripke::Structure& m,
+                                             const Partition& partition);
+
+/// Stuttering quotient: block-internal (inert) transitions collapse; a block
+/// keeps a self-loop only when some member can stutter inside the block
+/// forever (otherwise the self-loop would introduce divergence the original
+/// does not have, breaking the finite-block requirement of Section 3).
+/// Use with stuttering_partition(m, {.divergence_sensitive = true}).
+[[nodiscard]] QuotientResult quotient_stuttering(const kripke::Structure& m,
+                                                 const Partition& partition);
+
+}  // namespace ictl::bisim

@@ -1,0 +1,27 @@
+#include "bisim/strong_bisim.hpp"
+
+#include <algorithm>
+
+namespace ictl::bisim {
+
+Partition strong_bisimulation_partition(const kripke::Structure& m) {
+  Partition p = Partition::by_labels(m);
+  p.refine_to_fixpoint([&](kripke::StateId s) {
+    Partition::Signature sig;
+    for (const kripke::StateId t : m.successors(s)) sig.push_back(p.block_of(t));
+    std::sort(sig.begin(), sig.end());
+    sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+    return sig;
+  });
+  return p;
+}
+
+bool strongly_bisimilar(const kripke::Structure& a, const kripke::Structure& b) {
+  const kripke::Structure u = kripke::disjoint_union(a, b);
+  const Partition p = strong_bisimulation_partition(u);
+  const kripke::StateId b_initial =
+      static_cast<kripke::StateId>(a.num_states()) + b.initial();
+  return p.same_block(a.initial(), b_initial);
+}
+
+}  // namespace ictl::bisim

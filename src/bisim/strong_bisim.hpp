@@ -1,0 +1,21 @@
+// Strong bisimulation by signature-based partition refinement
+// (Kanellakis–Smolka style).  Strong bisimulation is strictly finer than the
+// paper's correspondence relation — it distinguishes stuttering — and serves
+// as the baseline comparator in the benchmark suite.
+#pragma once
+
+#include "bisim/partition.hpp"
+#include "kripke/structure.hpp"
+
+namespace ictl::bisim {
+
+/// Coarsest strong bisimulation partition of `m` (initial split by labels,
+/// refined by the set of successor blocks until stable).
+[[nodiscard]] Partition strong_bisimulation_partition(const kripke::Structure& m);
+
+/// True when the initial states of `a` and `b` are strongly bisimilar
+/// (computed on the disjoint union; the structures must share a registry).
+[[nodiscard]] bool strongly_bisimilar(const kripke::Structure& a,
+                                      const kripke::Structure& b);
+
+}  // namespace ictl::bisim

@@ -1,0 +1,102 @@
+#include "bisim/stuttering.hpp"
+
+#include <algorithm>
+
+namespace ictl::bisim {
+namespace {
+
+using kripke::StateId;
+
+/// Per-state exit signature: the set of blocks (other than the state's own)
+/// reachable by an inert run (states staying in the state's block) followed
+/// by a single exiting transition.  Computed by a backward fixpoint within
+/// each block.
+std::vector<Partition::Signature> exit_signatures(const kripke::Structure& m,
+                                                  const Partition& p) {
+  const std::size_t n = m.num_states();
+  std::vector<Partition::Signature> sig(n);
+  // Direct exits.
+  for (StateId s = 0; s < n; ++s) {
+    for (const StateId t : m.successors(s))
+      if (!p.same_block(s, t)) sig[s].push_back(p.block_of(t));
+    std::sort(sig[s].begin(), sig[s].end());
+    sig[s].erase(std::unique(sig[s].begin(), sig[s].end()), sig[s].end());
+  }
+  // Propagate backwards along inert transitions until stable.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (StateId s = 0; s < n; ++s) {
+      for (const StateId t : m.successors(s)) {
+        if (!p.same_block(s, t)) continue;
+        // sig[s] |= sig[t]
+        Partition::Signature merged;
+        std::set_union(sig[s].begin(), sig[s].end(), sig[t].begin(), sig[t].end(),
+                       std::back_inserter(merged));
+        if (merged != sig[s]) {
+          sig[s] = std::move(merged);
+          changed = true;
+        }
+      }
+    }
+  }
+  return sig;
+}
+
+/// States with an infinite inert run (a path that stays in the state's own
+/// block forever).  With finite state spaces this means: can reach an inert
+/// cycle via inert transitions.
+std::vector<bool> divergent_states(const kripke::Structure& m, const Partition& p) {
+  const std::size_t n = m.num_states();
+  // Greatest fixpoint: D := all states with an inert successor;
+  // D := { s : exists inert t in D } until stable.
+  std::vector<bool> divergent(n, true);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (StateId s = 0; s < n; ++s) {
+      if (!divergent[s]) continue;
+      bool has_divergent_inert_succ = false;
+      for (const StateId t : m.successors(s)) {
+        if (p.same_block(s, t) && divergent[t]) {
+          has_divergent_inert_succ = true;
+          break;
+        }
+      }
+      if (!has_divergent_inert_succ) {
+        divergent[s] = false;
+        changed = true;
+      }
+    }
+  }
+  return divergent;
+}
+
+}  // namespace
+
+Partition stuttering_partition(const kripke::Structure& m, StutteringOptions options) {
+  Partition p = Partition::by_labels(m);
+  while (true) {
+    const auto sig = exit_signatures(m, p);
+    std::vector<bool> divergent;
+    if (options.divergence_sensitive) divergent = divergent_states(m, p);
+    const bool changed = p.refine([&](StateId s) {
+      Partition::Signature full = sig[s];
+      if (options.divergence_sensitive && divergent[s])
+        full.push_back(static_cast<std::uint32_t>(p.num_blocks()));  // divergence marker
+      return full;
+    });
+    if (!changed) return p;
+  }
+}
+
+bool stuttering_equivalent(const kripke::Structure& a, const kripke::Structure& b,
+                           StutteringOptions options) {
+  const kripke::Structure u = kripke::disjoint_union(a, b);
+  const Partition p = stuttering_partition(u, options);
+  const kripke::StateId b_initial =
+      static_cast<kripke::StateId>(a.num_states()) + b.initial();
+  return p.same_block(a.initial(), b_initial);
+}
+
+}  // namespace ictl::bisim

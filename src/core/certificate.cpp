@@ -1,0 +1,17 @@
+#include "core/certificate.hpp"
+
+namespace ictl::core {
+
+std::string to_string(FamilyCertificate::Method method) {
+  switch (method) {
+    case FamilyCertificate::Method::kExplicit:
+      return "explicit";
+    case FamilyCertificate::Method::kAnalytic:
+      return "analytic";
+    case FamilyCertificate::Method::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+}  // namespace ictl::core

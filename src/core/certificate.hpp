@@ -1,0 +1,32 @@
+// Certificates tying a family, a base size and a target size to the
+// Theorem 5 evidence that licenses verdict transfer between them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bisim/indexed_correspondence.hpp"
+
+namespace ictl::core {
+
+struct FamilyCertificate {
+  enum class Method : std::uint8_t {
+    kExplicit,  ///< both instances built, clauses validated mechanically
+    kAnalytic,  ///< closed-form degrees + size-independent invariant proofs
+    kNone,      ///< no certificate could be produced
+  };
+
+  std::string family;
+  std::uint32_t base_size = 0;
+  std::uint32_t target_size = 0;
+  Method method = Method::kNone;
+  bisim::Theorem5Certificate theorem5;
+
+  [[nodiscard]] bool valid() const {
+    return method != Method::kNone && theorem5.valid;
+  }
+};
+
+[[nodiscard]] std::string to_string(FamilyCertificate::Method method);
+
+}  // namespace ictl::core

@@ -1,0 +1,40 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace ictl::core {
+
+std::string to_string(const VerifyForAllResult& result) {
+  std::ostringstream os;
+  os << "formula   : " << result.formula_text << "\n";
+  os << "base      : size " << result.base_size << " — "
+     << (result.holds_at_base ? "holds" : "fails") << "\n";
+  if (result.restrictions.ok()) {
+    os << "logic     : closed restricted ICTL* (Theorem 5 applies)\n";
+  } else {
+    os << "logic     : OUTSIDE the restricted logic; verdicts do not transfer\n";
+    for (const auto& violation : result.restrictions.violations)
+      os << "            * " << violation << "\n";
+  }
+  for (const auto& outcome : result.outcomes) {
+    os << "size " << outcome.size << "  : ";
+    if (outcome.transfers) {
+      os << (outcome.verdict ? "holds" : "fails") << "  ["
+         << to_string(outcome.certificate.method) << " certificate";
+      if (!outcome.certificate.theorem5.initial_degrees.empty()) {
+        std::uint32_t max_degree = 0;
+        for (const auto d : outcome.certificate.theorem5.initial_degrees)
+          max_degree = std::max(max_degree, d);
+        os << ", max initial degree " << max_degree;
+      }
+      os << "]";
+    } else {
+      os << "no transfer";
+      if (!outcome.note.empty()) os << " (" << outcome.note << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ictl::core

@@ -1,0 +1,16 @@
+// Human-readable rendering of verification results — the artifact a user
+// files next to their model: what was checked, at which base size, which
+// certificates licensed which transfers.
+#pragma once
+
+#include <string>
+
+#include "core/verify.hpp"
+
+namespace ictl::core {
+
+/// Multi-line report: formula, base verdict, restriction status, and one
+/// line per target size with certificate method and transferred verdict.
+[[nodiscard]] std::string to_string(const VerifyForAllResult& result);
+
+}  // namespace ictl::core

@@ -1,0 +1,47 @@
+// Umbrella header: the full public API of the ictl library.
+//
+// ictl implements Browne, Clarke & Grumberg, "Reasoning about Networks with
+// Many Identical Finite State Processes" (PODC 1986 / Information &
+// Computation 81, 1989): the logics CTL* and indexed CTL* over Kripke
+// structures, model checking for both, the degree-bounded correspondence
+// (bisimulation) relation of Section 3, indexed correspondence and
+// Theorem 5, and the token-ring mutual exclusion case study of Section 5.
+#pragma once
+
+#include "bisim/correspondence.hpp"
+#include "bisim/indexed_correspondence.hpp"
+#include "bisim/partition.hpp"
+#include "bisim/path_match.hpp"
+#include "bisim/quotient.hpp"
+#include "bisim/strong_bisim.hpp"
+#include "bisim/stuttering.hpp"
+#include "core/certificate.hpp"
+#include "core/family.hpp"
+#include "core/report.hpp"
+#include "core/verify.hpp"
+#include "kripke/algorithms.hpp"
+#include "kripke/dot.hpp"
+#include "kripke/prop_registry.hpp"
+#include "kripke/structure.hpp"
+#include "kripke/text_format.hpp"
+#include "logic/classify.hpp"
+#include "logic/formula.hpp"
+#include "logic/parser.hpp"
+#include "logic/printer.hpp"
+#include "logic/rewrite.hpp"
+#include "mc/ctl_checker.hpp"
+#include "mc/ctlstar_checker.hpp"
+#include "mc/indexed_checker.hpp"
+#include "mc/leaf_sat.hpp"
+#include "mc/ltl_tableau.hpp"
+#include "mc/product.hpp"
+#include "mc/witness.hpp"
+#include "network/composition.hpp"
+#include "network/counting_family.hpp"
+#include "network/free_product.hpp"
+#include "network/process.hpp"
+#include "network/star.hpp"
+#include "ring/rank.hpp"
+#include "ring/ring.hpp"
+#include "ring/ring_correspondence.hpp"
+#include "ring/symbolic_prover.hpp"

@@ -1,0 +1,126 @@
+#include "kripke/algorithms.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ictl::kripke {
+
+support::DynamicBitset forward_reachable(const Structure& m, StateId from) {
+  support::DynamicBitset seed(m.num_states());
+  seed.set(from);
+  return forward_reachable(m, seed);
+}
+
+support::DynamicBitset forward_reachable(const Structure& m,
+                                         const support::DynamicBitset& from) {
+  ICTL_ASSERT(from.size() == m.num_states());
+  support::DynamicBitset seen = from;
+  std::vector<StateId> stack;
+  from.for_each([&](std::size_t s) { stack.push_back(static_cast<StateId>(s)); });
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (StateId t : m.successors(s)) {
+      if (!seen.test(t)) {
+        seen.set(t);
+        stack.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+support::DynamicBitset backward_reachable(const Structure& m,
+                                          const support::DynamicBitset& targets,
+                                          const support::DynamicBitset* within) {
+  ICTL_ASSERT(targets.size() == m.num_states());
+  support::DynamicBitset seen = targets;
+  std::vector<StateId> stack;
+  targets.for_each([&](std::size_t s) { stack.push_back(static_cast<StateId>(s)); });
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (StateId p : m.predecessors(s)) {
+      if (seen.test(p)) continue;
+      if (within != nullptr && !within->test(p)) continue;
+      seen.set(p);
+      stack.push_back(p);
+    }
+  }
+  return seen;
+}
+
+bool SccDecomposition::is_nontrivial(const Structure& m, std::uint32_t c) const {
+  ICTL_ASSERT(c < components.size());
+  const auto& comp = components[c];
+  if (comp.size() > 1) return true;
+  const StateId s = comp.front();
+  const auto succ = m.successors(s);
+  return std::find(succ.begin(), succ.end(), s) != succ.end();
+}
+
+SccDecomposition strongly_connected_components(const Structure& m) {
+  // Iterative Tarjan.
+  const std::size_t n = m.num_states();
+  constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<StateId> scc_stack;
+  SccDecomposition out;
+  out.component_of.assign(n, kUnvisited);
+
+  struct Frame {
+    StateId state;
+    std::size_t next_child;
+  };
+  std::uint32_t next_index = 0;
+  std::vector<Frame> call_stack;
+
+  for (StateId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const StateId v = frame.state;
+      const auto succ = m.successors(v);
+      if (frame.next_child < succ.size()) {
+        const StateId w = succ[frame.next_child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          std::vector<StateId> comp;
+          StateId w;
+          do {
+            w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+            out.component_of[w] = static_cast<std::uint32_t>(out.components.size());
+            comp.push_back(w);
+          } while (w != v);
+          out.components.push_back(std::move(comp));
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const StateId parent = call_stack.back().state;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ictl::kripke

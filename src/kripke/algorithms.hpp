@@ -1,0 +1,39 @@
+// Graph algorithms over Kripke structures used throughout the library:
+// forward/backward reachability and strongly connected components.
+#pragma once
+
+#include <vector>
+
+#include "kripke/structure.hpp"
+#include "support/bitset.hpp"
+
+namespace ictl::kripke {
+
+/// States reachable from `from` (inclusive) along R.
+[[nodiscard]] support::DynamicBitset forward_reachable(const Structure& m, StateId from);
+
+/// States reachable from any state in `from` (inclusive).
+[[nodiscard]] support::DynamicBitset forward_reachable(const Structure& m,
+                                                       const support::DynamicBitset& from);
+
+/// States that can reach some state of `targets` (inclusive), optionally
+/// restricted to travel only through states in `within` (targets themselves
+/// need not be in `within`).
+[[nodiscard]] support::DynamicBitset backward_reachable(
+    const Structure& m, const support::DynamicBitset& targets,
+    const support::DynamicBitset* within = nullptr);
+
+/// Strongly connected components in reverse topological order (Tarjan).
+/// Component ids are dense; `component_of[s]` gives the id of s's SCC.
+struct SccDecomposition {
+  std::vector<std::vector<StateId>> components;  // reverse topological order
+  std::vector<std::uint32_t> component_of;
+
+  /// True when the component is a cycle-carrying SCC: more than one state, or
+  /// a single state with a self-loop.
+  [[nodiscard]] bool is_nontrivial(const Structure& m, std::uint32_t c) const;
+};
+
+[[nodiscard]] SccDecomposition strongly_connected_components(const Structure& m);
+
+}  // namespace ictl::kripke

@@ -1,0 +1,35 @@
+#include "kripke/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace ictl::kripke {
+
+void write_dot(std::ostream& os, const Structure& m, const std::string& graph_name) {
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=LR;\n";
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    os << "  s" << s << " [label=\"";
+    if (!m.state_name(s).empty()) os << m.state_name(s) << "\\n";
+    bool first = true;
+    m.label(s).for_each([&](std::size_t p) {
+      if (!first) os << ",";
+      os << m.registry()->display(static_cast<PropId>(p));
+      first = false;
+    });
+    os << "\"";
+    if (s == m.initial()) os << ", shape=doublecircle";
+    os << "];\n";
+  }
+  for (StateId s = 0; s < m.num_states(); ++s)
+    for (StateId t : m.successors(s)) os << "  s" << s << " -> s" << t << ";\n";
+  os << "}\n";
+}
+
+std::string to_dot(const Structure& m, const std::string& graph_name) {
+  std::ostringstream os;
+  write_dot(os, m, graph_name);
+  return os.str();
+}
+
+}  // namespace ictl::kripke

@@ -1,0 +1,19 @@
+// Graphviz export for Kripke structures (debugging and documentation).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "kripke/structure.hpp"
+
+namespace ictl::kripke {
+
+/// Writes `m` in Graphviz DOT syntax.  Node labels show the state name (when
+/// set) and the display form of every labeled proposition; the initial state
+/// is drawn with a double circle.
+void write_dot(std::ostream& os, const Structure& m, const std::string& graph_name = "M");
+
+/// Convenience: DOT text as a string.
+[[nodiscard]] std::string to_dot(const Structure& m, const std::string& graph_name = "M");
+
+}  // namespace ictl::kripke

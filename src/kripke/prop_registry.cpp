@@ -1,0 +1,116 @@
+#include "kripke/prop_registry.hpp"
+
+#include "support/error.hpp"
+
+namespace ictl::kripke {
+namespace {
+
+std::string key_plain(std::string_view name) { return "p:" + std::string(name); }
+std::string key_indexed(std::string_view base, std::uint32_t index) {
+  return "i:" + std::string(base) + "#" + std::to_string(index);
+}
+std::string key_theta(std::string_view base) { return "t:" + std::string(base); }
+std::string key_base(std::string_view base) { return "b:" + std::string(base); }
+
+}  // namespace
+
+PropId PropRegistry::add(Entry entry, const std::string& key) {
+  if (auto it = by_key_.find(key); it != by_key_.end()) return it->second;
+  const PropId id = static_cast<PropId>(props_.size());
+  props_.push_back(std::move(entry));
+  by_key_.emplace(key, id);
+  return id;
+}
+
+PropId PropRegistry::plain(std::string_view name) {
+  return add({PropKind::kPlain, std::string(name), 0}, key_plain(name));
+}
+
+PropId PropRegistry::indexed(std::string_view base, std::uint32_t index) {
+  return add({PropKind::kIndexed, std::string(base), index}, key_indexed(base, index));
+}
+
+PropId PropRegistry::theta(std::string_view base) {
+  return add({PropKind::kTheta, std::string(base), 0}, key_theta(base));
+}
+
+PropId PropRegistry::indexed_base(std::string_view base) {
+  return add({PropKind::kIndexedBase, std::string(base), 0}, key_base(base));
+}
+
+std::optional<PropId> PropRegistry::find_plain(std::string_view name) const {
+  if (auto it = by_key_.find(key_plain(name)); it != by_key_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::optional<PropId> PropRegistry::find_indexed(std::string_view base,
+                                                 std::uint32_t index) const {
+  if (auto it = by_key_.find(key_indexed(base, index)); it != by_key_.end())
+    return it->second;
+  return std::nullopt;
+}
+
+std::optional<PropId> PropRegistry::find_theta(std::string_view base) const {
+  if (auto it = by_key_.find(key_theta(base)); it != by_key_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::optional<PropId> PropRegistry::find_indexed_base(std::string_view base) const {
+  if (auto it = by_key_.find(key_base(base)); it != by_key_.end()) return it->second;
+  return std::nullopt;
+}
+
+PropKind PropRegistry::kind(PropId id) const {
+  ICTL_ASSERT(id < props_.size());
+  return props_[id].kind;
+}
+
+const std::string& PropRegistry::base_name(PropId id) const {
+  ICTL_ASSERT(id < props_.size());
+  return props_[id].base;
+}
+
+std::uint32_t PropRegistry::index_of(PropId id) const {
+  ICTL_ASSERT(id < props_.size());
+  ICTL_ASSERT(props_[id].kind == PropKind::kIndexed);
+  return props_[id].index;
+}
+
+std::string PropRegistry::display(PropId id) const {
+  ICTL_ASSERT(id < props_.size());
+  const Entry& e = props_[id];
+  switch (e.kind) {
+    case PropKind::kPlain:
+      return e.base;
+    case PropKind::kIndexed:
+      return e.base + "[" + std::to_string(e.index) + "]";
+    case PropKind::kTheta:
+      return "one(" + e.base + ")";
+    case PropKind::kIndexedBase:
+      return e.base + "[.]";
+  }
+  return "?";
+}
+
+std::vector<PropId> PropRegistry::indexed_with_base(std::string_view base) const {
+  std::vector<PropId> out;
+  for (PropId id = 0; id < props_.size(); ++id)
+    if (props_[id].kind == PropKind::kIndexed && props_[id].base == base)
+      out.push_back(id);
+  return out;
+}
+
+std::vector<std::string> PropRegistry::indexed_bases() const {
+  std::vector<std::string> out;
+  for (const Entry& e : props_)
+    if (e.kind == PropKind::kIndexed) {
+      bool seen = false;
+      for (const auto& b : out) seen = seen || (b == e.base);
+      if (!seen) out.push_back(e.base);
+    }
+  return out;
+}
+
+PropRegistryPtr make_registry() { return std::make_shared<PropRegistry>(); }
+
+}  // namespace ictl::kripke

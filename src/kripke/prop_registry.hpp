@@ -1,0 +1,101 @@
+// Registry of atomic propositions.
+//
+// The paper (Section 4) distinguishes:
+//   * plain atomic propositions  A  in AP,
+//   * indexed atomic propositions A_i in IP x I (proposition A of process i),
+//   * the "exactly one" extension: a special non-indexed proposition
+//     "Theta_i P_i" added to AP for P in IP, true in s iff exactly one index c
+//     has P_c in L(s).
+//
+// We additionally register "index-erased" propositions  A[.]  which appear
+// only in reductions M|i (Section 4): the reduction keeps the indexed
+// propositions of a single index i, and erasing the concrete index makes the
+// labelings of M|i and M'|i' directly comparable, which is what clause (2a)
+// of the correspondence definition needs (s |= A_i  <=>  s' |= A_i').
+//
+// A registry is shared (via shared_ptr) between every structure whose labels
+// must be comparable; PropIds are dense and index label bitsets directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace ictl::kripke {
+
+using PropId = std::uint32_t;
+
+enum class PropKind : std::uint8_t {
+  kPlain,        ///< A in AP
+  kIndexed,      ///< A_i in IP x I
+  kTheta,        ///< Theta_i P_i : "exactly one process satisfies P"
+  kIndexedBase,  ///< A[.] : indexed proposition with its index erased (reductions)
+};
+
+class PropRegistry {
+ public:
+  /// Interns the plain proposition `name`.
+  PropId plain(std::string_view name);
+
+  /// Interns the indexed proposition `base`_`index`.
+  PropId indexed(std::string_view base, std::uint32_t index);
+
+  /// Interns the "exactly one" proposition for indexed base `base`.
+  PropId theta(std::string_view base);
+
+  /// Interns the index-erased placeholder for indexed base `base`.
+  PropId indexed_base(std::string_view base);
+
+  /// Lookup variants that do not intern; nullopt when absent.
+  [[nodiscard]] std::optional<PropId> find_plain(std::string_view name) const;
+  [[nodiscard]] std::optional<PropId> find_indexed(std::string_view base,
+                                                   std::uint32_t index) const;
+  [[nodiscard]] std::optional<PropId> find_theta(std::string_view base) const;
+  [[nodiscard]] std::optional<PropId> find_indexed_base(std::string_view base) const;
+
+  [[nodiscard]] PropKind kind(PropId id) const;
+
+  /// Base name: the proposition name for plain props, the indexed base for
+  /// the other kinds.
+  [[nodiscard]] const std::string& base_name(PropId id) const;
+
+  /// The concrete index of an indexed proposition.
+  [[nodiscard]] std::uint32_t index_of(PropId id) const;
+
+  /// Human-readable form: "A", "A[3]", "one(A)", "A[.]".
+  [[nodiscard]] std::string display(PropId id) const;
+
+  /// Number of registered propositions (= required label-bitset width).
+  [[nodiscard]] std::size_t size() const noexcept { return props_.size(); }
+
+  /// Every registered indexed proposition id with the given base.
+  [[nodiscard]] std::vector<PropId> indexed_with_base(std::string_view base) const;
+
+  /// Every distinct base name that occurs in some indexed proposition.
+  [[nodiscard]] std::vector<std::string> indexed_bases() const;
+
+ private:
+  struct Entry {
+    PropKind kind;
+    std::string base;
+    std::uint32_t index = 0;  // meaningful only for kIndexed
+  };
+
+  PropId add(Entry entry, const std::string& key);
+
+  std::vector<Entry> props_;
+  std::unordered_map<std::string, PropId> by_key_;
+};
+
+using PropRegistryPtr = std::shared_ptr<PropRegistry>;
+
+/// Convenience: a fresh empty registry.
+[[nodiscard]] PropRegistryPtr make_registry();
+
+}  // namespace ictl::kripke

@@ -1,0 +1,240 @@
+#include "kripke/structure.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace ictl::kripke {
+
+bool Structure::is_total() const noexcept {
+  for (const auto& out : succ_)
+    if (out.empty()) return false;
+  return true;
+}
+
+std::vector<PropId> Structure::used_props() const {
+  std::vector<bool> used(registry_->size(), false);
+  for (const auto& lab : labels_)
+    lab.for_each([&](std::size_t p) { used[p] = true; });
+  std::vector<PropId> out;
+  for (PropId p = 0; p < used.size(); ++p)
+    if (used[p]) out.push_back(p);
+  return out;
+}
+
+StructureBuilder::StructureBuilder(PropRegistryPtr registry)
+    : registry_(std::move(registry)) {
+  support::require<ModelError>(registry_ != nullptr,
+                               "StructureBuilder: registry must not be null");
+}
+
+StateId StructureBuilder::add_state(std::span<const PropId> props) {
+  const StateId id = static_cast<StateId>(states_.size());
+  PendingState st;
+  st.props.assign(props.begin(), props.end());
+  states_.push_back(std::move(st));
+  return id;
+}
+
+StateId StructureBuilder::add_state(std::initializer_list<PropId> props) {
+  return add_state(std::span<const PropId>(props.begin(), props.size()));
+}
+
+void StructureBuilder::add_transition(StateId from, StateId to) {
+  support::require<ModelError>(from < states_.size() && to < states_.size(),
+                               "add_transition: unknown state id");
+  transitions_.emplace_back(from, to);
+}
+
+void StructureBuilder::set_initial(StateId s) {
+  support::require<ModelError>(s < states_.size(), "set_initial: unknown state id");
+  initial_ = s;
+}
+
+void StructureBuilder::set_name(StateId s, std::string name) {
+  support::require<ModelError>(s < states_.size(), "set_name: unknown state id");
+  states_[s].name = std::move(name);
+}
+
+void StructureBuilder::set_index_set(std::vector<std::uint32_t> indices) {
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  indices_ = std::move(indices);
+}
+
+void StructureBuilder::add_prop(StateId s, PropId p) {
+  support::require<ModelError>(s < states_.size(), "add_prop: unknown state id");
+  states_[s].props.push_back(p);
+}
+
+Structure StructureBuilder::build(BuildOptions options) && {
+  support::require<ModelError>(initial_ != kNoState,
+                               "build: no initial state was set");
+
+  Structure m;
+  m.registry_ = std::move(registry_);
+  m.initial_ = initial_;
+  m.indices_ = std::move(indices_);
+
+  const std::size_t n = states_.size();
+  const std::size_t width = m.registry_->size();
+  m.labels_.reserve(n);
+  m.names_.reserve(n);
+  for (auto& st : states_) {
+    support::DynamicBitset lab(width);
+    for (PropId p : st.props) {
+      support::require<ModelError>(p < width, "build: unknown proposition id");
+      lab.set(p);
+    }
+    m.labels_.push_back(std::move(lab));
+    m.names_.push_back(std::move(st.name));
+  }
+
+  m.succ_.assign(n, {});
+  m.pred_.assign(n, {});
+  std::sort(transitions_.begin(), transitions_.end());
+  transitions_.erase(std::unique(transitions_.begin(), transitions_.end()),
+                     transitions_.end());
+  for (auto [from, to] : transitions_) {
+    m.succ_[from].push_back(to);
+    m.pred_[to].push_back(from);
+  }
+  m.num_transitions_ = transitions_.size();
+
+  if (options.require_total) {
+    for (StateId s = 0; s < n; ++s)
+      support::require<ModelError>(
+          !m.succ_[s].empty(),
+          "build: transition relation is not total (state " + std::to_string(s) +
+              (m.names_[s].empty() ? "" : " '" + m.names_[s] + "'") +
+              " has no successor); the paper requires R to be total");
+  }
+  return m;
+}
+
+Structure reduce_to_index(const Structure& m, std::uint32_t i) {
+  const PropRegistryPtr& reg = m.registry();
+  StructureBuilder b(reg);
+
+  // Pre-register the index-erased placeholders so label widths include them.
+  std::vector<std::pair<PropId, PropId>> rename;  // (indexed prop of i, placeholder)
+  for (const std::string& base : reg->indexed_bases()) {
+    if (auto src = reg->find_indexed(base, i)) {
+      const PropId dst = reg->indexed_base(base);
+      rename.emplace_back(*src, dst);
+    }
+  }
+
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    std::vector<PropId> props;
+    m.label(s).for_each([&](std::size_t p) {
+      const auto pid = static_cast<PropId>(p);
+      switch (reg->kind(pid)) {
+        case PropKind::kPlain:
+        case PropKind::kTheta:
+          props.push_back(pid);
+          break;
+        case PropKind::kIndexed:
+          break;  // handled through `rename`
+        case PropKind::kIndexedBase:
+          props.push_back(pid);  // already erased (reducing a reduction)
+          break;
+      }
+    });
+    for (auto [src, dst] : rename)
+      if (m.has_prop(s, src)) props.push_back(dst);
+    const StateId ns = b.add_state(props);
+    ICTL_ASSERT(ns == s);
+    if (!m.state_name(s).empty()) b.set_name(ns, m.state_name(s));
+  }
+  for (StateId s = 0; s < m.num_states(); ++s)
+    for (StateId t : m.successors(s)) b.add_transition(s, t);
+  b.set_initial(m.initial());
+  return std::move(b).build({.require_total = m.is_total()});
+}
+
+Structure restrict_to_reachable(const Structure& m, std::vector<StateId>* old_to_new) {
+  std::vector<StateId> map(m.num_states(), kNoState);
+  std::vector<StateId> order;
+  std::queue<StateId> frontier;
+  frontier.push(m.initial());
+  map[m.initial()] = 0;
+  order.push_back(m.initial());
+  while (!frontier.empty()) {
+    const StateId s = frontier.front();
+    frontier.pop();
+    for (StateId t : m.successors(s)) {
+      if (map[t] == kNoState) {
+        map[t] = static_cast<StateId>(order.size());
+        order.push_back(t);
+        frontier.push(t);
+      }
+    }
+  }
+
+  StructureBuilder b(m.registry());
+  for (StateId old : order) {
+    std::vector<PropId> props;
+    m.label(old).for_each([&](std::size_t p) { props.push_back(static_cast<PropId>(p)); });
+    const StateId ns = b.add_state(props);
+    if (!m.state_name(old).empty()) b.set_name(ns, m.state_name(old));
+  }
+  for (StateId old : order)
+    for (StateId t : m.successors(old)) b.add_transition(map[old], map[t]);
+  b.set_initial(0);
+  std::vector<std::uint32_t> idx(m.index_set().begin(), m.index_set().end());
+  b.set_index_set(std::move(idx));
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return std::move(b).build();
+}
+
+Structure disjoint_union(const Structure& a, const Structure& b) {
+  support::require<ModelError>(a.registry() == b.registry(),
+                               "disjoint_union: structures must share a registry");
+  StructureBuilder builder(a.registry());
+  auto copy_states = [&](const Structure& m) {
+    for (StateId s = 0; s < m.num_states(); ++s) {
+      std::vector<PropId> props;
+      m.label(s).for_each(
+          [&](std::size_t p) { props.push_back(static_cast<PropId>(p)); });
+      const StateId ns = builder.add_state(props);
+      if (!m.state_name(s).empty()) builder.set_name(ns, m.state_name(s));
+    }
+  };
+  copy_states(a);
+  copy_states(b);
+  const auto offset = static_cast<StateId>(a.num_states());
+  for (StateId s = 0; s < a.num_states(); ++s)
+    for (StateId t : a.successors(s)) builder.add_transition(s, t);
+  for (StateId s = 0; s < b.num_states(); ++s)
+    for (StateId t : b.successors(s)) builder.add_transition(offset + s, offset + t);
+  builder.set_initial(a.initial());
+  return std::move(builder).build();
+}
+
+Structure materialize_theta(const Structure& m, std::string_view base) {
+  const PropRegistryPtr& reg = m.registry();
+  const PropId theta = reg->theta(base);
+  const std::vector<PropId> members = reg->indexed_with_base(base);
+
+  StructureBuilder b(reg);
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    std::vector<PropId> props;
+    m.label(s).for_each([&](std::size_t p) { props.push_back(static_cast<PropId>(p)); });
+    std::size_t holders = 0;
+    for (PropId p : members) holders += m.has_prop(s, p) ? 1 : 0;
+    if (holders == 1) props.push_back(theta);
+    const StateId ns = b.add_state(props);
+    if (!m.state_name(s).empty()) b.set_name(ns, m.state_name(s));
+  }
+  for (StateId s = 0; s < m.num_states(); ++s)
+    for (StateId t : m.successors(s)) b.add_transition(s, t);
+  b.set_initial(m.initial());
+  std::vector<std::uint32_t> idx(m.index_set().begin(), m.index_set().end());
+  b.set_index_set(std::move(idx));
+  return std::move(b).build({.require_total = m.is_total()});
+}
+
+}  // namespace ictl::kripke

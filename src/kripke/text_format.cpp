@@ -1,0 +1,146 @@
+#include "kripke/text_format.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ictl::kripke {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw ModelError("text format, line " + std::to_string(line) + ": " + message);
+}
+
+/// Parses a proposition token: `p`, `p[3]`, or `one(p)`.
+PropId parse_prop(PropRegistry& registry, const std::string& token,
+                  std::size_t line) {
+  if (token.rfind("one(", 0) == 0 && token.back() == ')') {
+    const std::string base = token.substr(4, token.size() - 5);
+    if (base.empty()) fail(line, "empty theta proposition: " + token);
+    return registry.theta(base);
+  }
+  const auto bracket = token.find('[');
+  if (bracket != std::string::npos) {
+    if (token.back() != ']') fail(line, "missing ']' in " + token);
+    const std::string base = token.substr(0, bracket);
+    const std::string index_text =
+        token.substr(bracket + 1, token.size() - bracket - 2);
+    if (base.empty() || index_text.empty())
+      fail(line, "malformed indexed proposition: " + token);
+    if (index_text == ".") return registry.indexed_base(base);
+    try {
+      const unsigned long value = std::stoul(index_text);
+      return registry.indexed(base, static_cast<std::uint32_t>(value));
+    } catch (const std::exception&) {
+      fail(line, "bad index in " + token);
+    }
+  }
+  return registry.plain(token);
+}
+
+}  // namespace
+
+Structure read_structure(std::istream& in, PropRegistryPtr registry) {
+  support::require<ModelError>(registry != nullptr, "read_structure: null registry");
+  struct PendingState {
+    std::string name;
+    std::vector<PropId> props;
+  };
+  std::vector<PendingState> states;
+  std::vector<std::pair<StateId, StateId>> edges;
+  std::vector<std::uint32_t> indices;
+  std::optional<StateId> initial;
+
+  std::string raw;
+  std::size_t line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword) || keyword[0] == '#') continue;
+
+    if (keyword == "state") {
+      std::size_t id = 0;
+      if (!(line >> id)) fail(line_number, "expected state id");
+      if (id != states.size())
+        fail(line_number, "state ids must be dense and in order (expected " +
+                              std::to_string(states.size()) + ")");
+      PendingState st;
+      line >> st.name;  // optional
+      states.push_back(std::move(st));
+    } else if (keyword == "label") {
+      std::size_t id = 0;
+      if (!(line >> id) || id >= states.size())
+        fail(line_number, "label: unknown state id");
+      std::string token;
+      while (line >> token)
+        states[id].props.push_back(parse_prop(*registry, token, line_number));
+    } else if (keyword == "edge") {
+      std::size_t from = 0, to = 0;
+      if (!(line >> from >> to) || from >= states.size() || to >= states.size())
+        fail(line_number, "edge: unknown state id");
+      edges.emplace_back(static_cast<StateId>(from), static_cast<StateId>(to));
+    } else if (keyword == "init") {
+      std::size_t id = 0;
+      if (!(line >> id) || id >= states.size())
+        fail(line_number, "init: unknown state id");
+      initial = static_cast<StateId>(id);
+    } else if (keyword == "indices") {
+      std::uint32_t value = 0;
+      while (line >> value) indices.push_back(value);
+    } else {
+      fail(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!initial.has_value()) throw ModelError("text format: missing 'init' line");
+
+  StructureBuilder builder(std::move(registry));
+  for (const auto& st : states) {
+    const StateId id = builder.add_state(st.props);
+    if (!st.name.empty()) builder.set_name(id, st.name);
+  }
+  for (const auto& [from, to] : edges) builder.add_transition(from, to);
+  builder.set_initial(*initial);
+  builder.set_index_set(std::move(indices));
+  return std::move(builder).build();
+}
+
+Structure parse_structure(const std::string& text, PropRegistryPtr registry) {
+  std::istringstream in(text);
+  return read_structure(in, std::move(registry));
+}
+
+void write_structure(std::ostream& out, const Structure& m) {
+  const PropRegistry& registry = *m.registry();
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    out << "state " << s;
+    if (!m.state_name(s).empty()) out << " " << m.state_name(s);
+    out << "\n";
+    bool any = false;
+    std::ostringstream label;
+    m.label(s).for_each([&](std::size_t p) {
+      label << " " << registry.display(static_cast<PropId>(p));
+      any = true;
+    });
+    if (any) out << "label " << s << label.str() << "\n";
+  }
+  for (StateId s = 0; s < m.num_states(); ++s)
+    for (const StateId t : m.successors(s)) out << "edge " << s << " " << t << "\n";
+  out << "init " << m.initial() << "\n";
+  if (!m.index_set().empty()) {
+    out << "indices";
+    for (const std::uint32_t i : m.index_set()) out << " " << i;
+    out << "\n";
+  }
+}
+
+std::string to_text(const Structure& m) {
+  std::ostringstream out;
+  write_structure(out, m);
+  return out.str();
+}
+
+}  // namespace ictl::kripke

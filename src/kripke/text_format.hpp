@@ -1,0 +1,35 @@
+// A line-oriented text format for Kripke structures, so models can live in
+// files and be checked by command-line tools (examples/ictl_check).
+//
+//   # comment / blank lines ignored
+//   state <id> [<name>]          declares state <id> (dense, from 0)
+//   label <id> <prop> ...        props: plain `p`, indexed `p[3]`, theta `one(p)`
+//   edge <from> <to>
+//   init <id>
+//   indices <i> <j> ...          the index set I
+//
+// Writing produces the same format; read(write(m)) is isomorphic to m.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "kripke/structure.hpp"
+
+namespace ictl::kripke {
+
+/// Parses a structure from `in`; throws ModelError with a line number on
+/// malformed input.
+[[nodiscard]] Structure read_structure(std::istream& in, PropRegistryPtr registry);
+
+/// Convenience: parse from a string.
+[[nodiscard]] Structure parse_structure(const std::string& text,
+                                        PropRegistryPtr registry);
+
+/// Writes `m` in the text format.
+void write_structure(std::ostream& out, const Structure& m);
+
+/// Convenience: render to a string.
+[[nodiscard]] std::string to_text(const Structure& m);
+
+}  // namespace ictl::kripke

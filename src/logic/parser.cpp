@@ -1,0 +1,313 @@
+#include "logic/parser.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ictl::logic {
+namespace {
+
+enum class Tok : std::uint8_t {
+  kEnd, kIdent, kNumber,
+  kLParen, kRParen, kLBracket, kRBracket,
+  kNot, kAnd, kOr, kImplies, kIff, kDot,
+  kTrue, kFalse, kOne, kForall, kExists,
+  kE, kA, kU, kR, kF, kG, kX,
+};
+
+struct Token {
+  Tok tok;
+  std::string text;      // identifier text
+  std::uint32_t number;  // numeric value
+  std::size_t pos;       // offset in input, for diagnostics
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_space();
+      const std::size_t pos = i_;
+      if (i_ >= text_.size()) {
+        out.push_back({Tok::kEnd, {}, 0, pos});
+        return out;
+      }
+      const char c = text_[i_];
+      if (c == '(') { ++i_; out.push_back({Tok::kLParen, {}, 0, pos}); continue; }
+      if (c == ')') { ++i_; out.push_back({Tok::kRParen, {}, 0, pos}); continue; }
+      if (c == '[') { ++i_; out.push_back({Tok::kLBracket, {}, 0, pos}); continue; }
+      if (c == ']') { ++i_; out.push_back({Tok::kRBracket, {}, 0, pos}); continue; }
+      if (c == '!' || c == '~') { ++i_; out.push_back({Tok::kNot, {}, 0, pos}); continue; }
+      if (c == '&') { ++i_; out.push_back({Tok::kAnd, {}, 0, pos}); continue; }
+      if (c == '|') { ++i_; out.push_back({Tok::kOr, {}, 0, pos}); continue; }
+      if (c == '.') { ++i_; out.push_back({Tok::kDot, {}, 0, pos}); continue; }
+      if (c == '-') {
+        if (i_ + 1 < text_.size() && text_[i_ + 1] == '>') {
+          i_ += 2;
+          out.push_back({Tok::kImplies, {}, 0, pos});
+          continue;
+        }
+        fail(pos, "expected '->'");
+      }
+      if (c == '<') {
+        if (i_ + 2 < text_.size() && text_[i_ + 1] == '-' && text_[i_ + 2] == '>') {
+          i_ += 3;
+          out.push_back({Tok::kIff, {}, 0, pos});
+          continue;
+        }
+        fail(pos, "expected '<->'");
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::uint64_t value = 0;
+        while (i_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[i_])) != 0) {
+          value = value * 10 + static_cast<std::uint64_t>(text_[i_] - '0');
+          if (value > 0xffffffffULL) fail(pos, "index value out of range");
+          ++i_;
+        }
+        out.push_back({Tok::kNumber, {}, static_cast<std::uint32_t>(value), pos});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        std::size_t start = i_;
+        while (i_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i_])) != 0 ||
+                text_[i_] == '_')) {
+          ++i_;
+        }
+        const std::string word(text_.substr(start, i_ - start));
+        // Words built solely from the unary path operators split into an
+        // operator sequence, so the paper's compact AG / AF / EF / EG
+        // notation parses (these letters are reserved; see header).
+        if (word.size() > 1 &&
+            word.find_first_not_of("AEFGX") == std::string::npos) {
+          for (std::size_t k = 0; k < word.size(); ++k)
+            out.push_back({keyword_or_ident(std::string(1, word[k])),
+                           std::string(1, word[k]), 0, pos + k});
+          continue;
+        }
+        out.push_back({keyword_or_ident(word), word, 0, pos});
+        continue;
+      }
+      fail(pos, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+ private:
+  static Tok keyword_or_ident(const std::string& word) {
+    if (word == "true") return Tok::kTrue;
+    if (word == "false") return Tok::kFalse;
+    if (word == "one") return Tok::kOne;
+    if (word == "forall") return Tok::kForall;
+    if (word == "exists") return Tok::kExists;
+    if (word == "E") return Tok::kE;
+    if (word == "A") return Tok::kA;
+    if (word == "U") return Tok::kU;
+    if (word == "R") return Tok::kR;
+    if (word == "F") return Tok::kF;
+    if (word == "G") return Tok::kG;
+    if (word == "X") return Tok::kX;
+    return Tok::kIdent;
+  }
+
+  void skip_space() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_])) != 0)
+      ++i_;
+  }
+
+  [[noreturn]] static void fail(std::size_t pos, const std::string& msg) {
+    throw LogicError("parse error at offset " + std::to_string(pos) + ": " + msg);
+  }
+
+  std::string_view text_;
+  std::size_t i_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, ParseOptions options)
+      : tokens_(std::move(tokens)), options_(options) {}
+
+  FormulaPtr run() {
+    FormulaPtr f = parse_formula();
+    expect(Tok::kEnd, "end of input");
+    return f;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  void expect(Tok tok, const char* what) {
+    if (peek().tok != tok)
+      fail(peek().pos, std::string("expected ") + what);
+    ++pos_;
+  }
+
+  [[noreturn]] static void fail(std::size_t pos, const std::string& msg) {
+    throw LogicError("parse error at offset " + std::to_string(pos) + ": " + msg);
+  }
+
+  FormulaPtr parse_formula() {
+    if (peek().tok == Tok::kForall || peek().tok == Tok::kExists) {
+      const bool is_forall = peek().tok == Tok::kForall;
+      ++pos_;
+      const Token var = next();
+      if (var.tok != Tok::kIdent) fail(var.pos, "expected index variable name");
+      expect(Tok::kDot, "'.' after index variable");
+      FormulaPtr body = parse_formula();
+      return is_forall ? forall_index(var.text, std::move(body))
+                       : exists_index(var.text, std::move(body));
+    }
+    return parse_iff();
+  }
+
+  FormulaPtr parse_iff() {
+    FormulaPtr lhs = parse_implies();
+    while (peek().tok == Tok::kIff) {
+      ++pos_;
+      lhs = make_iff(std::move(lhs), parse_implies());
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_implies() {
+    FormulaPtr lhs = parse_or();
+    if (peek().tok == Tok::kImplies) {
+      ++pos_;
+      return make_implies(std::move(lhs), parse_implies());
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_or() {
+    FormulaPtr lhs = parse_and();
+    while (peek().tok == Tok::kOr) {
+      ++pos_;
+      lhs = make_or(std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_and() {
+    FormulaPtr lhs = parse_until();
+    while (peek().tok == Tok::kAnd) {
+      ++pos_;
+      lhs = make_and(std::move(lhs), parse_until());
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_until() {
+    FormulaPtr lhs = parse_unary();
+    if (peek().tok == Tok::kU) {
+      ++pos_;
+      return make_until(std::move(lhs), parse_until());
+    }
+    if (peek().tok == Tok::kR) {
+      ++pos_;
+      return make_release(std::move(lhs), parse_until());
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_unary() {
+    switch (peek().tok) {
+      case Tok::kNot:
+        ++pos_;
+        return make_not(parse_unary());
+      case Tok::kE:
+        ++pos_;
+        return make_E(parse_unary());
+      case Tok::kA:
+        ++pos_;
+        return make_A(parse_unary());
+      case Tok::kF:
+        ++pos_;
+        return make_eventually(parse_unary());
+      case Tok::kG:
+        ++pos_;
+        return make_always(parse_unary());
+      case Tok::kX: {
+        const std::size_t at = peek().pos;
+        if (!options_.allow_nexttime)
+          fail(at,
+               "the nexttime operator X is not part of the logic: the paper "
+               "omits it because it can count the number of processes "
+               "(Section 2)");
+        ++pos_;
+        return make_next(parse_unary());
+      }
+      default:
+        return parse_primary();
+    }
+  }
+
+  FormulaPtr parse_primary() {
+    const Token tok = next();
+    switch (tok.tok) {
+      case Tok::kTrue:
+        return f_true();
+      case Tok::kFalse:
+        return f_false();
+      case Tok::kOne: {
+        const Token base = next();
+        if (base.tok != Tok::kIdent)
+          fail(base.pos, "expected proposition name after 'one'");
+        return exactly_one(base.text);
+      }
+      case Tok::kIdent: {
+        if (peek().tok == Tok::kLBracket) {
+          ++pos_;  // '['
+          const Token idx = next();
+          FormulaPtr result;
+          if (idx.tok == Tok::kIdent)
+            result = iatom(tok.text, idx.text);
+          else if (idx.tok == Tok::kNumber)
+            result = iatom_val(tok.text, idx.number);
+          else
+            fail(idx.pos, "expected index variable or value");
+          expect(Tok::kRBracket, "']' after index");
+          return result;
+        }
+        return atom(tok.text);
+      }
+      case Tok::kLParen: {
+        FormulaPtr f = parse_formula();
+        expect(Tok::kRParen, "')'");
+        return f;
+      }
+      case Tok::kLBracket: {
+        FormulaPtr f = parse_formula();
+        expect(Tok::kRBracket, "']'");
+        return f;
+      }
+      default:
+        fail(tok.pos, "expected a formula");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  ParseOptions options_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FormulaPtr parse_formula(std::string_view text, ParseOptions options) {
+  Lexer lexer(text);
+  Parser parser(lexer.run(), options);
+  return parser.run();
+}
+
+}  // namespace ictl::logic

@@ -1,0 +1,41 @@
+// Parser for the concrete formula syntax.
+//
+// Grammar (loosest to tightest binding):
+//
+//   formula  := ("forall"|"exists") IDENT "." formula | iff
+//   iff      := implies ("<->" implies)*
+//   implies  := or ("->" implies)?                        (right-assoc)
+//   or       := and ("|" and)*
+//   and      := until ("&" until)*
+//   until    := unary (("U"|"R") until)?                  (right-assoc)
+//   unary    := ("!"|"E"|"A"|"F"|"G"|"X") unary | primary
+//   primary  := "true" | "false" | "one" IDENT
+//             | IDENT | IDENT "[" (IDENT|NUMBER) "]"
+//             | "(" formula ")" | "[" formula "]"
+//
+// "[" ... "]" doubles as grouping so the paper's A[d U t] notation parses,
+// and words built solely from the letters A, E, F, G, X split into unary
+// operator sequences (AG, AF, EF, EG, ...).  The single letters E, A, U, R,
+// F, G, X and the words true, false, one, forall, exists are reserved;
+// atomic propositions must use other names.
+//
+// The nexttime operator X is rejected with an explanatory error unless
+// ParseOptions::allow_nexttime is set: the paper's logic omits X because it
+// can count the number of processes (Section 2).
+#pragma once
+
+#include <string_view>
+
+#include "logic/formula.hpp"
+
+namespace ictl::logic {
+
+struct ParseOptions {
+  /// Accept the X operator (internal NEXTTIME experiment only).
+  bool allow_nexttime = false;
+};
+
+/// Parses `text`; throws LogicError with position information on failure.
+[[nodiscard]] FormulaPtr parse_formula(std::string_view text, ParseOptions options = {});
+
+}  // namespace ictl::logic

@@ -1,0 +1,126 @@
+#include "logic/printer.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ictl::logic {
+namespace {
+
+// Binding strengths, loosest to tightest.  Quantifier bodies extend as far
+// right as possible, so quantifiers print at the loosest level.
+enum Prec : int {
+  kPrecQuant = 0,
+  kPrecIff = 1,
+  kPrecImplies = 2,
+  kPrecOr = 3,
+  kPrecAnd = 4,
+  kPrecUntil = 5,
+  kPrecUnary = 6,
+  kPrecAtomic = 7,
+};
+
+void print(std::ostringstream& os, const FormulaPtr& f, int min_prec);
+
+void print_binary(std::ostringstream& os, const FormulaPtr& f, const char* op,
+                  int prec, int min_prec, bool right_assoc) {
+  const bool parens = prec < min_prec;
+  if (parens) os << "(";
+  // For a right-associative operator, the left operand needs one level more.
+  print(os, f->lhs(), right_assoc ? prec + 1 : prec);
+  os << " " << op << " ";
+  print(os, f->rhs(), right_assoc ? prec : prec + 1);
+  if (parens) os << ")";
+}
+
+void print_unary(std::ostringstream& os, const FormulaPtr& f, const char* op,
+                 int min_prec) {
+  const bool parens = kPrecUnary < min_prec;
+  if (parens) os << "(";
+  os << op;
+  print(os, f->lhs(), kPrecUnary);
+  if (parens) os << ")";
+}
+
+void print(std::ostringstream& os, const FormulaPtr& f, int min_prec) {
+  ICTL_ASSERT(f != nullptr);
+  switch (f->kind()) {
+    case Kind::kTrue:
+      os << "true";
+      return;
+    case Kind::kFalse:
+      os << "false";
+      return;
+    case Kind::kAtom:
+      os << f->name();
+      return;
+    case Kind::kIndexedAtom:
+      os << f->name() << "[";
+      if (f->index_value().has_value())
+        os << *f->index_value();
+      else
+        os << f->index_var();
+      os << "]";
+      return;
+    case Kind::kExactlyOne:
+      os << "one " << f->name();
+      return;
+    case Kind::kNot:
+      print_unary(os, f, "!", min_prec);
+      return;
+    case Kind::kAnd:
+      print_binary(os, f, "&", kPrecAnd, min_prec, false);
+      return;
+    case Kind::kOr:
+      print_binary(os, f, "|", kPrecOr, min_prec, false);
+      return;
+    case Kind::kImplies:
+      print_binary(os, f, "->", kPrecImplies, min_prec, true);
+      return;
+    case Kind::kIff:
+      print_binary(os, f, "<->", kPrecIff, min_prec, false);
+      return;
+    case Kind::kExistsPath:
+      print_unary(os, f, "E ", min_prec);
+      return;
+    case Kind::kForallPath:
+      print_unary(os, f, "A ", min_prec);
+      return;
+    case Kind::kUntil:
+      print_binary(os, f, "U", kPrecUntil, min_prec, true);
+      return;
+    case Kind::kRelease:
+      print_binary(os, f, "R", kPrecUntil, min_prec, true);
+      return;
+    case Kind::kEventually:
+      print_unary(os, f, "F ", min_prec);
+      return;
+    case Kind::kAlways:
+      print_unary(os, f, "G ", min_prec);
+      return;
+    case Kind::kNext:
+      print_unary(os, f, "X ", min_prec);
+      return;
+    case Kind::kForallIndex:
+    case Kind::kExistsIndex: {
+      const bool parens = kPrecQuant < min_prec;
+      if (parens) os << "(";
+      os << (f->kind() == Kind::kForallIndex ? "forall " : "exists ") << f->name()
+         << ". ";
+      print(os, f->lhs(), kPrecQuant);
+      if (parens) os << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const FormulaPtr& f) {
+  support::require<LogicError>(f != nullptr, "to_string: null formula");
+  std::ostringstream os;
+  print(os, f, kPrecQuant);
+  return os.str();
+}
+
+}  // namespace ictl::logic

@@ -1,0 +1,14 @@
+// Pretty-printing of formulas in the concrete syntax accepted by the parser.
+#pragma once
+
+#include <string>
+
+#include "logic/formula.hpp"
+
+namespace ictl::logic {
+
+/// Renders `f` with minimal parentheses; `parse_formula(to_string(f))` yields
+/// a structurally identical formula.
+[[nodiscard]] std::string to_string(const FormulaPtr& f);
+
+}  // namespace ictl::logic

@@ -1,0 +1,181 @@
+#include "logic/rewrite.hpp"
+
+#include "support/error.hpp"
+
+namespace ictl::logic {
+
+FormulaPtr bind_index(const FormulaPtr& f, const std::string& var,
+                      std::uint32_t value) {
+  support::require<LogicError>(f != nullptr, "bind_index: null formula");
+  switch (f->kind()) {
+    case Kind::kIndexedAtom:
+      if (f->index_var() == var) return iatom_val(f->name(), value);
+      return f;
+    case Kind::kForallIndex:
+    case Kind::kExistsIndex: {
+      if (f->name() == var) return f;  // shadowed
+      FormulaPtr body = bind_index(f->lhs(), var, value);
+      if (body == f->lhs()) return f;
+      return f->kind() == Kind::kForallIndex ? forall_index(f->name(), body)
+                                             : exists_index(f->name(), body);
+    }
+    default: {
+      if (f->lhs() == nullptr) return f;
+      FormulaPtr lhs = bind_index(f->lhs(), var, value);
+      FormulaPtr rhs = f->rhs() != nullptr ? bind_index(f->rhs(), var, value) : nullptr;
+      if (lhs == f->lhs() && rhs == f->rhs()) return f;
+      switch (f->kind()) {
+        case Kind::kNot: return make_not(lhs);
+        case Kind::kAnd: return make_and(lhs, rhs);
+        case Kind::kOr: return make_or(lhs, rhs);
+        case Kind::kImplies: return make_implies(lhs, rhs);
+        case Kind::kIff: return make_iff(lhs, rhs);
+        case Kind::kExistsPath: return make_E(lhs);
+        case Kind::kForallPath: return make_A(lhs);
+        case Kind::kUntil: return make_until(lhs, rhs);
+        case Kind::kRelease: return make_release(lhs, rhs);
+        case Kind::kEventually: return make_eventually(lhs);
+        case Kind::kAlways: return make_always(lhs);
+        case Kind::kNext: return make_next(lhs);
+        default: ICTL_ASSERT(false); return f;
+      }
+    }
+  }
+}
+
+FormulaPtr desugar(const FormulaPtr& f) {
+  support::require<LogicError>(f != nullptr, "desugar: null formula");
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+    case Kind::kIndexedAtom:
+    case Kind::kExactlyOne:
+      return f;
+    case Kind::kNot:
+      return make_not(desugar(f->lhs()));
+    case Kind::kAnd:
+      return make_and(desugar(f->lhs()), desugar(f->rhs()));
+    case Kind::kOr:
+      return make_or(desugar(f->lhs()), desugar(f->rhs()));
+    case Kind::kImplies:
+      return make_or(make_not(desugar(f->lhs())), desugar(f->rhs()));
+    case Kind::kIff: {
+      const FormulaPtr a = desugar(f->lhs());
+      const FormulaPtr b = desugar(f->rhs());
+      return make_or(make_and(a, b), make_and(make_not(a), make_not(b)));
+    }
+    case Kind::kExistsPath:
+      return make_E(desugar(f->lhs()));
+    case Kind::kForallPath:
+      return make_A(desugar(f->lhs()));
+    case Kind::kUntil:
+      return make_until(desugar(f->lhs()), desugar(f->rhs()));
+    case Kind::kRelease:
+      return make_release(desugar(f->lhs()), desugar(f->rhs()));
+    case Kind::kEventually:
+      return make_until(f_true(), desugar(f->lhs()));
+    case Kind::kAlways:
+      return make_release(f_false(), desugar(f->lhs()));
+    case Kind::kNext:
+      return make_next(desugar(f->lhs()));
+    case Kind::kForallIndex:
+      return forall_index(f->name(), desugar(f->lhs()));
+    case Kind::kExistsIndex:
+      return exists_index(f->name(), desugar(f->lhs()));
+  }
+  ICTL_ASSERT(false);
+  return f;
+}
+
+namespace {
+
+FormulaPtr nnf_pos(const FormulaPtr& f);
+FormulaPtr nnf_neg(const FormulaPtr& f);
+
+FormulaPtr nnf_pos(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+    case Kind::kIndexedAtom:
+    case Kind::kExactlyOne:
+      return f;
+    case Kind::kNot:
+      return nnf_neg(f->lhs());
+    case Kind::kAnd:
+      return make_and(nnf_pos(f->lhs()), nnf_pos(f->rhs()));
+    case Kind::kOr:
+      return make_or(nnf_pos(f->lhs()), nnf_pos(f->rhs()));
+    case Kind::kExistsPath:
+      return make_E(nnf_pos(f->lhs()));
+    case Kind::kForallPath:
+      return make_A(nnf_pos(f->lhs()));
+    case Kind::kUntil:
+      return make_until(nnf_pos(f->lhs()), nnf_pos(f->rhs()));
+    case Kind::kRelease:
+      return make_release(nnf_pos(f->lhs()), nnf_pos(f->rhs()));
+    case Kind::kNext:
+      return make_next(nnf_pos(f->lhs()));
+    case Kind::kForallIndex:
+      return forall_index(f->name(), nnf_pos(f->lhs()));
+    case Kind::kExistsIndex:
+      return exists_index(f->name(), nnf_pos(f->lhs()));
+    case Kind::kImplies:
+    case Kind::kIff:
+    case Kind::kEventually:
+    case Kind::kAlways:
+      throw LogicError("to_nnf: formula must be desugared first");
+  }
+  ICTL_ASSERT(false);
+  return f;
+}
+
+FormulaPtr nnf_neg(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case Kind::kTrue:
+      return f_false();
+    case Kind::kFalse:
+      return f_true();
+    case Kind::kAtom:
+    case Kind::kIndexedAtom:
+    case Kind::kExactlyOne:
+      return make_not(f);
+    case Kind::kNot:
+      return nnf_pos(f->lhs());
+    case Kind::kAnd:
+      return make_or(nnf_neg(f->lhs()), nnf_neg(f->rhs()));
+    case Kind::kOr:
+      return make_and(nnf_neg(f->lhs()), nnf_neg(f->rhs()));
+    case Kind::kExistsPath:
+      return make_A(nnf_neg(f->lhs()));
+    case Kind::kForallPath:
+      return make_E(nnf_neg(f->lhs()));
+    case Kind::kUntil:
+      return make_release(nnf_neg(f->lhs()), nnf_neg(f->rhs()));
+    case Kind::kRelease:
+      return make_until(nnf_neg(f->lhs()), nnf_neg(f->rhs()));
+    case Kind::kNext:
+      return make_next(nnf_neg(f->lhs()));
+    case Kind::kForallIndex:
+      return exists_index(f->name(), nnf_neg(f->lhs()));
+    case Kind::kExistsIndex:
+      return forall_index(f->name(), nnf_neg(f->lhs()));
+    case Kind::kImplies:
+    case Kind::kIff:
+    case Kind::kEventually:
+    case Kind::kAlways:
+      throw LogicError("to_nnf: formula must be desugared first");
+  }
+  ICTL_ASSERT(false);
+  return f;
+}
+
+}  // namespace
+
+FormulaPtr to_nnf(const FormulaPtr& f) {
+  support::require<LogicError>(f != nullptr, "to_nnf: null formula");
+  return nnf_pos(f);
+}
+
+}  // namespace ictl::logic

@@ -1,0 +1,24 @@
+// Formula rewriting: index binding (quantifier expansion), desugaring of
+// derived operators, and negation normal form for the tableau construction.
+#pragma once
+
+#include "logic/formula.hpp"
+
+namespace ictl::logic {
+
+/// Substitutes the concrete index `value` for every free occurrence of the
+/// index variable `var` (used to expand \/i f(i) over a concrete index set).
+[[nodiscard]] FormulaPtr bind_index(const FormulaPtr& f, const std::string& var,
+                                    std::uint32_t value);
+
+/// Eliminates ->, <->, F and G in favor of !, &, |, U and R.
+/// F g  =>  true U g        G g  =>  false R g
+[[nodiscard]] FormulaPtr desugar(const FormulaPtr& f);
+
+/// Negation normal form for desugared formulas: negations are pushed down to
+/// atoms, E/A path quantifiers and index quantifiers.  Duality used:
+/// !(a U b) = !a R !b, !(a R b) = !a U !b, !X a = X !a, !E g = A !g,
+/// !\/i f = /\i !f.
+[[nodiscard]] FormulaPtr to_nnf(const FormulaPtr& f);
+
+}  // namespace ictl::logic

@@ -1,0 +1,202 @@
+#include "mc/ctl_checker.hpp"
+
+#include "logic/classify.hpp"
+#include "logic/printer.hpp"
+#include "logic/rewrite.hpp"
+#include "mc/leaf_sat.hpp"
+#include "support/error.hpp"
+
+namespace ictl::mc {
+
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::Kind;
+
+CtlChecker::CtlChecker(const kripke::Structure& m, CtlCheckerOptions options)
+    : m_(m), options_(options) {
+  support::require<ModelError>(m.is_total(),
+                               "CtlChecker: transition relation must be total");
+}
+
+const SatSet& CtlChecker::sat(const FormulaPtr& f) {
+  support::require<LogicError>(f != nullptr, "CtlChecker::sat: null formula");
+  if (auto it = memo_.find(f.get()); it != memo_.end()) return it->second;
+  support::require<LogicError>(
+      logic::is_ctl(f), "CtlChecker: formula outside the CTL fragment: " +
+                            logic::to_string(f) + " (use the CTL* checker)");
+  SatSet result = compute(f);
+  retained_.push_back(f);
+  return memo_.emplace(f.get(), std::move(result)).first->second;
+}
+
+bool CtlChecker::holds_initially(const FormulaPtr& f) {
+  return sat(f).test(m_.initial());
+}
+
+SatSet CtlChecker::compute(const FormulaPtr& f) {
+  const std::size_t n = m_.num_states();
+  switch (f->kind()) {
+    case Kind::kTrue: {
+      SatSet s(n);
+      s.set_all();
+      return s;
+    }
+    case Kind::kFalse:
+      return SatSet(n);
+    case Kind::kAtom:
+    case Kind::kIndexedAtom:
+    case Kind::kExactlyOne:
+      return sat_leaf(f);
+    case Kind::kNot: {
+      SatSet s = sat(f->lhs());
+      s.flip();
+      return s;
+    }
+    case Kind::kAnd:
+      return sat(f->lhs()) & sat(f->rhs());
+    case Kind::kOr:
+      return sat(f->lhs()) | sat(f->rhs());
+    case Kind::kImplies: {
+      SatSet s = sat(f->lhs());
+      s.flip();
+      s |= sat(f->rhs());
+      return s;
+    }
+    case Kind::kIff: {
+      SatSet s = sat(f->lhs());
+      s ^= sat(f->rhs());
+      s.flip();
+      return s;
+    }
+    case Kind::kExistsPath:
+    case Kind::kForallPath:
+      return sat_path_quantified(f);
+    case Kind::kForallIndex:
+    case Kind::kExistsIndex: {
+      const auto indices = m_.index_set();
+      support::require<LogicError>(
+          !indices.empty(),
+          "CtlChecker: structure has an empty index set but the formula "
+          "quantifies over indices: " +
+              logic::to_string(f));
+      SatSet acc(n);
+      if (f->kind() == Kind::kForallIndex) acc.set_all();
+      for (const std::uint32_t i : indices) {
+        const FormulaPtr inst = logic::bind_index(f->lhs(), f->name(), i);
+        if (f->kind() == Kind::kForallIndex)
+          acc &= sat(inst);
+        else
+          acc |= sat(inst);
+      }
+      return acc;
+    }
+    default:
+      throw LogicError("CtlChecker: not a state formula: " + logic::to_string(f));
+  }
+}
+
+SatSet CtlChecker::sat_leaf(const FormulaPtr& f) {
+  return leaf_sat_set(m_, f, options_.unknown_atoms_are_false);
+}
+
+SatSet CtlChecker::sat_path_quantified(const FormulaPtr& f) {
+  const std::size_t n = m_.num_states();
+  const bool exists = f->kind() == Kind::kExistsPath;
+  const FormulaPtr& g = f->lhs();
+
+  auto complement = [&](SatSet s) {
+    s.flip();
+    return s;
+  };
+  auto top = [&] {
+    SatSet s(n);
+    s.set_all();
+    return s;
+  };
+
+  switch (g->kind()) {
+    case Kind::kEventually: {
+      const SatSet target = sat(g->lhs());
+      if (exists) return eu(top(), target);          // EF f = E[true U f]
+      return complement(eg(complement(target)));     // AF f = !EG !f
+    }
+    case Kind::kAlways: {
+      const SatSet body = sat(g->lhs());
+      if (exists) return eg(body);                          // EG f
+      return complement(eu(top(), complement(body)));       // AG f = !EF !f
+    }
+    case Kind::kUntil: {
+      const SatSet a = sat(g->lhs());
+      const SatSet b = sat(g->rhs());
+      if (exists) return eu(a, b);
+      // A[a U b] = !( E[!b U (!a & !b)] | EG !b )
+      SatSet na = a;
+      na.flip();
+      SatSet nb = b;
+      nb.flip();
+      SatSet bad = eu(nb, na & nb);
+      bad |= eg(nb);
+      return complement(std::move(bad));
+    }
+    case Kind::kRelease: {
+      const SatSet a = sat(g->lhs());
+      const SatSet b = sat(g->rhs());
+      if (exists) {
+        // E[a R b] = EG b | E[b U (a & b)]
+        SatSet res = eg(b);
+        res |= eu(b, a & b);
+        return res;
+      }
+      // A[a R b] = !E[!a U !b]
+      SatSet na = a;
+      na.flip();
+      SatSet nb = b;
+      nb.flip();
+      return complement(eu(std::move(na), std::move(nb)));
+    }
+    default:
+      throw LogicError(
+          "CtlChecker: path quantifier not applied to F/G/U/R (outside CTL): " +
+          logic::to_string(f));
+  }
+}
+
+SatSet CtlChecker::ex(const SatSet& f) const {
+  SatSet s(m_.num_states());
+  f.for_each([&](std::size_t t) {
+    for (const kripke::StateId p : m_.predecessors(static_cast<kripke::StateId>(t)))
+      s.set(p);
+  });
+  return s;
+}
+
+SatSet CtlChecker::eu(const SatSet& f, const SatSet& g) const {
+  // Backward reachability from g through f-states.
+  SatSet result = g;
+  std::vector<kripke::StateId> stack;
+  g.for_each([&](std::size_t s) { stack.push_back(static_cast<kripke::StateId>(s)); });
+  while (!stack.empty()) {
+    const kripke::StateId s = stack.back();
+    stack.pop_back();
+    for (const kripke::StateId p : m_.predecessors(s)) {
+      if (!result.test(p) && f.test(p)) {
+        result.set(p);
+        stack.push_back(p);
+      }
+    }
+  }
+  return result;
+}
+
+SatSet CtlChecker::eg(const SatSet& f) const {
+  // Greatest fixpoint: X := f; X := f & EX X until stable.
+  SatSet x = f;
+  while (true) {
+    SatSet next = ex(x);
+    next &= f;
+    if (next == x) return x;
+    x = std::move(next);
+  }
+}
+
+}  // namespace ictl::mc

@@ -1,0 +1,62 @@
+// CTL model checking by state labeling (Clarke, Emerson & Sistla 1986) —
+// the algorithm the paper applies to the two-process mutual exclusion
+// structure in Section 5.
+//
+// Works on the CTL fragment (see logic::is_ctl): booleans and index
+// quantifiers over state formulas with path quantifiers applied directly to
+// F/G/U/R.  Primitive satisfying-set computations: EX by predecessor lookup,
+// E[f U g] by backward reachability, EG f by greatest-fixpoint iteration;
+// every other connective reduces to these through the standard dualities.
+// Linear-time in |S| + |R| per formula node.
+#pragma once
+
+#include <unordered_map>
+
+#include "kripke/structure.hpp"
+#include "logic/formula.hpp"
+#include "support/bitset.hpp"
+
+namespace ictl::mc {
+
+using SatSet = support::DynamicBitset;
+
+struct CtlCheckerOptions {
+  /// When false, an atom not present in the registry raises LogicError;
+  /// when true it is treated as false in every state.
+  bool unknown_atoms_are_false = false;
+};
+
+class CtlChecker {
+ public:
+  explicit CtlChecker(const kripke::Structure& m, CtlCheckerOptions options = {});
+
+  /// Satisfying set of a CTL state formula.  Index quantifiers are expanded
+  /// over the structure's index set; `one P` is evaluated from the labels.
+  /// Throws LogicError when `f` is outside the CTL fragment or has free
+  /// index variables.
+  [[nodiscard]] const SatSet& sat(const logic::FormulaPtr& f);
+
+  /// True when the initial state satisfies `f`.
+  [[nodiscard]] bool holds_initially(const logic::FormulaPtr& f);
+
+  [[nodiscard]] const kripke::Structure& structure() const noexcept { return m_; }
+
+ private:
+  SatSet compute(const logic::FormulaPtr& f);
+  SatSet sat_leaf(const logic::FormulaPtr& f);
+  SatSet sat_path_quantified(const logic::FormulaPtr& f);  // f = E(g) or A(g)
+
+  // Primitives.
+  [[nodiscard]] SatSet ex(const SatSet& f) const;                    // EX f
+  [[nodiscard]] SatSet eu(const SatSet& f, const SatSet& g) const;   // E[f U g]
+  [[nodiscard]] SatSet eg(const SatSet& f) const;                    // EG f
+
+  const kripke::Structure& m_;
+  CtlCheckerOptions options_;
+  std::unordered_map<const logic::Formula*, SatSet> memo_;
+  // Memo keys are raw pointers into the hash-consing table; retaining the
+  // formulas pins their addresses so keys can never be reused.
+  std::vector<logic::FormulaPtr> retained_;
+};
+
+}  // namespace ictl::mc

@@ -1,0 +1,22 @@
+#include "mc/indexed_checker.hpp"
+
+namespace ictl::mc {
+
+IndexedCheckResult check_indexed(const kripke::Structure& m,
+                                 const logic::FormulaPtr& f, CheckerOptions options) {
+  IndexedCheckResult result;
+  result.restrictions = logic::check_ictl_restrictions(f);
+  Checker checker(m, options);
+  const SatSet& sat = checker.sat(f);
+  result.holds = sat.test(m.initial());
+  result.satisfying_states = sat.count();
+  return result;
+}
+
+bool holds(const kripke::Structure& m, const logic::FormulaPtr& f,
+           CheckerOptions options) {
+  Checker checker(m, options);
+  return checker.holds_initially(f);
+}
+
+}  // namespace ictl::mc

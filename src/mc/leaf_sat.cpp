@@ -1,0 +1,69 @@
+#include "mc/leaf_sat.hpp"
+
+#include "logic/printer.hpp"
+#include "support/error.hpp"
+
+namespace ictl::mc {
+
+using logic::FormulaPtr;
+using logic::Kind;
+using support::DynamicBitset;
+
+DynamicBitset leaf_sat_set(const kripke::Structure& m, const FormulaPtr& f,
+                           bool unknown_atoms_are_false) {
+  support::require<LogicError>(f != nullptr, "leaf_sat_set: null formula");
+  const std::size_t n = m.num_states();
+  const kripke::PropRegistry& reg = *m.registry();
+  DynamicBitset s(n);
+
+  switch (f->kind()) {
+    case Kind::kTrue:
+      s.set_all();
+      return s;
+    case Kind::kFalse:
+      return s;
+    case Kind::kExactlyOne: {
+      if (auto theta = reg.find_theta(f->name())) {
+        for (kripke::StateId st = 0; st < n; ++st)
+          if (m.has_prop(st, *theta)) s.set(st);
+        return s;
+      }
+      const auto members = reg.indexed_with_base(f->name());
+      for (kripke::StateId st = 0; st < n; ++st) {
+        std::size_t holders = 0;
+        for (const kripke::PropId p : members) holders += m.has_prop(st, p) ? 1 : 0;
+        if (holders == 1) s.set(st);
+      }
+      return s;
+    }
+    case Kind::kAtom:
+    case Kind::kIndexedAtom: {
+      std::optional<kripke::PropId> prop;
+      if (f->kind() == Kind::kAtom) {
+        prop = reg.find_plain(f->name());
+        // Over a reduction M|i the process's propositions are index-erased;
+        // let the bare name refer to them when no plain prop shadows it.
+        if (!prop.has_value()) prop = reg.find_indexed_base(f->name());
+      } else {
+        support::require<LogicError>(
+            f->index_value().has_value(),
+            "leaf_sat_set: indexed atom with unbound index variable '" +
+                f->index_var() + "': " + logic::to_string(f));
+        prop = reg.find_indexed(f->name(), *f->index_value());
+      }
+      if (!prop.has_value()) {
+        support::require<LogicError>(
+            unknown_atoms_are_false,
+            "leaf_sat_set: unknown atomic proposition: " + logic::to_string(f));
+        return s;
+      }
+      for (kripke::StateId st = 0; st < n; ++st)
+        if (m.has_prop(st, *prop)) s.set(st);
+      return s;
+    }
+    default:
+      throw LogicError("leaf_sat_set: not a literal leaf: " + logic::to_string(f));
+  }
+}
+
+}  // namespace ictl::mc

@@ -1,0 +1,27 @@
+// Satisfying sets of literal leaves (atoms, concrete indexed atoms, one(P)),
+// shared by the CTL and CTL* checkers.
+#pragma once
+
+#include "kripke/structure.hpp"
+#include "logic/formula.hpp"
+#include "support/bitset.hpp"
+
+namespace ictl::mc {
+
+/// Computes the set of states labeling the leaf formula `f`:
+///   * kAtom        — states with the plain proposition; when no plain
+///                    proposition of that name exists, the index-erased
+///                    proposition (A[.] of a reduction M|i) is used, so
+///                    "the process's A" is written simply `A` over reduced
+///                    structures,
+///   * kIndexedAtom — states with the concrete indexed proposition (the
+///                    index must be bound; throws otherwise),
+///   * kExactlyOne  — states where exactly one index value has P_c in L(s)
+///                    (uses a materialized theta label when present),
+///   * kTrue/kFalse — all / no states.
+/// Unknown propositions are an error unless `unknown_atoms_are_false`.
+[[nodiscard]] support::DynamicBitset leaf_sat_set(const kripke::Structure& m,
+                                                  const logic::FormulaPtr& f,
+                                                  bool unknown_atoms_are_false);
+
+}  // namespace ictl::mc

@@ -1,0 +1,220 @@
+#include "mc/ltl_tableau.hpp"
+
+#include <map>
+#include <set>
+
+#include "logic/classify.hpp"
+#include "logic/printer.hpp"
+#include "support/error.hpp"
+
+namespace ictl::mc {
+namespace {
+
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::Kind;
+
+using FormulaSet = std::set<FormulaPtr>;  // ordered by pointer: stable within a run
+
+bool is_literal_base(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+    case Kind::kIndexedAtom:
+    case Kind::kExactlyOne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_literal(const FormulaPtr& f) {
+  if (is_literal_base(f)) return true;
+  return f->kind() == Kind::kNot && is_literal_base(f->lhs());
+}
+
+/// The negation of a literal, in NNF form.
+FormulaPtr negate_literal(const FormulaPtr& f) {
+  ICTL_ASSERT(is_literal(f));
+  if (f->kind() == Kind::kNot) return f->lhs();
+  if (f->kind() == Kind::kTrue) return logic::f_false();
+  if (f->kind() == Kind::kFalse) return logic::f_true();
+  return logic::make_not(f);
+}
+
+constexpr std::uint32_t kInitMarker = static_cast<std::uint32_t>(-1);
+
+struct TableauNode {
+  std::uint32_t name;
+  std::set<std::uint32_t> incoming;
+  FormulaSet new_obligations;
+  FormulaSet old;
+  FormulaSet next;
+};
+
+class Builder {
+ public:
+  explicit Builder(const FormulaPtr& path) : root_(path) { collect_untils(path); }
+
+  Gba run() {
+    TableauNode init;
+    init.name = fresh_name();
+    init.incoming.insert(kInitMarker);
+    init.new_obligations.insert(root_);
+    expand(std::move(init));
+    return finish();
+  }
+
+ private:
+  void collect_untils(const FormulaPtr& f) {
+    if (f == nullptr) return;
+    if (f->kind() == Kind::kUntil) untils_.insert(f);
+    collect_untils(f->lhs());
+    collect_untils(f->rhs());
+  }
+
+  std::uint32_t fresh_name() { return next_name_++; }
+
+  void expand(TableauNode node) {
+    ++nodes_built_;
+    if (node.new_obligations.empty()) {
+      // Fully expanded: merge with an existing graph node or store.
+      for (auto& stored : stored_) {
+        if (stored.old == node.old && stored.next == node.next) {
+          stored.incoming.insert(node.incoming.begin(), node.incoming.end());
+          return;
+        }
+      }
+      stored_.push_back(node);
+      TableauNode succ;
+      succ.name = fresh_name();
+      succ.incoming.insert(node.name);
+      succ.new_obligations = node.next;
+      expand(std::move(succ));
+      return;
+    }
+
+    const FormulaPtr f = *node.new_obligations.begin();
+    node.new_obligations.erase(node.new_obligations.begin());
+    if (node.old.count(f) > 0) {
+      expand(std::move(node));
+      return;
+    }
+
+    if (is_literal(f)) {
+      if (f->kind() == Kind::kFalse) return;  // contradiction: drop this node
+      if (node.old.count(negate_literal(f)) > 0) return;
+      // Note: `true` is stored too, so an until whose right side is `true`
+      // (e.g. desugared F) is recognized as fulfilled by the acceptance sets.
+      node.old.insert(f);
+      expand(std::move(node));
+      return;
+    }
+
+    switch (f->kind()) {
+      case Kind::kAnd: {
+        node.old.insert(f);
+        node.new_obligations.insert(f->lhs());
+        node.new_obligations.insert(f->rhs());
+        expand(std::move(node));
+        return;
+      }
+      case Kind::kNext: {
+        node.old.insert(f);
+        node.next.insert(f->lhs());
+        expand(std::move(node));
+        return;
+      }
+      case Kind::kOr:
+      case Kind::kUntil:
+      case Kind::kRelease: {
+        // Split into two nodes per the GPVW expansion rules.
+        TableauNode left = node;
+        left.name = fresh_name();
+        TableauNode right = std::move(node);
+        right.name = fresh_name();
+        left.old.insert(f);
+        right.old.insert(f);
+        if (f->kind() == Kind::kOr) {
+          left.new_obligations.insert(f->lhs());
+          right.new_obligations.insert(f->rhs());
+        } else if (f->kind() == Kind::kUntil) {
+          // a U b  =  b | (a & X(a U b))
+          left.new_obligations.insert(f->lhs());
+          left.next.insert(f);
+          right.new_obligations.insert(f->rhs());
+        } else {
+          // a R b  =  (a & b) | (b & X(a R b))
+          left.new_obligations.insert(f->rhs());
+          left.next.insert(f);
+          right.new_obligations.insert(f->lhs());
+          right.new_obligations.insert(f->rhs());
+        }
+        expand(std::move(left));
+        expand(std::move(right));
+        return;
+      }
+      default:
+        throw LogicError(
+            "build_gba: unexpected operator in NNF path formula (state "
+            "subformulas must be replaced by placeholders first): " +
+            logic::to_string(f));
+    }
+  }
+
+  Gba finish() {
+    Gba gba;
+    gba.tableau_nodes_built = nodes_built_;
+    std::map<std::uint32_t, std::uint32_t> name_to_id;
+    for (std::uint32_t i = 0; i < stored_.size(); ++i)
+      name_to_id[stored_[i].name] = i;
+
+    gba.nodes.resize(stored_.size());
+    for (std::uint32_t i = 0; i < stored_.size(); ++i) {
+      const TableauNode& t = stored_[i];
+      GbaNode& node = gba.nodes[i];
+      for (const FormulaPtr& f : t.old) {
+        if (!is_literal(f)) continue;
+        if (f->kind() == Kind::kNot)
+          node.neg.push_back(f->lhs());
+        else
+          node.pos.push_back(f);
+      }
+      for (const std::uint32_t inc : t.incoming) {
+        if (inc == kInitMarker) {
+          node.initial = true;
+        } else {
+          // Incoming names always refer to stored nodes (or the init marker).
+          ICTL_ASSERT(name_to_id.count(inc) > 0);
+          gba.nodes[name_to_id[inc]].successors.push_back(i);
+        }
+      }
+    }
+
+    for (const FormulaPtr& u : untils_) {
+      std::vector<std::uint32_t> accepting;
+      for (std::uint32_t i = 0; i < stored_.size(); ++i) {
+        const TableauNode& t = stored_[i];
+        if (t.old.count(u) == 0 || t.old.count(u->rhs()) > 0) accepting.push_back(i);
+      }
+      gba.accepting_sets.push_back(std::move(accepting));
+    }
+    return gba;
+  }
+
+  FormulaPtr root_;
+  FormulaSet untils_;
+  std::vector<TableauNode> stored_;
+  std::uint32_t next_name_ = 0;
+  std::size_t nodes_built_ = 0;
+};
+
+}  // namespace
+
+Gba build_gba(const logic::FormulaPtr& path) {
+  support::require<LogicError>(path != nullptr, "build_gba: null formula");
+  return Builder(path).run();
+}
+
+}  // namespace ictl::mc

@@ -1,0 +1,49 @@
+// Tableau construction translating an LTL path formula into a generalized
+// Büchi automaton (Gerth, Peled, Vardi & Wolper style "on-the-fly"
+// construction).  This is the engine behind the full CTL* checker: the paper
+// defines CTL* semantics (Section 2); deciding E(g) for arbitrary path
+// formulas g reduces to language non-emptiness of (structure x automaton).
+//
+// Input: a *desugared, negation-normal-form* path formula built from
+//   literals  (true/false, atoms, concrete indexed atoms, one(P), and
+//              negations of these)
+//   and the connectives  And, Or, Until, Release, Next.
+// State subformulas (E/A/index quantifiers) must already have been replaced
+// by placeholder atoms — see ctlstar_checker.
+//
+// Node labels constrain the Kripke state paired with the node; acceptance is
+// generalized (one set per Until subformula).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/formula.hpp"
+
+namespace ictl::mc {
+
+struct GbaNode {
+  /// Literals the paired Kripke state must satisfy / must not satisfy.
+  std::vector<logic::FormulaPtr> pos;
+  std::vector<logic::FormulaPtr> neg;
+  std::vector<std::uint32_t> successors;
+  bool initial = false;
+};
+
+struct Gba {
+  std::vector<GbaNode> nodes;
+  /// One entry per Until subformula of the input: the node ids where that
+  /// until is "fulfilled or not owed".  A run is accepting when it visits
+  /// each set infinitely often.
+  std::vector<std::vector<std::uint32_t>> accepting_sets;
+  /// Total tableau nodes created during construction (statistic; merged
+  /// duplicates included).
+  std::size_t tableau_nodes_built = 0;
+};
+
+/// Builds the generalized Büchi automaton for `path` (desugared NNF; see
+/// header comment).  Throws LogicError when `path` contains state-formula
+/// operators or derived connectives.
+[[nodiscard]] Gba build_gba(const logic::FormulaPtr& path);
+
+}  // namespace ictl::mc

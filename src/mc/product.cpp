@@ -1,0 +1,204 @@
+#include "mc/product.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ictl::mc {
+namespace {
+
+using kripke::StateId;
+using support::DynamicBitset;
+
+struct ProductGraph {
+  // Product node = (kripke state, gba node), interned densely.
+  std::vector<std::pair<StateId, std::uint32_t>> nodes;
+  std::vector<std::vector<std::uint32_t>> succ;
+  std::vector<std::uint32_t> roots;  // product nodes that are initial
+};
+
+}  // namespace
+
+DynamicBitset exists_fair_path(const kripke::Structure& m, const Gba& gba,
+                               const LeafResolver& resolve_leaf, ProductStats* stats) {
+  const std::size_t n = m.num_states();
+
+  // Compatibility set per GBA node: states satisfying all pos and no neg
+  // literals.
+  std::vector<DynamicBitset> compat;
+  compat.reserve(gba.nodes.size());
+  for (const GbaNode& node : gba.nodes) {
+    DynamicBitset c(n);
+    c.set_all();
+    for (const auto& lit : node.pos) c &= resolve_leaf(lit);
+    for (const auto& lit : node.neg) c.and_not(resolve_leaf(lit));
+    compat.push_back(std::move(c));
+  }
+
+  // Lazily explore the reachable product from every compatible initial pair.
+  ProductGraph g;
+  std::unordered_map<std::uint64_t, std::uint32_t> ids;
+  auto key = [n](StateId s, std::uint32_t q) {
+    return static_cast<std::uint64_t>(q) * n + s;
+  };
+  auto intern = [&](StateId s, std::uint32_t q) {
+    const auto [it, inserted] = ids.try_emplace(key(s, q),
+                                                static_cast<std::uint32_t>(g.nodes.size()));
+    if (inserted) {
+      g.nodes.emplace_back(s, q);
+      g.succ.emplace_back();
+    }
+    return it->second;
+  };
+
+  std::vector<std::uint32_t> worklist;
+  for (std::uint32_t q = 0; q < gba.nodes.size(); ++q) {
+    if (!gba.nodes[q].initial) continue;
+    compat[q].for_each([&](std::size_t s) {
+      const std::uint32_t id = intern(static_cast<StateId>(s), q);
+      g.roots.push_back(id);
+    });
+  }
+  for (std::uint32_t id = 0; id < g.nodes.size(); ++id) worklist.push_back(id);
+  while (!worklist.empty()) {
+    const std::uint32_t id = worklist.back();
+    worklist.pop_back();
+    const auto [s, q] = g.nodes[id];
+    for (const std::uint32_t r : gba.nodes[q].successors) {
+      for (const StateId t : m.successors(s)) {
+        if (!compat[r].test(t)) continue;
+        const std::size_t before = g.nodes.size();
+        const std::uint32_t target = intern(t, r);
+        if (g.nodes.size() > before) worklist.push_back(target);
+        g.succ[id].push_back(target);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->product_states = g.nodes.size();
+    stats->product_transitions = 0;
+    for (const auto& out : g.succ) stats->product_transitions += out.size();
+  }
+
+  // Tarjan SCC over the product graph (iterative).
+  const std::size_t pn = g.nodes.size();
+  constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> index(pn, kUnvisited), lowlink(pn, 0), comp(pn, kUnvisited);
+  std::vector<bool> on_stack(pn, false);
+  std::vector<std::uint32_t> scc_stack;
+  std::vector<std::vector<std::uint32_t>> components;
+  struct Frame {
+    std::uint32_t v;
+    std::size_t child;
+  };
+  std::vector<Frame> call;
+  std::uint32_t next_index = 0;
+  for (std::uint32_t root = 0; root < pn; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const std::uint32_t v = f.v;
+      if (f.child < g.succ[v].size()) {
+        const std::uint32_t w = g.succ[v][f.child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          std::vector<std::uint32_t> component;
+          std::uint32_t w;
+          do {
+            w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = static_cast<std::uint32_t>(components.size());
+            component.push_back(w);
+          } while (w != v);
+          components.push_back(std::move(component));
+        }
+        call.pop_back();
+        if (!call.empty()) {
+          lowlink[call.back().v] = std::min(lowlink[call.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  // A component is fair when it carries a cycle and intersects every
+  // acceptance set.
+  std::vector<bool> gba_node_accepting_in_set;
+  std::vector<bool> fair(components.size(), false);
+  {
+    // Precompute: for each acceptance set, a flag per GBA node.
+    std::vector<std::vector<bool>> in_set(gba.accepting_sets.size(),
+                                          std::vector<bool>(gba.nodes.size(), false));
+    for (std::size_t a = 0; a < gba.accepting_sets.size(); ++a)
+      for (const std::uint32_t q : gba.accepting_sets[a]) in_set[a][q] = true;
+
+    for (std::size_t c = 0; c < components.size(); ++c) {
+      const auto& component = components[c];
+      bool nontrivial = component.size() > 1;
+      if (!nontrivial) {
+        const std::uint32_t v = component.front();
+        nontrivial = std::find(g.succ[v].begin(), g.succ[v].end(), v) != g.succ[v].end();
+      }
+      if (!nontrivial) continue;
+      bool ok = true;
+      for (std::size_t a = 0; a < gba.accepting_sets.size() && ok; ++a) {
+        bool hit = false;
+        for (const std::uint32_t v : component)
+          if (in_set[a][g.nodes[v].second]) {
+            hit = true;
+            break;
+          }
+        ok = hit;
+      }
+      fair[c] = ok;
+    }
+  }
+  if (stats != nullptr)
+    stats->fair_sccs = static_cast<std::size_t>(
+        std::count(fair.begin(), fair.end(), true));
+
+  // Backward reachability from fair components.
+  std::vector<std::vector<std::uint32_t>> pred(pn);
+  for (std::uint32_t v = 0; v < pn; ++v)
+    for (const std::uint32_t w : g.succ[v]) pred[w].push_back(v);
+  std::vector<bool> can_reach_fair(pn, false);
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t v = 0; v < pn; ++v) {
+    if (comp[v] != kUnvisited && fair[comp[v]] && !can_reach_fair[v]) {
+      can_reach_fair[v] = true;
+      stack.push_back(v);
+    }
+  }
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    for (const std::uint32_t p : pred[v]) {
+      if (!can_reach_fair[p]) {
+        can_reach_fair[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+
+  DynamicBitset result(n);
+  for (const std::uint32_t root : g.roots)
+    if (can_reach_fair[root]) result.set(g.nodes[root].first);
+  return result;
+}
+
+}  // namespace ictl::mc

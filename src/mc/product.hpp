@@ -1,0 +1,37 @@
+// Product of a Kripke structure with a generalized Büchi automaton and
+// fair-cycle (language non-emptiness) analysis.
+//
+// For a path formula g, build_gba(g) accepts exactly the label sequences
+// satisfying g; a state s of M satisfies E(g) iff some product run from a
+// compatible initial automaton node paired with s reaches a fair strongly
+// connected component (one intersecting every acceptance set).
+#pragma once
+
+#include <functional>
+
+#include "kripke/structure.hpp"
+#include "mc/ltl_tableau.hpp"
+#include "support/bitset.hpp"
+
+namespace ictl::mc {
+
+/// Resolves a literal leaf (atom / concrete indexed atom / one(P) /
+/// placeholder) to its satisfying set over the structure's states.
+using LeafResolver =
+    std::function<const support::DynamicBitset&(const logic::FormulaPtr&)>;
+
+struct ProductStats {
+  std::size_t product_states = 0;
+  std::size_t product_transitions = 0;
+  std::size_t fair_sccs = 0;
+};
+
+/// Returns the set of Kripke states s with a fair product run, i.e. the
+/// satisfying set of E(g) for the path formula g that `gba` was built from.
+/// `stats`, when non-null, receives size information for benchmarks.
+[[nodiscard]] support::DynamicBitset exists_fair_path(const kripke::Structure& m,
+                                                      const Gba& gba,
+                                                      const LeafResolver& resolve_leaf,
+                                                      ProductStats* stats = nullptr);
+
+}  // namespace ictl::mc

@@ -1,0 +1,68 @@
+// Witness and counterexample generation.
+//
+// Model checkers that only answer yes/no are hard to trust and harder to
+// debug against; this module produces checkable evidence for the CTL
+// fragment:
+//   * E F f   — a finite path from the state to an f-state,
+//   * E G f   — a lasso (stem + cycle) staying in f forever,
+//   * E(f U g) — a finite path through f-states ending in a g-state,
+//   * A-formulas — a counterexample is a witness for the dual E-formula of
+//     the negation (AG f fails => an EF !f witness, AF f fails => an EG !f
+//     lasso, A(f U g) fails => a witness for one of the two dual E-shapes).
+// Every trace can be revalidated independently with validate_trace.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kripke/structure.hpp"
+#include "logic/formula.hpp"
+#include "mc/ctl_checker.hpp"
+
+namespace ictl::mc {
+
+/// A finite path, optionally closed by a cycle back to `cycle_start` (index
+/// into `states`): states[cycle_start..] repeats forever.
+struct Trace {
+  std::vector<kripke::StateId> states;
+  std::optional<std::size_t> cycle_start;
+
+  [[nodiscard]] bool is_lasso() const noexcept { return cycle_start.has_value(); }
+};
+
+/// What the trace demonstrates.
+enum class WitnessKind : std::uint8_t {
+  kWitness,         ///< evidence FOR the formula at the state
+  kCounterexample,  ///< evidence AGAINST the formula at the state
+};
+
+struct Explanation {
+  WitnessKind kind = WitnessKind::kWitness;
+  /// The E-shaped formula the trace demonstrates (for counterexamples: the
+  /// dual of the refuted formula).
+  logic::FormulaPtr shape;
+  Trace trace;
+};
+
+/// Produces evidence for the verdict of `f` at `state`:
+///   * if f holds and is an E-shaped CTL formula (EF/EG/EU), a witness;
+///   * if f fails and is an A-shaped CTL formula (AG/AF/AU), a
+///     counterexample;
+///   * nullopt when the verdict needs no path evidence (boolean/atomic) or
+///     the formula is outside the supported shapes.
+/// The checker is reused for subformula satisfying sets.
+[[nodiscard]] std::optional<Explanation> explain(CtlChecker& checker,
+                                                 const logic::FormulaPtr& f,
+                                                 kripke::StateId state);
+
+/// Independently revalidates a trace: consecutive states are transitions,
+/// the cycle closes, and the per-position requirements of `shape` hold
+/// (shape must be E applied to F/G/U with state-formula operands).
+[[nodiscard]] bool validate_trace(CtlChecker& checker, const logic::FormulaPtr& shape,
+                                  const Trace& trace, kripke::StateId start);
+
+/// Human-readable rendering (state names or ids plus labels).
+[[nodiscard]] std::string to_string(const kripke::Structure& m, const Trace& trace);
+
+}  // namespace ictl::mc

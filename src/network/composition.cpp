@@ -1,0 +1,56 @@
+#include "network/composition.hpp"
+
+#include "bisim/correspondence.hpp"
+
+namespace ictl::network {
+
+kripke::Structure token_circulator(std::uint32_t n, kripke::PropRegistryPtr registry) {
+  support::require<ModelError>(n >= 2, "token_circulator: need at least two positions");
+  kripke::StructureBuilder builder(registry);
+  std::vector<kripke::StateId> states;
+  states.reserve(n);
+  for (std::uint32_t pos = 0; pos < n; ++pos)
+    states.push_back(builder.add_state({registry->indexed("t", pos + 1)}));
+  // The joint hand-off: holder pos and neighbor pos+1 synchronize; globally
+  // the token simply advances.
+  for (std::uint32_t pos = 0; pos < n; ++pos)
+    builder.add_transition(states[pos], states[(pos + 1) % n]);
+  builder.set_initial(states[0]);
+  std::vector<std::uint32_t> indices(n);
+  for (std::uint32_t i = 0; i < n; ++i) indices[i] = i + 1;
+  builder.set_index_set(std::move(indices));
+  return std::move(builder).build();
+}
+
+kripke::Structure structure_of_template(const ProcessTemplate& process,
+                                        kripke::PropRegistryPtr registry,
+                                        std::uint32_t index) {
+  support::require<ModelError>(process.num_states() >= 1,
+                               "structure_of_template: empty template");
+  support::require<ModelError>(process.is_total(),
+                               "structure_of_template: template must be total");
+  kripke::StructureBuilder builder(registry);
+  for (std::uint32_t ls = 0; ls < process.num_states(); ++ls) {
+    std::vector<kripke::PropId> props;
+    for (const std::string& base : process.state(ls).props)
+      props.push_back(index == 0 ? registry->plain(base)
+                                 : registry->indexed(base, index));
+    const kripke::StateId id = builder.add_state(props);
+    if (!process.state(ls).name.empty()) builder.set_name(id, process.state(ls).name);
+  }
+  for (std::uint32_t ls = 0; ls < process.num_states(); ++ls)
+    for (const std::uint32_t target : process.successors(ls))
+      builder.add_transition(ls, target);
+  builder.set_initial(process.initial());
+  if (index != 0) builder.set_index_set({index});
+  return std::move(builder).build();
+}
+
+bool templates_correspond(const ProcessTemplate& a, const ProcessTemplate& b) {
+  auto registry = kripke::make_registry();
+  const kripke::Structure ma = structure_of_template(a, registry);
+  const kripke::Structure mb = structure_of_template(b, registry);
+  return bisim::correspond(ma, mb);
+}
+
+}  // namespace ictl::network

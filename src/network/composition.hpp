@@ -1,0 +1,42 @@
+// Further compositions for the Section 6 research directions:
+//
+//   * token_circulator — a SYNCHRONIZED ring (token hand-off is a joint
+//     action of neighbor processes, modeled as one global move), the setting
+//     in which the paper calls its nesting-depth conjecture "much more
+//     difficult to prove".  We probe it empirically.
+//   * structure_of_template — a single process as a Kripke structure, the
+//     object of the paper's other open question: a notion of bisimulation
+//     "that applies directly to the individual processes rather than to the
+//     global state graph".  The library's empirical answer: templates whose
+//     single-process structures correspond yield free products that
+//     (i,i')-correspond — see network/composition_test.
+#pragma once
+
+#include "kripke/structure.hpp"
+#include "network/process.hpp"
+
+namespace ictl::network {
+
+/// A deterministic synchronized token ring: n positions, the token moves one
+/// neighbor per global transition (the hand-off is a synchronization of the
+/// giving and receiving process).  State k is labeled t_{k+1}; the token
+/// starts at process 1.  Exactly the structure of the paper's Section 2
+/// remark (AG(t_1 -> XXX t_1) counts the ring size).
+[[nodiscard]] kripke::Structure token_circulator(std::uint32_t n,
+                                                 kripke::PropRegistryPtr registry);
+
+/// The single-process Kripke structure of a template.  With `index` == 0 the
+/// template's propositions appear as plain propositions (for process-level
+/// equivalence checking); with a positive index they appear as indexed
+/// propositions of that process.
+[[nodiscard]] kripke::Structure structure_of_template(const ProcessTemplate& process,
+                                                      kripke::PropRegistryPtr registry,
+                                                      std::uint32_t index = 0);
+
+/// Process-level equivalence: do the single-process structures of the two
+/// templates correspond in the Section 3 sense?  (The local criterion whose
+/// global consequences the tests validate.)
+[[nodiscard]] bool templates_correspond(const ProcessTemplate& a,
+                                        const ProcessTemplate& b);
+
+}  // namespace ictl::network

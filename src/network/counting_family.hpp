@@ -1,0 +1,39 @@
+// The Fig. 4.1 family: each process flips once from an A-state to an
+// absorbing B-state ("once B_i becomes true, it remains true").  Because a
+// flipped process never shows A again, nesting index quantifiers through
+// eventualities counts how many distinct processes exist — the paper's
+// motivation for restricting ICTL*, and the raw material for the Section 6
+// nesting-depth conjecture.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kripke/structure.hpp"
+#include "logic/formula.hpp"
+#include "network/free_product.hpp"
+#include "network/process.hpp"
+
+namespace ictl::network {
+
+/// The two-state process of Fig. 4.1: state {a} -> state {b}, b absorbing.
+[[nodiscard]] ProcessTemplate fig41_process();
+
+/// Free product of `n` Fig. 4.1 processes (2^n states).
+[[nodiscard]] kripke::Structure counting_network(std::size_t n,
+                                                 kripke::PropRegistryPtr registry);
+
+/// The counting formula: k nested "some not-yet-flipped process can still
+/// flip" eventualities,
+///   phi_k = \/i1 (a[i1] & EF(b[i1] & \/i2 (a[i2] & EF(b[i2] & ...)))),
+/// which holds in the free product of n processes iff n >= k.  Violates the
+/// Section 4 restrictions (index quantifier under an until) — by design.
+[[nodiscard]] logic::FormulaPtr at_least_k_processes(std::size_t k);
+
+/// A deterministic family of closed ICTL* formulas over the Fig. 4.1
+/// propositions with index-quantifier nesting depth exactly `depth`
+/// (unrestricted: quantifiers may sit under eventualities).  Used to probe
+/// the Section 6 conjecture empirically.
+[[nodiscard]] std::vector<logic::FormulaPtr> depth_k_formula_family(std::size_t depth);
+
+}  // namespace ictl::network

@@ -1,0 +1,70 @@
+#include "network/free_product.hpp"
+
+#include <map>
+#include <queue>
+
+namespace ictl::network {
+
+kripke::Structure free_product(const ProcessTemplate& process, std::size_t n,
+                               kripke::PropRegistryPtr registry,
+                               FreeProductOptions options) {
+  support::require<ModelError>(n >= 1, "free_product: need at least one process");
+  support::require<ModelError>(process.num_states() >= 1,
+                               "free_product: empty process template");
+  support::require<ModelError>(
+      process.is_total(),
+      "free_product: process template must be total (every local state needs "
+      "a successor) for the product's transition relation to be total");
+
+  // Pre-register every indexed proposition so label widths are final.
+  std::vector<std::vector<kripke::PropId>> props_of_local(process.num_states());
+  for (std::uint32_t ls = 0; ls < process.num_states(); ++ls) {
+    for (std::uint32_t i = 1; i <= n; ++i) {
+      for (const std::string& base : process.state(ls).props)
+        static_cast<void>(registry->indexed(base, i));
+    }
+  }
+
+  kripke::StructureBuilder builder(registry);
+  using Tuple = std::vector<std::uint32_t>;
+  std::map<Tuple, kripke::StateId> ids;
+  std::queue<Tuple> frontier;
+
+  auto intern = [&](const Tuple& tuple) {
+    if (auto it = ids.find(tuple); it != ids.end()) return it->second;
+    support::require<ModelError>(ids.size() < options.max_states,
+                                 "free_product: state count exceeds max_states");
+    std::vector<kripke::PropId> props;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (const std::string& base : process.state(tuple[p]).props)
+        props.push_back(registry->indexed(base, static_cast<std::uint32_t>(p + 1)));
+    }
+    const kripke::StateId id = builder.add_state(props);
+    ids.emplace(tuple, id);
+    frontier.push(tuple);
+    return id;
+  };
+
+  const Tuple initial(n, process.initial());
+  const kripke::StateId init_id = intern(initial);
+  while (!frontier.empty()) {
+    const Tuple tuple = frontier.front();
+    frontier.pop();
+    const kripke::StateId from = ids.at(tuple);
+    for (std::size_t p = 0; p < n; ++p) {
+      for (const std::uint32_t target : process.successors(tuple[p])) {
+        Tuple next = tuple;
+        next[p] = target;
+        builder.add_transition(from, intern(next));
+      }
+    }
+  }
+
+  builder.set_initial(init_id);
+  std::vector<std::uint32_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = static_cast<std::uint32_t>(i + 1);
+  builder.set_index_set(std::move(indices));
+  return std::move(builder).build();
+}
+
+}  // namespace ictl::network

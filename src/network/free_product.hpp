@@ -1,0 +1,28 @@
+// Free (unsynchronized, interleaved) product of N copies of a process
+// template: the composition the Section 6 conjecture is stated for.  Global
+// states are tuples of local states; in each global transition exactly one
+// process takes a local transition.  Proposition A of process i is labeled
+// as the indexed proposition A_i; the index set is {1, ..., N}.
+#pragma once
+
+#include <cstddef>
+
+#include "kripke/structure.hpp"
+#include "network/process.hpp"
+
+namespace ictl::network {
+
+struct FreeProductOptions {
+  /// Safety valve against exponential blow-up (|S| = |local|^N).
+  std::size_t max_states = 2'000'000;
+};
+
+/// Builds the reachable free product of `n` copies of `process` over the
+/// shared `registry`.  Throws ModelError when the template is not total or
+/// the reachable state count exceeds `options.max_states`.
+[[nodiscard]] kripke::Structure free_product(const ProcessTemplate& process,
+                                             std::size_t n,
+                                             kripke::PropRegistryPtr registry,
+                                             FreeProductOptions options = {});
+
+}  // namespace ictl::network

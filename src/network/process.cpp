@@ -1,0 +1,50 @@
+#include "network/process.hpp"
+
+#include <algorithm>
+
+namespace ictl::network {
+
+std::uint32_t ProcessTemplate::add_state(std::vector<std::string> props,
+                                         std::string name) {
+  const auto id = static_cast<std::uint32_t>(states_.size());
+  states_.push_back({std::move(props), std::move(name)});
+  succ_.emplace_back();
+  return id;
+}
+
+void ProcessTemplate::add_transition(std::uint32_t from, std::uint32_t to) {
+  support::require<ModelError>(from < states_.size() && to < states_.size(),
+                               "ProcessTemplate::add_transition: unknown state");
+  succ_[from].push_back(to);
+}
+
+void ProcessTemplate::set_initial(std::uint32_t s) {
+  support::require<ModelError>(s < states_.size(),
+                               "ProcessTemplate::set_initial: unknown state");
+  initial_ = s;
+}
+
+const LocalState& ProcessTemplate::state(std::uint32_t s) const {
+  ICTL_ASSERT(s < states_.size());
+  return states_[s];
+}
+
+const std::vector<std::uint32_t>& ProcessTemplate::successors(std::uint32_t s) const {
+  ICTL_ASSERT(s < succ_.size());
+  return succ_[s];
+}
+
+bool ProcessTemplate::is_total() const noexcept {
+  return std::all_of(succ_.begin(), succ_.end(),
+                     [](const auto& out) { return !out.empty(); });
+}
+
+std::vector<std::string> ProcessTemplate::prop_bases() const {
+  std::vector<std::string> bases;
+  for (const LocalState& st : states_)
+    for (const std::string& p : st.props)
+      if (std::find(bases.begin(), bases.end(), p) == bases.end()) bases.push_back(p);
+  return bases;
+}
+
+}  // namespace ictl::network

@@ -1,0 +1,51 @@
+// Finite-state process templates: the building block for networks of many
+// identical processes (paper Sections 4-6).  A template describes one
+// process; instantiating a network stamps out N copies whose atomic
+// propositions become indexed propositions (A of process i becomes A_i).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ictl::network {
+
+struct LocalState {
+  /// Proposition base names true in this local state (indexed per process at
+  /// network construction).
+  std::vector<std::string> props;
+  /// Optional debug name.
+  std::string name;
+};
+
+class ProcessTemplate {
+ public:
+  /// Adds a local state; returns its id.
+  std::uint32_t add_state(std::vector<std::string> props, std::string name = {});
+
+  /// Adds a local transition.
+  void add_transition(std::uint32_t from, std::uint32_t to);
+
+  void set_initial(std::uint32_t s);
+
+  [[nodiscard]] std::size_t num_states() const noexcept { return states_.size(); }
+  [[nodiscard]] const LocalState& state(std::uint32_t s) const;
+  [[nodiscard]] const std::vector<std::uint32_t>& successors(std::uint32_t s) const;
+  [[nodiscard]] std::uint32_t initial() const noexcept { return initial_; }
+
+  /// True when every local state has at least one outgoing transition (so a
+  /// free product of copies has a total transition relation).
+  [[nodiscard]] bool is_total() const noexcept;
+
+  /// All distinct proposition base names used by the template.
+  [[nodiscard]] std::vector<std::string> prop_bases() const;
+
+ private:
+  std::vector<LocalState> states_;
+  std::vector<std::vector<std::uint32_t>> succ_;
+  std::uint32_t initial_ = 0;
+};
+
+}  // namespace ictl::network

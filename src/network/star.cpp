@@ -1,0 +1,117 @@
+#include "network/star.hpp"
+
+#include <queue>
+#include <unordered_map>
+
+#include "logic/parser.hpp"
+#include "support/error.hpp"
+
+namespace ictl::network {
+namespace {
+
+std::uint32_t bit(std::uint32_t i) { return std::uint32_t{1} << (i - 1); }
+
+struct StarState {
+  std::uint32_t waiting = 0;  // bitmask over clients, bit i-1 = client i
+  std::uint32_t serving = 0;  // 0 = nobody, else client id
+
+  [[nodiscard]] bool operator==(const StarState&) const = default;
+};
+
+struct StarStateHash {
+  std::size_t operator()(const StarState& s) const {
+    return s.waiting * 0x9e3779b97f4a7c15ULL + s.serving;
+  }
+};
+
+}  // namespace
+
+kripke::Structure star_mutex(std::uint32_t n, kripke::PropRegistryPtr registry) {
+  support::require<ModelError>(n >= 1 && n <= 24,
+                               "star_mutex: need 1 <= n <= 24 clients");
+  if (registry == nullptr) registry = kripke::make_registry();
+
+  std::vector<kripke::PropId> idle(n + 1), wait(n + 1), served(n + 1);
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    idle[i] = registry->indexed("n", i);
+    wait[i] = registry->indexed("w", i);
+    served[i] = registry->indexed("c", i);
+  }
+
+  kripke::StructureBuilder builder(registry);
+  std::unordered_map<StarState, kripke::StateId, StarStateHash> ids;
+  std::queue<StarState> frontier;
+
+  auto intern = [&](const StarState& s) {
+    if (auto it = ids.find(s); it != ids.end()) return it->second;
+    std::vector<kripke::PropId> props;
+    for (std::uint32_t i = 1; i <= n; ++i) {
+      if (s.serving == i)
+        props.push_back(served[i]);
+      else if ((s.waiting & bit(i)) != 0)
+        props.push_back(wait[i]);
+      else
+        props.push_back(idle[i]);
+    }
+    const kripke::StateId id = builder.add_state(props);
+    ids.emplace(s, id);
+    frontier.push(s);
+    return id;
+  };
+
+  const kripke::StateId init = intern(StarState{});
+  while (!frontier.empty()) {
+    const StarState s = frontier.front();
+    frontier.pop();
+    const kripke::StateId from = ids.at(s);
+    // An idle client starts waiting.
+    for (std::uint32_t i = 1; i <= n; ++i) {
+      if (s.serving == i || (s.waiting & bit(i)) != 0) continue;
+      StarState next = s;
+      next.waiting |= bit(i);
+      builder.add_transition(from, intern(next));
+    }
+    // The server grants any waiting client (only when nobody is served).
+    if (s.serving == 0) {
+      for (std::uint32_t i = 1; i <= n; ++i) {
+        if ((s.waiting & bit(i)) == 0) continue;
+        StarState next = s;
+        next.waiting &= ~bit(i);
+        next.serving = i;
+        builder.add_transition(from, intern(next));
+      }
+    }
+    // The served client releases.
+    if (s.serving != 0) {
+      StarState next = s;
+      next.serving = 0;
+      builder.add_transition(from, intern(next));
+    }
+  }
+
+  builder.set_initial(init);
+  std::vector<std::uint32_t> indices(n);
+  for (std::uint32_t i = 0; i < n; ++i) indices[i] = i + 1;
+  builder.set_index_set(std::move(indices));
+  return std::move(builder).build();
+}
+
+std::vector<std::pair<std::string, logic::FormulaPtr>> star_specifications() {
+  return {
+      {"W1: request persists until served",
+       logic::parse_formula("forall i. AG (w[i] -> !E[w[i] U (!w[i] & !c[i])])")},
+      {"W2: service always attainable",
+       logic::parse_formula("forall i. AG (w[i] -> EF c[i])")},
+      {"W3: no unsolicited service",
+       logic::parse_formula(
+           "!(exists i. EF(!w[i] & !c[i] & E[(!w[i] & !c[i]) U c[i]]))")},
+      {"W4: service always ends",
+       logic::parse_formula("forall i. AG (c[i] -> AF !c[i])")},
+  };
+}
+
+logic::FormulaPtr star_starvation_freedom() {
+  return logic::parse_formula("forall i. AG (w[i] -> AF c[i])");
+}
+
+}  // namespace ictl::network

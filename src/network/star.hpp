@@ -1,0 +1,44 @@
+// A second network family, exercising the paper's claim that the method
+// "should suggest many potential applications" beyond the ring: n identical
+// clients around an implicit server.  A client is idle (n_i), waiting (w_i),
+// or being served (c_i); the server nondeterministically grants one waiting
+// client at a time and the served client eventually releases.
+//
+// Global state: the set W of waiting clients plus the served client (or
+// none); |S| = 2^(n-1) * (n + 2).  Unlike the ring there is no
+// "critical-with-waiters keeps branching" asymmetry — a served client always
+// just releases — so the family stabilizes at base size 2 (the singleton
+// network, having no other process to stutter, is inequivalent, in the same
+// way the paper's M_1 is).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kripke/structure.hpp"
+#include "logic/formula.hpp"
+
+namespace ictl::network {
+
+/// Builds the reachable star network of `n` clients (1 <= n <= 24) over a
+/// fresh or shared registry.  Index set {1..n}.
+[[nodiscard]] kripke::Structure star_mutex(std::uint32_t n,
+                                           kripke::PropRegistryPtr registry = nullptr);
+
+/// The star's specifications, all closed restricted ICTL*:
+///   W1: a request persists until served,
+///       /\i AG(w_i -> !E[w_i U (!w_i & !c_i)]);
+///   W2: service is always attainable,  /\i AG(w_i -> EF c_i);
+///   W3: no unsolicited service,
+///       !(\/i EF(!w_i & !c_i & E[(!w_i & !c_i) U c_i]));
+///   W4: service always ends,  /\i AG(c_i -> AF !c_i).
+[[nodiscard]] std::vector<std::pair<std::string, logic::FormulaPtr>>
+star_specifications();
+
+/// A liveness property that genuinely FAILS at every size (the server may
+/// starve a client forever):  /\i AG(w_i -> AF c_i).
+[[nodiscard]] logic::FormulaPtr star_starvation_freedom();
+
+}  // namespace ictl::network

@@ -1,0 +1,120 @@
+#include "ring/rank.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ictl::ring {
+namespace {
+
+std::uint32_t bit(std::uint32_t i) { return std::uint32_t{1} << (i - 1); }
+
+std::uint32_t popcount(std::uint32_t mask) {
+  return static_cast<std::uint32_t>(__builtin_popcount(mask));
+}
+
+}  // namespace
+
+std::uint32_t rank(const RingState& s, std::uint32_t i, std::uint32_t r) {
+  ICTL_ASSERT(i >= 1 && i <= r);
+  const std::uint32_t n_count = popcount(s.n);
+  const std::uint32_t t_count = popcount(s.t);
+
+  if ((s.n & bit(i)) != 0) return 0;  // infinitely many i-idle transitions
+  if ((s.d & bit(i)) != 0) {
+    const std::uint32_t holders = s.t | s.c;
+    ICTL_ASSERT(holders != 0);
+    const std::uint32_t j = static_cast<std::uint32_t>(__builtin_ctz(holders)) + 1;
+    const std::uint32_t dist = (j + r - i) % r;  // (j - i) mod r, in 1..r-1
+    ICTL_ASSERT(dist >= 1);
+    return n_count + t_count + 2 * dist - 2;
+  }
+  if ((s.t & bit(i)) != 0) return n_count;
+  ICTL_ASSERT((s.c & bit(i)) != 0);
+  if (s.d == 0) return 0;
+  return n_count;
+}
+
+bool is_idle_transition(const RingState& from, const RingState& to, std::uint32_t i) {
+  const std::uint32_t b = bit(i);
+  const bool same_part = ((from.d & b) != 0) == ((to.d & b) != 0) &&
+                         ((from.n & b) != 0) == ((to.n & b) != 0) &&
+                         ((from.t & b) != 0) == ((to.t & b) != 0) &&
+                         ((from.c & b) != 0) == ((to.c & b) != 0);
+  if (!same_part) return false;
+  if ((from.c & b) != 0 && from.d == 0) return to.d == 0;
+  return true;
+}
+
+std::uint32_t brute_force_rank(const RingSystem& sys, kripke::StateId start,
+                               std::uint32_t i) {
+  // Longest path in the i-idle subgraph from `start`; 0 when a cycle is
+  // reachable (an infinite i-idle run exists).  Memoized DFS with
+  // on-stack cycle detection.
+  const kripke::Structure& m = sys.structure();
+  const std::size_t n = m.num_states();
+  constexpr std::uint32_t kUnknown = static_cast<std::uint32_t>(-1);
+  constexpr std::uint32_t kInfinite = static_cast<std::uint32_t>(-2);
+  std::vector<std::uint32_t> longest(n, kUnknown);
+  std::vector<bool> on_stack(n, false);
+
+  struct Frame {
+    kripke::StateId s;
+    std::size_t child = 0;
+    std::uint32_t best = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({start});
+  on_stack[start] = true;
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto succ = m.successors(f.s);
+    bool descended = false;
+    while (f.child < succ.size()) {
+      const kripke::StateId t = succ[f.child++];
+      if (!is_idle_transition(sys.state(f.s), sys.state(t), i)) continue;
+      if (on_stack[t] || longest[t] == kInfinite) {
+        // Cycle in the i-idle subgraph: infinite run; unwind everything.
+        for (const Frame& g : stack) {
+          longest[g.s] = kInfinite;
+          on_stack[g.s] = false;
+        }
+        stack.clear();
+        break;
+      }
+      if (longest[t] == kUnknown) {
+        stack.push_back({t});
+        on_stack[t] = true;
+        descended = true;
+        break;
+      }
+      f.best = std::max(f.best, longest[t] + 1);
+    }
+    if (stack.empty()) break;
+    if (descended) continue;
+    if (f.child >= succ.size()) {
+      longest[f.s] = f.best;
+      on_stack[f.s] = false;
+      const std::uint32_t finished = f.best;
+      stack.pop_back();
+      if (!stack.empty()) {
+        Frame& parent = stack.back();
+        parent.best = std::max(parent.best, finished + 1);
+      }
+    }
+  }
+
+  const std::uint32_t result = longest[start];
+  if (result == kInfinite) return 0;  // Appendix convention
+  ICTL_ASSERT(result != kUnknown);
+  return result;
+}
+
+std::uint32_t correspondence_degree(const RingSystem& a, kripke::StateId s,
+                                    std::uint32_t i, const RingSystem& b,
+                                    kripke::StateId s2, std::uint32_t i2) {
+  return rank(a.state(s), i, a.size()) + rank(b.state(s2), i2, b.size());
+}
+
+}  // namespace ictl::ring

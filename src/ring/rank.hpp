@@ -1,0 +1,43 @@
+// The Appendix rank function r(s, i): the maximal number of consecutive
+// i-idle transitions possible from s when that number is finite, and 0
+// otherwise.  An i-idle transition leaves process i in the same part and,
+// when i is critical with nobody delayed, keeps D empty.
+//
+// The Appendix derives a closed form with five cases:
+//   i in N                ->  0                       (infinitely many idles)
+//   i in D                ->  |N| + |T| + 2*((j - i) mod r) - 2   (j = holder)
+//   i in T                ->  |N|
+//   i in C and D  = {}    ->  0
+//   i in C and D != {}    ->  |N|
+// brute_force_rank computes the same quantity directly from the transition
+// graph, which is how the tests certify the closed form.
+#pragma once
+
+#include <cstdint>
+
+#include "ring/ring.hpp"
+
+namespace ictl::ring {
+
+/// Closed-form rank from the Appendix.  `i` is 1-based.
+[[nodiscard]] std::uint32_t rank(const RingState& s, std::uint32_t i, std::uint32_t r);
+
+/// True when the transition from `from` to `to` is i-idle: i stays in the
+/// same part, and when i is critical with D empty, D stays empty.
+[[nodiscard]] bool is_idle_transition(const RingState& from, const RingState& to,
+                                      std::uint32_t i);
+
+/// The maximal number of consecutive i-idle transitions from `s`, computed
+/// from the explicit graph; 0 when an infinite i-idle run exists (matching
+/// the Appendix convention).
+[[nodiscard]] std::uint32_t brute_force_rank(const RingSystem& sys, kripke::StateId s,
+                                             std::uint32_t i);
+
+/// The Section 5 degree of correspondence between states of two rings:
+/// rank(s, i) + rank(s', i').
+[[nodiscard]] std::uint32_t correspondence_degree(const RingSystem& a,
+                                                  kripke::StateId s, std::uint32_t i,
+                                                  const RingSystem& b,
+                                                  kripke::StateId s2, std::uint32_t i2);
+
+}  // namespace ictl::ring

@@ -1,0 +1,227 @@
+#include "ring/ring.hpp"
+
+#include <queue>
+#include <string>
+#include <unordered_map>
+
+#include "logic/parser.hpp"
+#include "support/error.hpp"
+
+namespace ictl::ring {
+namespace {
+
+std::uint32_t bit(std::uint32_t i) { return std::uint32_t{1} << (i - 1); }
+
+/// Dense 64-bit encoding for deduplication during exploration.
+std::uint64_t encode(const RingState& s) {
+  // Reachable states have d/n/t/c within 24 bits each; pack d and the token
+  // holder's position and phase (t vs c masks are singletons once reachable,
+  // but we stay general and hash all four masks).
+  std::uint64_t h = s.d;
+  h = h * 0x9e3779b97f4a7c15ULL + s.n;
+  h = h * 0x9e3779b97f4a7c15ULL + s.t;
+  h = h * 0x9e3779b97f4a7c15ULL + s.c;
+  h = h * 0x9e3779b97f4a7c15ULL + s.o;
+  return h;
+}
+
+struct RingStateHash {
+  std::size_t operator()(const RingState& s) const { return encode(s); }
+};
+
+}  // namespace
+
+std::uint32_t cln(const RingState& s, std::uint32_t j, std::uint32_t r) {
+  ICTL_ASSERT(j >= 1 && j <= r);
+  for (std::uint32_t step = 1; step < r; ++step) {
+    // Left neighbor at distance `step`: j-step, cyclically, 1-based.
+    const std::uint32_t candidate = ((j - 1 + r - (step % r)) % r) + 1;
+    if ((s.d & bit(candidate)) != 0) return candidate;
+  }
+  return 0;
+}
+
+bool parts_form_partition(const RingState& s, std::uint32_t r) {
+  const std::uint32_t all = r == 32 ? ~std::uint32_t{0} : (std::uint32_t{1} << r) - 1;
+  if (s.o != 0) return false;
+  if ((s.d | s.n | s.t | s.c) != all) return false;
+  // Pairwise disjoint <=> population counts add up.
+  const int total = __builtin_popcount(s.d) + __builtin_popcount(s.n) +
+                    __builtin_popcount(s.t) + __builtin_popcount(s.c);
+  return total == static_cast<int>(r);
+}
+
+RingSystem RingSystem::build(std::uint32_t r, kripke::PropRegistryPtr registry) {
+  support::require<ModelError>(r >= 2,
+                               "RingSystem: need at least two processes (the paper "
+                               "notes no correspondence exists with one process)");
+  support::require<ModelError>(r <= 24,
+                               "RingSystem: explicit construction capped at r = 24 "
+                               "(r * 2^r states); use the analytic certificate for "
+                               "larger rings");
+  if (registry == nullptr) registry = kripke::make_registry();
+
+  // Pre-register every proposition so label widths are final.
+  std::vector<kripke::PropId> dprop(r + 1), nprop(r + 1), tprop(r + 1), cprop(r + 1);
+  for (std::uint32_t i = 1; i <= r; ++i) {
+    dprop[i] = registry->indexed("d", i);
+    nprop[i] = registry->indexed("n", i);
+    tprop[i] = registry->indexed("t", i);
+    cprop[i] = registry->indexed("c", i);
+  }
+  const kripke::PropId one_t = registry->theta("t");
+
+  kripke::StructureBuilder builder(registry);
+  std::vector<RingState> states;
+  std::unordered_map<RingState, kripke::StateId, RingStateHash> ids;
+  std::queue<kripke::StateId> frontier;
+
+  auto intern = [&](const RingState& s) {
+    if (auto it = ids.find(s); it != ids.end()) return it->second;
+    // L_r(s) = {d_i | i in D} u {n_i | i in N} u {n_i, t_i | i in T}
+    //          u {c_i, t_i | i in C}, plus Theta t when exactly one t_i.
+    std::vector<kripke::PropId> props;
+    std::uint32_t holders = 0;
+    for (std::uint32_t i = 1; i <= r; ++i) {
+      if ((s.d & bit(i)) != 0) props.push_back(dprop[i]);
+      if ((s.n & bit(i)) != 0) props.push_back(nprop[i]);
+      if ((s.t & bit(i)) != 0) {
+        props.push_back(nprop[i]);
+        props.push_back(tprop[i]);
+        ++holders;
+      }
+      if ((s.c & bit(i)) != 0) {
+        props.push_back(cprop[i]);
+        props.push_back(tprop[i]);
+        ++holders;
+      }
+    }
+    if (holders == 1) props.push_back(one_t);
+    const kripke::StateId id = builder.add_state(props);
+    states.push_back(s);
+    ids.emplace(s, id);
+    frontier.push(id);
+    return id;
+  };
+
+  // s0 = (D = {}, N = {2..r}, T = {1}, C = {}, O = {}).
+  RingState s0;
+  for (std::uint32_t i = 2; i <= r; ++i) s0.n |= bit(i);
+  s0.t = bit(1);
+  const kripke::StateId init = intern(s0);
+
+  while (!frontier.empty()) {
+    const kripke::StateId from = frontier.front();
+    frontier.pop();
+    const RingState s = states[from];  // copy: `states` grows below
+
+    // Rule 1: some neutral process becomes delayed.
+    for (std::uint32_t i = 1; i <= r; ++i) {
+      if ((s.n & bit(i)) == 0) continue;
+      RingState next = s;
+      next.n &= ~bit(i);
+      next.d |= bit(i);
+      builder.add_transition(from, intern(next));
+    }
+    // Rule 2: the holder j in T u C transfers the token to i = cln(j); the
+    // receiver enters its critical section, j returns to neutral.
+    for (std::uint32_t j = 1; j <= r; ++j) {
+      if (((s.t | s.c) & bit(j)) == 0) continue;
+      const std::uint32_t i = cln(s, j, r);
+      if (i == 0) continue;  // nobody is delayed
+      RingState next = s;
+      next.d &= ~bit(i);
+      next.n |= bit(j);
+      next.t &= ~bit(j);
+      next.c &= ~bit(j);
+      next.c |= bit(i);
+      builder.add_transition(from, intern(next));
+    }
+    // Rule 3: the holder enters its critical section.
+    for (std::uint32_t i = 1; i <= r; ++i) {
+      if ((s.t & bit(i)) == 0) continue;
+      RingState next = s;
+      next.t &= ~bit(i);
+      next.c |= bit(i);
+      builder.add_transition(from, intern(next));
+    }
+    // Rule 4: with nobody delayed, the holder leaves its critical section.
+    if (s.d == 0) {
+      for (std::uint32_t i = 1; i <= r; ++i) {
+        if ((s.c & bit(i)) == 0) continue;
+        RingState next = s;
+        next.c &= ~bit(i);
+        next.t |= bit(i);
+        builder.add_transition(from, intern(next));
+      }
+    }
+  }
+
+  builder.set_initial(init);
+  std::vector<std::uint32_t> indices(r);
+  for (std::uint32_t i = 0; i < r; ++i) indices[i] = i + 1;
+  builder.set_index_set(std::move(indices));
+  // Reachable restriction of G_r is a Kripke structure: R is total (the
+  // paper's argument; build() verifies it).
+  kripke::Structure m = std::move(builder).build();
+  return RingSystem(std::move(m), std::move(states), r);
+}
+
+Part RingSystem::part_of(kripke::StateId s, std::uint32_t i) const {
+  ICTL_ASSERT(i >= 1 && i <= r_);
+  const RingState& st = state(s);
+  if ((st.d & bit(i)) != 0) return Part::kDelayed;
+  if ((st.n & bit(i)) != 0) return Part::kNeutral;
+  if ((st.t & bit(i)) != 0) return Part::kTokenNeutral;
+  ICTL_ASSERT((st.c & bit(i)) != 0);
+  return Part::kCritical;
+}
+
+std::uint32_t RingSystem::token_holder(kripke::StateId s) const {
+  const RingState& st = state(s);
+  const std::uint32_t holders = st.t | st.c;
+  ICTL_ASSERT(holders != 0 && (holders & (holders - 1)) == 0);
+  return static_cast<std::uint32_t>(__builtin_ctz(holders)) + 1;
+}
+
+std::uint64_t ring_state_count(std::uint32_t r) {
+  return static_cast<std::uint64_t>(r) << r;  // r * 2^r
+}
+
+logic::FormulaPtr property_transfer_only_on_request() {
+  return logic::parse_formula(
+      "!(exists i. EF(!d[i] & !t[i] & E[(!d[i] & !t[i]) U t[i]]))");
+}
+
+logic::FormulaPtr property_critical_implies_token() {
+  return logic::parse_formula("forall i. A G (c[i] -> t[i])");
+}
+
+logic::FormulaPtr property_request_granted() {
+  return logic::parse_formula("forall i. A G (d[i] -> A[d[i] U t[i]])");
+}
+
+logic::FormulaPtr property_eventually_critical() {
+  return logic::parse_formula("forall i. A G (d[i] -> A F c[i])");
+}
+
+logic::FormulaPtr invariant_request_persistence() {
+  return logic::parse_formula("forall i. A G (d[i] -> !E[d[i] U (!d[i] & !t[i])])");
+}
+
+logic::FormulaPtr invariant_one_token() {
+  return logic::parse_formula("A G (one t)");
+}
+
+std::vector<std::pair<std::string, logic::FormulaPtr>> section5_specifications() {
+  return {
+      {"P1: transfer only on request", property_transfer_only_on_request()},
+      {"P2: critical implies token", property_critical_implies_token()},
+      {"P3: request eventually granted", property_request_granted()},
+      {"P4: delayed eventually critical", property_eventually_critical()},
+      {"I2: request persistence", invariant_request_persistence()},
+      {"I3: exactly one token", invariant_one_token()},
+  };
+}
+
+}  // namespace ictl::ring

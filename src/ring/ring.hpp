@@ -1,0 +1,120 @@
+// The distributed mutual exclusion ring of Section 5.
+//
+// r processes sit on a ring; exactly one holds the token.  Each process is
+// delayed (waiting for the token), neutral, neutral-with-token, or critical.
+// The global state is the 5-tuple of parts (D, N, T, C, O); the paper's
+// transition relation R_r has four rules:
+//   1. a neutral process becomes delayed,
+//   2. the token holder j (in T or C) hands the token to i = cln(j), the
+//      closest delayed neighbor to its left, which enters its critical
+//      section (one global transition; j returns to neutral),
+//   3. the token holder moves from T to C (enters its critical section),
+//   4. with no process delayed, the holder leaves C back to T.
+// Labels: d_i for i in D, n_i for i in N, {n_i, t_i} for i in T,
+// {c_i, t_i} for i in C, plus the materialized Theta_i t_i ("one t").
+//
+// The raw graph G_r is not total (all-delayed states have no successor); the
+// paper restricts to the states reachable from s0 = ({}, {2..r}, {1}, {}),
+// which is what build() constructs — M_r with |S_r| = r * 2^r states.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kripke/structure.hpp"
+#include "logic/formula.hpp"
+
+namespace ictl::ring {
+
+/// Which of the paper's parts a process occupies.
+enum class Part : std::uint8_t {
+  kDelayed,       ///< i in D
+  kNeutral,       ///< i in N
+  kTokenNeutral,  ///< i in T
+  kCritical,      ///< i in C
+};
+
+/// Global ring state as bitmasks over processes (bit i-1 = process i).
+/// O is carried for fidelity with the paper's 5-tuple; the rules never
+/// populate it, and invariant 1 checks it stays empty.
+struct RingState {
+  std::uint32_t d = 0;
+  std::uint32_t n = 0;
+  std::uint32_t t = 0;
+  std::uint32_t c = 0;
+  std::uint32_t o = 0;
+
+  [[nodiscard]] bool operator==(const RingState&) const = default;
+};
+
+/// cln(j): the closest delayed neighbor to the left of j (j-1, j-2, ...
+/// cyclically); 0 when no process is delayed.  Processes are 1-based.
+[[nodiscard]] std::uint32_t cln(const RingState& s, std::uint32_t j, std::uint32_t r);
+
+/// Invariant 1 of Section 5: D, N, T, C partition {1..r} and O is empty.
+[[nodiscard]] bool parts_form_partition(const RingState& s, std::uint32_t r);
+
+class RingSystem {
+ public:
+  /// Builds M_r (reachable restriction of G_r) for r >= 2 processes over a
+  /// fresh or shared registry.  Explicit construction is exponential
+  /// (r * 2^r states); r is capped at 24.
+  [[nodiscard]] static RingSystem build(std::uint32_t r,
+                                        kripke::PropRegistryPtr registry = nullptr);
+
+  [[nodiscard]] const kripke::Structure& structure() const noexcept { return m_; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return r_; }
+
+  /// The ring tuple behind a structure state.
+  [[nodiscard]] const RingState& state(kripke::StateId s) const {
+    ICTL_ASSERT(s < states_.size());
+    return states_[s];
+  }
+
+  [[nodiscard]] Part part_of(kripke::StateId s, std::uint32_t i) const;
+
+  /// The token holder (the unique process in T or C) of a state.
+  [[nodiscard]] std::uint32_t token_holder(kripke::StateId s) const;
+
+ private:
+  RingSystem(kripke::Structure m, std::vector<RingState> states, std::uint32_t r)
+      : m_(std::move(m)), states_(std::move(states)), r_(r) {}
+
+  kripke::Structure m_;
+  std::vector<RingState> states_;
+  std::uint32_t r_;
+};
+
+/// Number of states of M_r without building it: r * 2^r.
+[[nodiscard]] std::uint64_t ring_state_count(std::uint32_t r);
+
+// ---- The Section 5 specifications, as closed restricted ICTL* formulas ----
+
+/// Property 1: a token is transferred only upon request,
+///   !(\/i EF(!d_i & !t_i & E[(!d_i & !t_i) U t_i])).
+[[nodiscard]] logic::FormulaPtr property_transfer_only_on_request();
+
+/// Property 2: only the process with a token may enter its critical state,
+///   /\i AG(c_i -> t_i).
+[[nodiscard]] logic::FormulaPtr property_critical_implies_token();
+
+/// Property 3: a requesting process eventually receives the token,
+///   /\i AG(d_i -> A[d_i U t_i]).
+[[nodiscard]] logic::FormulaPtr property_request_granted();
+
+/// Property 4: every process that wants to enter its critical state
+/// eventually does,  /\i AG(d_i -> AF c_i).
+[[nodiscard]] logic::FormulaPtr property_eventually_critical();
+
+/// Invariant 2: once requested, the request persists until the token
+/// arrives,  /\i AG(d_i -> !E[d_i U (!d_i & !t_i)]).
+[[nodiscard]] logic::FormulaPtr invariant_request_persistence();
+
+/// Invariant 3: exactly one process holds the token,  AG one(t).
+[[nodiscard]] logic::FormulaPtr invariant_one_token();
+
+/// All four properties plus the two temporal invariants, in paper order.
+[[nodiscard]] std::vector<std::pair<std::string, logic::FormulaPtr>>
+section5_specifications();
+
+}  // namespace ictl::ring

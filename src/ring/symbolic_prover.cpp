@@ -1,0 +1,253 @@
+#include "ring/symbolic_prover.hpp"
+
+#include <array>
+#include <functional>
+#include <sstream>
+
+namespace ictl::ring {
+namespace {
+
+// Part an arbitrary process x occupies before a transition.
+enum class P : std::uint8_t { kD, kN, kT, kC };
+// How x relates to the rule's parameters: x is the moving process i, the
+// token-yielding holder j (rule 2 only), or a bystander.
+enum class Id : std::uint8_t { kI, kJ, kOther };
+
+const char* part_name(P p) {
+  switch (p) {
+    case P::kD: return "D";
+    case P::kN: return "N";
+    case P::kT: return "T";
+    case P::kC: return "C";
+  }
+  return "?";
+}
+
+const char* id_name(Id id) {
+  switch (id) {
+    case Id::kI: return "x=i";
+    case Id::kJ: return "x=j";
+    case Id::kOther: return "bystander";
+  }
+  return "?";
+}
+
+struct Membership {
+  bool d, n, t, c;
+};
+
+struct Rule {
+  int number;
+  std::string description;
+  bool has_j;                 // rule 2 has the second parameter j
+  bool excludes_delayed;      // rule 4's guard D = {} bans pre-part D
+  std::function<bool(Id, P)> guard_consistent;
+  std::function<Membership(Id, P)> post;
+};
+
+std::vector<Rule> make_rules() {
+  std::vector<Rule> rules;
+  // Rule 1: i in N; D1 = D u {i}, N1 = N - {i}.
+  rules.push_back(
+      {1, "a neutral process becomes delayed", false, false,
+       [](Id id, P pre) { return id != Id::kI || pre == P::kN; },
+       [](Id id, P pre) {
+         return Membership{pre == P::kD || id == Id::kI, pre == P::kN && id != Id::kI,
+                           pre == P::kT, pre == P::kC};
+       }});
+  // Rule 2: i in D, j in T u C, i = cln(j);
+  //   D1 = D - {i}, N1 = N u {j}, T1 = T - {j}, C1 = (C - {j}) u {i}.
+  rules.push_back(
+      {2, "the holder hands the token to cln(j), which enters its critical section",
+       true, false,
+       [](Id id, P pre) {
+         if (id == Id::kI) return pre == P::kD;
+         if (id == Id::kJ) return pre == P::kT || pre == P::kC;
+         return true;
+       },
+       [](Id id, P pre) {
+         return Membership{pre == P::kD && id != Id::kI,
+                           pre == P::kN || id == Id::kJ,
+                           pre == P::kT && id != Id::kJ,
+                           (pre == P::kC && id != Id::kJ) || id == Id::kI};
+       }});
+  // Rule 3: i in T; T1 = T - {i}, C1 = C u {i}.
+  rules.push_back(
+      {3, "the holder enters its critical section", false, false,
+       [](Id id, P pre) { return id != Id::kI || pre == P::kT; },
+       [](Id id, P pre) {
+         return Membership{pre == P::kD, pre == P::kN, pre == P::kT && id != Id::kI,
+                           pre == P::kC || id == Id::kI};
+       }});
+  // Rule 4: i in C and D = {}; C1 = C - {i}, T1 = T u {i}.
+  rules.push_back(
+      {4, "with nobody delayed, the holder returns to neutral-with-token", false,
+       true,
+       [](Id id, P pre) { return id != Id::kI || pre == P::kC; },
+       [](Id id, P pre) {
+         return Membership{pre == P::kD, pre == P::kN, pre == P::kT || id == Id::kI,
+                           pre == P::kC && id != Id::kI};
+       }});
+  return rules;
+}
+
+std::string case_name(const Rule& rule, Id id, P pre) {
+  std::ostringstream os;
+  os << "rule " << rule.number << ", " << id_name(id) << ", x in " << part_name(pre);
+  return os.str();
+}
+
+/// Enumerates every guard-consistent (identity, pre-part) case of a rule and
+/// applies `check`; returns the number of cases and the first failure.
+ProofObligation check_rule_cases(
+    const Rule& rule, std::string name, std::string statement,
+    const std::function<bool(Id, P, const Membership&)>& check) {
+  ProofObligation ob;
+  ob.name = std::move(name);
+  ob.statement = std::move(statement);
+  ob.holds = true;
+  const std::array<Id, 3> ids = {Id::kI, Id::kJ, Id::kOther};
+  const std::array<P, 4> parts = {P::kD, P::kN, P::kT, P::kC};
+  for (const Id id : ids) {
+    if (id == Id::kJ && !rule.has_j) continue;
+    for (const P pre : parts) {
+      if (rule.excludes_delayed && pre == P::kD) continue;  // guard: D = {}
+      if (!rule.guard_consistent(id, pre)) continue;
+      ++ob.cases_checked;
+      const Membership post = rule.post(id, pre);
+      if (!check(id, pre, post)) {
+        ob.holds = false;
+        if (ob.counterexample.empty()) ob.counterexample = case_name(rule, id, pre);
+      }
+    }
+  }
+  return ob;
+}
+
+}  // namespace
+
+ProofReport prove_ring_invariants() {
+  ProofReport report;
+
+  // INIT: s0 = ({}, {2..r}, {1}, {}).  An arbitrary process is either
+  // process 1 (in T only) or some other process (in N only); O is empty by
+  // construction, and the token set T u C = {1} is a singleton.
+  {
+    ProofObligation ob;
+    ob.name = "INIT";
+    ob.statement =
+        "s0 satisfies invariant 1 (D,N,T,C partition I_r, O empty) and "
+        "invariant 3 (exactly one token holder)";
+    // s0 = (D={}, N={2..r}, T={1}, C={}): an arbitrary process is either
+    // process 1 or some other process.
+    const Membership x_is_1{false, false, true, false};
+    const Membership x_other{false, true, false, false};
+    ob.holds = true;
+    for (const Membership& m : {x_is_1, x_other}) {
+      ++ob.cases_checked;
+      const int parts = (m.d ? 1 : 0) + (m.n ? 1 : 0) + (m.t ? 1 : 0) + (m.c ? 1 : 0);
+      if (parts != 1) ob.holds = false;
+    }
+    // Exactly the x=1 case holds the token.
+    if (!(x_is_1.t || x_is_1.c) || (x_other.t || x_other.c)) ob.holds = false;
+    report.obligations.push_back(ob);
+  }
+
+  const std::vector<Rule> rules = make_rules();
+  for (const Rule& rule : rules) {
+    // (a) Partition preservation: after the rule, an arbitrary process lies
+    // in exactly one of D1, N1, T1, C1 (and no rule ever touches O).
+    report.obligations.push_back(check_rule_cases(
+        rule, "PARTITION-R" + std::to_string(rule.number),
+        "rule " + std::to_string(rule.number) + " (" + rule.description +
+            ") preserves invariant 1: every process stays in exactly one part",
+        [](Id, P, const Membership& post) {
+          const int count = (post.d ? 1 : 0) + (post.n ? 1 : 0) + (post.t ? 1 : 0) +
+                            (post.c ? 1 : 0);
+          return count == 1;
+        }));
+
+    // (b) Token-holder preservation: membership in T u C changes only as
+    // "receiver i gains" / "yielder j loses" under rule 2, and i != j holds
+    // because i in D and j in T u C are disjoint parts.  A gain/loss pair of
+    // distinct processes keeps |T u C| = 1, so invariant 3 is preserved.
+    report.obligations.push_back(check_rule_cases(
+        rule, "ONE-TOKEN-R" + std::to_string(rule.number),
+        "rule " + std::to_string(rule.number) +
+            " preserves invariant 3: T u C changes only by rule 2 moving the "
+            "token from j to i (distinct processes)",
+        [&rule](Id id, P pre, const Membership& post) {
+          const bool pre_token = pre == P::kT || pre == P::kC;
+          const bool post_token = post.t || post.c;
+          if (pre_token == post_token) return true;
+          if (rule.number != 2) return false;  // rules 1, 3, 4 must not change T u C
+          if (!pre_token && post_token) return id == Id::kI;  // only receiver gains
+          return id == Id::kJ;                                // only yielder loses
+        }));
+
+    // (c) Request persistence (invariant 2's induction step): a delayed
+    // process stays delayed unless it is the rule-2 receiver, which enters
+    // C and thereby acquires the token (c_i and t_i become true together).
+    report.obligations.push_back(check_rule_cases(
+        rule, "PERSIST-R" + std::to_string(rule.number),
+        "rule " + std::to_string(rule.number) +
+            " preserves invariant 2: d_i continues to hold until t_i does",
+        [&rule](Id id, P pre, const Membership& post) {
+          if (pre != P::kD) return true;
+          if (post.d) return true;
+          return rule.number == 2 && id == Id::kI && post.c;
+        }));
+  }
+
+  // TOTALITY: in every state satisfying the invariants some rule is enabled,
+  // so the reachable restriction M_r is a Kripke structure.  Cases: token
+  // holder's part (T or C) x whether D is empty.
+  {
+    ProofObligation ob;
+    ob.name = "TOTALITY";
+    ob.statement =
+        "every state with a unique token holder has an enabled rule, so R_r "
+        "restricted to reachable states is total";
+    ob.holds = true;
+    struct TotalityCase {
+      bool holder_in_t;
+      bool d_empty;
+    };
+    const std::array<TotalityCase, 4> cases = {
+        TotalityCase{true, true}, {true, false}, {false, true}, {false, false}};
+    for (const auto& c : cases) {
+      ++ob.cases_checked;
+      // Rule 3 fires when the holder is in T; rule 4 when the holder is in C
+      // with D empty; rule 2 when the holder (T or C) has a delayed process
+      // to serve (cln(j) exists iff D is non-empty).
+      const bool rule3 = c.holder_in_t;
+      const bool rule4 = !c.holder_in_t && c.d_empty;
+      const bool rule2 = !c.d_empty;
+      if (!(rule3 || rule4 || rule2)) {
+        ob.holds = false;
+        ob.counterexample = std::string("holder in ") +
+                            (c.holder_in_t ? "T" : "C") + ", D " +
+                            (c.d_empty ? "empty" : "non-empty");
+      }
+    }
+    report.obligations.push_back(ob);
+  }
+
+  return report;
+}
+
+std::string to_string(const ProofReport& report) {
+  std::ostringstream os;
+  for (const auto& ob : report.obligations) {
+    os << (ob.holds ? "[proved] " : "[FAILED] ") << ob.name << " ("
+       << ob.cases_checked << " cases): " << ob.statement;
+    if (!ob.holds) os << "  counterexample: " << ob.counterexample;
+    os << "\n";
+  }
+  os << (report.all_proved() ? "All obligations proved for every ring size r >= 2."
+                             : "PROOF INCOMPLETE.")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace ictl::ring

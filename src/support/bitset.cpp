@@ -1,0 +1,92 @@
+#include "support/bitset.hpp"
+
+namespace ictl::support {
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  ICTL_ASSERT(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  ICTL_ASSERT(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  ICTL_ASSERT(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::and_not(const DynamicBitset& other) {
+  ICTL_ASSERT(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+void DynamicBitset::flip() {
+  for (auto& w : words_) w = ~w;
+  trim();
+}
+
+bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {
+  ICTL_ASSERT(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  return true;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  ICTL_ASSERT(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  return false;
+}
+
+std::size_t DynamicBitset::find_first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (words_[w] != 0)
+      return w * kWordBits + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+  return size_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t i) const noexcept {
+  ++i;
+  if (i >= size_) return size_;
+  std::size_t w = i / kWordBits;
+  const std::uint64_t first = words_[w] >> (i % kWordBits);
+  if (first != 0) return i + static_cast<std::size_t>(__builtin_ctzll(first));
+  for (++w; w < words_.size(); ++w)
+    if (words_[w] != 0)
+      return w * kWordBits + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+  return size_;
+}
+
+std::vector<std::size_t> DynamicBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::size_t DynamicBitset::hash() const noexcept {
+  std::size_t h = size_;
+  for (auto w : words_) h = h * 1099511628211ULL + static_cast<std::size_t>(w);
+  return h;
+}
+
+void DynamicBitset::trim() {
+  const std::size_t used = size_ % kWordBits;
+  if (!words_.empty() && used != 0)
+    words_.back() &= (std::uint64_t{1} << used) - 1;
+}
+
+}  // namespace ictl::support

@@ -1,0 +1,128 @@
+// A dynamically sized bitset used for state sets and proposition labels.
+//
+// std::vector<bool> lacks word-level operations and std::bitset is statically
+// sized; model-checking fixpoints live on fast word-parallel AND/OR/ANDNOT,
+// so we provide our own small implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ictl::support {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Constructs a bitset with `size` bits, all cleared.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + kWordBits - 1) / kWordBits, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    ICTL_ASSERT(i < size_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    ICTL_ASSERT(i < size_);
+    words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+  }
+
+  void reset(std::size_t i) {
+    ICTL_ASSERT(i < size_);
+    words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+  }
+
+  void assign(std::size_t i, bool value) { value ? set(i) : reset(i); }
+
+  /// Sets every bit.
+  void set_all() {
+    for (auto& w : words_) w = ~std::uint64_t{0};
+    trim();
+  }
+
+  /// Clears every bit.
+  void reset_all() {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// True when every bit is set.
+  [[nodiscard]] bool all() const noexcept { return count() == size_; }
+
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// In-place bitwise operations; both operands must have equal size.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator^=(const DynamicBitset& other);
+  /// this := this & ~other
+  DynamicBitset& and_not(const DynamicBitset& other);
+  /// Flips every bit.
+  void flip();
+
+  [[nodiscard]] friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  [[nodiscard]] friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+
+  [[nodiscard]] bool operator==(const DynamicBitset& other) const noexcept {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// True when this is a subset of `other`.
+  [[nodiscard]] bool is_subset_of(const DynamicBitset& other) const;
+
+  /// True when this and `other` share at least one set bit.
+  [[nodiscard]] bool intersects(const DynamicBitset& other) const;
+
+  /// Index of the first set bit, or `size()` when none.
+  [[nodiscard]] std::size_t find_first() const noexcept;
+
+  /// Index of the first set bit strictly after `i`, or `size()` when none.
+  [[nodiscard]] std::size_t find_next(std::size_t i) const noexcept;
+
+  /// Invokes `fn(index)` for every set bit in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const auto bit = static_cast<std::size_t>(__builtin_ctzll(bits));
+        fn(w * kWordBits + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// All set-bit indices in ascending order.
+  [[nodiscard]] std::vector<std::size_t> to_indices() const;
+
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+
+  void trim();  // clears bits beyond size_ in the last word
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ictl::support

@@ -1,0 +1,13 @@
+#include "support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ictl::support {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "ICTL_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace ictl::support

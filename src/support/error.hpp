@@ -1,0 +1,59 @@
+// Error handling for the ictl library.
+//
+// Public API functions validate their inputs and throw an exception derived
+// from `ictl::Error` on misuse (bad formula syntax, non-total structures,
+// out-of-range ids, ...).  Internal invariants use ICTL_ASSERT, which is
+// compiled in all build types: these algorithms are subtle enough that we
+// always want the checks.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ictl {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a formula is syntactically or semantically ill-formed
+/// (parse errors, ICTL* restriction violations, free index variables, ...).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a Kripke structure is ill-formed (non-total transition
+/// relation, unknown state/prop ids, mismatched registries, ...).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a verification step cannot be completed (no correspondence
+/// exists, certificate mismatch, unsupported fragment, ...).
+class VerificationError : public Error {
+ public:
+  explicit VerificationError(const std::string& what) : Error(what) {}
+};
+
+namespace support {
+
+/// Throws E(msg) when `condition` is false.  Used for public API input
+/// validation; prefer ICTL_ASSERT for internal invariants.
+template <typename E = Error>
+inline void require(bool condition, std::string_view msg) {
+  if (!condition) throw E(std::string(msg));
+}
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+
+}  // namespace support
+}  // namespace ictl
+
+/// Always-on assertion for internal invariants.
+#define ICTL_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::ictl::support::assert_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,26 @@
+// Hash helpers for composite keys.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+namespace ictl::support {
+
+/// Mixes `value`'s hash into `seed` (boost-style combiner).
+template <typename T>
+inline void hash_combine(std::size_t& seed, const T& value) {
+  seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t seed = 0;
+    hash_combine(seed, p.first);
+    hash_combine(seed, p.second);
+    return seed;
+  }
+};
+
+}  // namespace ictl::support

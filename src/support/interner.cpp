@@ -1,0 +1,25 @@
+#include "support/interner.hpp"
+
+#include "support/error.hpp"
+
+namespace ictl::support {
+
+StringInterner::Id StringInterner::intern(std::string_view name) {
+  if (auto it = ids_.find(std::string(name)); it != ids_.end()) return it->second;
+  const Id id = static_cast<Id>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<StringInterner::Id> StringInterner::lookup(std::string_view name) const {
+  if (auto it = ids_.find(std::string(name)); it != ids_.end()) return it->second;
+  return std::nullopt;
+}
+
+const std::string& StringInterner::name(Id id) const {
+  ICTL_ASSERT(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace ictl::support

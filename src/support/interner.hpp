@@ -1,0 +1,35 @@
+// String interning: maps names to dense 32-bit ids and back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ictl::support {
+
+/// Bidirectional string <-> dense-id map.  Ids start at 0 and are assigned in
+/// first-seen order, so they can index parallel arrays directly.
+class StringInterner {
+ public:
+  using Id = std::uint32_t;
+
+  /// Returns the id for `name`, interning it on first use.
+  Id intern(std::string_view name);
+
+  /// Returns the id for `name` if already interned.
+  [[nodiscard]] std::optional<Id> lookup(std::string_view name) const;
+
+  /// Returns the name for an id previously returned by intern().
+  [[nodiscard]] const std::string& name(Id id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Id> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace ictl::support

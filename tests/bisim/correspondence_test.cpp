@@ -1,0 +1,218 @@
+#include "bisim/correspondence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "logic/parser.hpp"
+#include "mc/ctlstar_checker.hpp"
+
+namespace ictl::bisim {
+namespace {
+
+TEST(Correspondence, SelfCorrespondenceWithDegreeZeroOnIdentity) {
+  auto reg = kripke::make_registry();
+  const auto m = testing::random_structure(reg, 20, 3);
+  const FindResult found = find_correspondence(m, m);
+  ASSERT_TRUE(found.relation.has_value());
+  for (kripke::StateId s = 0; s < m.num_states(); ++s) {
+    ASSERT_TRUE(found.relation->related(s, s)) << s;
+    EXPECT_EQ(*found.relation->min_degree(s, s), 0u) << s;
+  }
+  EXPECT_TRUE(found.relation->is_valid());
+}
+
+TEST(Correspondence, StutteredLoopCorresponds) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 3);
+  const FindResult found = find_correspondence(a, b);
+  ASSERT_TRUE(found.relation.has_value());
+  EXPECT_TRUE(found.relation->is_valid());
+  EXPECT_TRUE(correspond(a, b));
+  EXPECT_TRUE(correspond(b, a));  // symmetric
+}
+
+TEST(Correspondence, DegreeCapMattersForLongStutters) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 5);
+  FindOptions tight;
+  tight.degree_cap = 2;  // stutter run of 5 needs degree 4 at the entry state
+  EXPECT_FALSE(correspond(a, b, tight));
+  FindOptions enough;
+  enough.degree_cap = 6;
+  EXPECT_TRUE(correspond(a, b, enough));
+}
+
+TEST(Correspondence, PrefilterDoesNotChangeTheAnswer) {
+  auto reg = kripke::make_registry();
+  for (std::uint32_t seed : {1u, 2u, 3u}) {
+    const auto a = testing::random_structure(reg, 20, seed);
+    const auto b = testing::random_structure(reg, 20, seed + 50);
+    FindOptions with, without;
+    with.use_stuttering_prefilter = true;
+    without.use_stuttering_prefilter = false;
+    EXPECT_EQ(correspond(a, b, with), correspond(a, b, without)) << seed;
+  }
+}
+
+TEST(Correspondence, DifferentLabelsNeverCorrespond) {
+  auto reg = kripke::make_registry();
+  const auto pa = reg->plain("a");
+  const auto pc = reg->plain("c");
+  kripke::StructureBuilder b1(reg);
+  const auto s0 = b1.add_state({pa});
+  b1.add_transition(s0, s0);
+  b1.set_initial(s0);
+  const auto m1 = std::move(b1).build();
+  kripke::StructureBuilder b2(reg);
+  const auto t0 = b2.add_state({pc});
+  b2.add_transition(t0, t0);
+  b2.set_initial(t0);
+  const auto m2 = std::move(b2).build();
+  EXPECT_FALSE(correspond(m1, m2));
+}
+
+TEST(Correspondence, DivergenceVersusExitDoNotCorrespond) {
+  // a-forever versus a-then-b: CTL* (AF b) distinguishes them, so no finite
+  // correspondence may exist.
+  auto reg = kripke::make_registry();
+  const auto pa = reg->plain("a");
+  const auto pb = reg->plain("b");
+  kripke::StructureBuilder b1(reg);
+  const auto s0 = b1.add_state({pa});
+  b1.add_transition(s0, s0);
+  b1.set_initial(s0);
+  const auto diverge = std::move(b1).build();
+  kripke::StructureBuilder b2(reg);
+  const auto t0 = b2.add_state({pa});
+  const auto t1 = b2.add_state({pb});
+  b2.add_transition(t0, t1);
+  b2.add_transition(t1, t1);
+  b2.set_initial(t0);
+  const auto exits = std::move(b2).build();
+  EXPECT_FALSE(correspond(diverge, exits));
+}
+
+TEST(CorrespondenceRelation, ValidateCatchesLabelMismatch) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 3);
+  CorrespondenceRelation rel(a, b);
+  rel.add(0, 3, 0);  // a-state against b-state: clause 2a violation
+  const auto violations = rel.validate();
+  ASSERT_FALSE(violations.empty());
+  bool found_2a = false;
+  for (const auto& v : violations) found_2a |= v.reason.find("2a") != std::string::npos;
+  EXPECT_TRUE(found_2a);
+}
+
+TEST(CorrespondenceRelation, ValidateCatchesMissingInitialPair) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 3);
+  CorrespondenceRelation rel(a, b);
+  rel.add(1, 3, 0);  // b-labeled pair, but initial states unrelated
+  const auto violations = rel.validate();
+  bool found_clause1 = false;
+  for (const auto& v : violations)
+    found_clause1 |= v.reason.find("clause 1") != std::string::npos;
+  EXPECT_TRUE(found_clause1);
+}
+
+TEST(CorrespondenceRelation, ValidateCatchesTotalityGaps) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const FindResult found = find_correspondence(a, a);
+  ASSERT_TRUE(found.relation.has_value());
+  // Drop nothing: valid.  Then construct a fresh relation missing state 1.
+  CorrespondenceRelation partial(a, a);
+  partial.add(0, 0, 0);
+  const auto violations = partial.validate();
+  bool found_totality = false;
+  for (const auto& v : violations)
+    found_totality |= v.reason.find("totality") != std::string::npos;
+  EXPECT_TRUE(found_totality);
+}
+
+TEST(CorrespondenceRelation, DegreeZeroRequiresExactMatch) {
+  // Relate the entry of a long a-run to the single a-state with degree 0:
+  // clause 2b/2c must fail (an exact match cannot absorb the stutter).
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 3);
+  CorrespondenceRelation rel(a, b);
+  rel.add(0, 0, 0);  // should need degree 2
+  rel.add(0, 1, 0);  // should need degree 1
+  rel.add(0, 2, 0);  // genuine exact match
+  rel.add(1, 3, 0);
+  const auto violations = rel.validate(32);
+  bool clause_failure = false;
+  for (const auto& v : violations)
+    clause_failure |= v.reason.find("clause 2") != std::string::npos;
+  EXPECT_TRUE(clause_failure);
+}
+
+TEST(Correspondence, PreservesCtlStarVerdicts) {
+  // Theorem 2, tested empirically: corresponding structures agree on CTL*
+  // (nexttime-free) formulas.
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 4);
+  ASSERT_TRUE(correspond(a, b));
+  mc::Checker ca(a);
+  mc::Checker cb(b);
+  for (const char* text :
+       {"A G (a | b)", "A G (a -> A F b)", "E (a U b)", "A F b", "E G a",
+        "E F (b & E F a)", "A (a U b) | E G a", "A F G b"}) {
+    const auto f = logic::parse_formula(text);
+    EXPECT_EQ(ca.holds_initially(f), cb.holds_initially(f)) << text;
+  }
+}
+
+TEST(Correspondence, EntriesAreSortedAndComplete) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const FindResult found = find_correspondence(a, a);
+  ASSERT_TRUE(found.relation.has_value());
+  const auto entries = found.relation->entries();
+  EXPECT_EQ(entries.size(), found.relation->num_pairs());
+  EXPECT_TRUE(std::is_sorted(entries.begin(), entries.end()));
+}
+
+class RandomCorrespondence : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RandomCorrespondence, FoundRelationsAlwaysValidate) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::random_structure(reg, 15, GetParam());
+  const auto b = testing::random_structure(reg, 15, GetParam() + 1000);
+  const FindResult found = find_correspondence(a, b);
+  if (found.relation.has_value()) {
+    EXPECT_TRUE(found.relation->validate().empty());
+  }
+  // Self-correspondence must always exist and validate.
+  const FindResult self = find_correspondence(a, a);
+  ASSERT_TRUE(self.relation.has_value());
+  EXPECT_TRUE(self.relation->validate().empty());
+}
+
+TEST_P(RandomCorrespondence, CorrespondenceImpliesFormulaAgreement) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::random_structure(reg, 12, GetParam());
+  const auto b = testing::random_structure(reg, 12, GetParam() + 2000);
+  if (!correspond(a, b)) return;
+  mc::Checker ca(a);
+  mc::Checker cb(b);
+  for (const char* text : {"A G p", "E F (p & q)", "A (p U q)", "E G q",
+                           "A F (p | q)", "E (q U (p & E F q))"}) {
+    const auto f = logic::parse_formula(text);
+    EXPECT_EQ(ca.holds_initially(f), cb.holds_initially(f))
+        << text << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCorrespondence,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u));
+
+}  // namespace
+}  // namespace ictl::bisim

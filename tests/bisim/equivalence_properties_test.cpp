@@ -1,0 +1,98 @@
+// Meta-properties of the Section 3 relation, checked on batteries of
+// structures: it behaves like an equivalence (reflexive, symmetric,
+// transitive on the coarsest relations the decision procedure produces),
+// degrees are monotone (valid at k implies valid at k+1), and it refines
+// stuttering equivalence while being refined by strong bisimulation.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "bisim/correspondence.hpp"
+#include "bisim/strong_bisim.hpp"
+#include "bisim/stuttering.hpp"
+
+namespace ictl::bisim {
+namespace {
+
+class EquivalenceProperties : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EquivalenceProperties, SelfRelationIsReflexiveSymmetricTransitive) {
+  auto reg = kripke::make_registry();
+  const auto m = testing::random_structure(reg, 20, GetParam());
+  const FindResult found = find_correspondence(m, m);
+  ASSERT_TRUE(found.relation.has_value());
+  const auto& rel = *found.relation;
+  const auto n = static_cast<kripke::StateId>(m.num_states());
+  for (kripke::StateId s = 0; s < n; ++s) EXPECT_TRUE(rel.related(s, s)) << s;
+  for (kripke::StateId s = 0; s < n; ++s)
+    for (kripke::StateId t = 0; t < n; ++t)
+      EXPECT_EQ(rel.related(s, t), rel.related(t, s)) << s << "," << t;
+  for (kripke::StateId a = 0; a < n; ++a)
+    for (kripke::StateId b = 0; b < n; ++b) {
+      if (!rel.related(a, b)) continue;
+      for (kripke::StateId c = 0; c < n; ++c) {
+        if (rel.related(b, c)) {
+          EXPECT_TRUE(rel.related(a, c)) << a << "," << b << "," << c;
+        }
+      }
+    }
+}
+
+TEST_P(EquivalenceProperties, CorrespondenceIsSymmetricAcrossStructures) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::random_structure(reg, 15, GetParam());
+  const auto b = testing::random_structure(reg, 15, GetParam() + 3000);
+  EXPECT_EQ(correspond(a, b), correspond(b, a));
+}
+
+TEST_P(EquivalenceProperties, DegreesAreUpwardClosed) {
+  // If the relation with minimal degrees is valid, bumping every degree by
+  // one must stay valid: the clauses are monotone in k.
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 2 + GetParam() % 4);
+  const FindResult found = find_correspondence(a, b);
+  ASSERT_TRUE(found.relation.has_value());
+  CorrespondenceRelation bumped(a, b);
+  for (const auto& [s, t, k] : found.relation->entries()) bumped.add(s, t, k + 1);
+  EXPECT_TRUE(bumped.validate().empty());
+}
+
+TEST_P(EquivalenceProperties, LoweringAMinimalDegreeBreaksValidity) {
+  // Conversely, minimal degrees are tight: lowering any nonzero one by one
+  // must produce a violation somewhere in the relation.
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 3 + GetParam() % 3);
+  const FindResult found = find_correspondence(a, b);
+  ASSERT_TRUE(found.relation.has_value());
+  bool lowered_any = false;
+  for (const auto& [s, t, k] : found.relation->entries()) {
+    if (k == 0) continue;
+    lowered_any = true;
+    CorrespondenceRelation mutant(a, b);
+    for (const auto& [s2, t2, k2] : found.relation->entries())
+      mutant.add(s2, t2, (s2 == s && t2 == t) ? k - 1 : k2);
+    EXPECT_FALSE(mutant.validate(1).empty())
+        << "lowering (" << s << "," << t << ") to " << k - 1 << " stayed valid";
+  }
+  EXPECT_TRUE(lowered_any);
+}
+
+TEST_P(EquivalenceProperties, SandwichedBetweenStrongAndStuttering) {
+  // strong bisimilarity ⇒ correspondence ⇒ stuttering equivalence.
+  auto reg = kripke::make_registry();
+  const auto a = testing::random_structure(reg, 14, GetParam());
+  const auto b = testing::random_structure(reg, 14, GetParam() + 4000);
+  if (strongly_bisimilar(a, b)) {
+    EXPECT_TRUE(correspond(a, b));
+  }
+  if (correspond(a, b)) {
+    EXPECT_TRUE(stuttering_equivalent(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceProperties,
+                         ::testing::Values(1u, 2u, 5u, 11u, 23u, 47u));
+
+}  // namespace
+}  // namespace ictl::bisim

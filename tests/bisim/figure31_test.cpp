@@ -1,0 +1,87 @@
+// Reproduction of Fig. 3.1: "state s1 exactly matches state s1'', so these
+// states can correspond with degree 0.  State s1' can reach an exact match
+// with s1 within 2 transitions, so these two states can correspond with
+// degree 2."
+//
+// M  :  s1{a} -> y{b} -> s1
+// M' :  s1'{a} -> s1''{a} -> s1'''{a} -> y'{b} -> s1'
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "bisim/correspondence.hpp"
+
+namespace ictl::bisim {
+namespace {
+
+class Figure31 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reg_ = kripke::make_registry();
+    m_ = std::make_unique<kripke::Structure>(testing::two_state_loop(reg_));
+    m_prime_ = std::make_unique<kripke::Structure>(testing::stuttered_loop(reg_, 3));
+    FindResult found = find_correspondence(*m_, *m_prime_);
+    ASSERT_TRUE(found.relation.has_value());
+    relation_ = std::make_unique<CorrespondenceRelation>(std::move(*found.relation));
+  }
+
+  kripke::PropRegistryPtr reg_;
+  std::unique_ptr<kripke::Structure> m_;
+  std::unique_ptr<kripke::Structure> m_prime_;
+  std::unique_ptr<CorrespondenceRelation> relation_;
+};
+
+TEST_F(Figure31, ExactMatchHasDegreeZero) {
+  // s1 (state 0 of M) exactly matches the LAST a-state (state 2 of M').
+  ASSERT_TRUE(relation_->related(0, 2));
+  EXPECT_EQ(*relation_->min_degree(0, 2), 0u);
+}
+
+TEST_F(Figure31, TwoStuttersAwayHasDegreeTwo) {
+  // s1' (state 0 of M', two inert steps from the exact match) corresponds
+  // to s1 with degree exactly 2, as the figure's caption states.
+  ASSERT_TRUE(relation_->related(0, 0));
+  EXPECT_EQ(*relation_->min_degree(0, 0), 2u);
+}
+
+TEST_F(Figure31, IntermediateStateHasDegreeOne) {
+  ASSERT_TRUE(relation_->related(0, 1));
+  EXPECT_EQ(*relation_->min_degree(0, 1), 1u);
+}
+
+TEST_F(Figure31, BStatesMatchExactly) {
+  ASSERT_TRUE(relation_->related(1, 3));
+  EXPECT_EQ(*relation_->min_degree(1, 3), 0u);
+}
+
+TEST_F(Figure31, MinimalDegreeEqualsDistanceToExactMatch) {
+  // The paper: "the minimal degree of correspondence is equal to the minimal
+  // number of transitions until an exact match is reached".  For the a-run
+  // of length L, the k-th state from the end has degree k.
+  for (std::size_t run = 2; run <= 6; ++run) {
+    auto reg = kripke::make_registry();
+    const auto a = testing::two_state_loop(reg);
+    const auto b = testing::stuttered_loop(reg, run);
+    const FindResult found = find_correspondence(a, b);
+    ASSERT_TRUE(found.relation.has_value()) << run;
+    for (std::size_t pos = 0; pos < run; ++pos) {
+      ASSERT_TRUE(found.relation->related(0, static_cast<kripke::StateId>(pos)));
+      EXPECT_EQ(*found.relation->min_degree(0, static_cast<kripke::StateId>(pos)),
+                run - 1 - pos)
+          << "run " << run << " pos " << pos;
+    }
+  }
+}
+
+TEST_F(Figure31, DegreesBoundedByStateCountSum) {
+  // Section 3: minimal degrees are bounded by |S| + |S'|.
+  const std::size_t bound = m_->num_states() + m_prime_->num_states();
+  for (const auto& [s, s2, degree] : relation_->entries())
+    EXPECT_LE(degree, bound) << s << "," << s2;
+}
+
+TEST_F(Figure31, RelationPassesTheLiteralClauseChecker) {
+  EXPECT_TRUE(relation_->validate().empty());
+}
+
+}  // namespace
+}  // namespace ictl::bisim

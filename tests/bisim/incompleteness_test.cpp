@@ -1,0 +1,141 @@
+// Reproduction finding #2: the paper's finite correspondence (Section 3) is
+// sound for CTL* without nexttime (Theorem 2) but NOT complete.
+//
+// The minimal witness: an inert q-cycle {0, 2} whose two states offer
+// different immediate p-exits (0 -> 1, 2 -> 3, with 1 and 3 inequivalent
+// p-states).  The divergence-sensitive stuttering quotient merges 0 and 2
+// into one self-looping state offering both exits.  Original and quotient
+// are stuttering bisimilar and agree on every CTL*-without-X formula we
+// throw at them, but NO correspondence relation exists: to answer the
+// quotient's B2-exit from state 0 (which lacks one), clause 2c forces
+// degree(0, B0) > degree(2, B0); symmetrically for state 2 and the B1-exit,
+// degree(2, B0) > degree(0, B0) — the degrees would have to decrease
+// forever, and the paper's degrees are finite by definition.
+#include <gtest/gtest.h>
+
+#include "bisim/correspondence.hpp"
+#include "bisim/quotient.hpp"
+#include "bisim/stuttering.hpp"
+#include "kripke/text_format.hpp"
+#include "logic/parser.hpp"
+#include "mc/ctlstar_checker.hpp"
+
+namespace ictl::bisim {
+namespace {
+
+constexpr const char* kWitnessModel = R"(
+state 0
+label 0 q
+state 1
+label 1 p
+state 2
+label 2 q
+state 3
+label 3 p
+edge 0 1
+edge 0 2
+edge 1 0
+edge 2 0
+edge 2 3
+edge 3 1
+edge 3 3
+init 0
+)";
+
+class Incompleteness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reg_ = kripke::make_registry();
+    m_ = std::make_unique<kripke::Structure>(kripke::parse_structure(kWitnessModel, reg_));
+    partition_ = std::make_unique<Partition>(
+        stuttering_partition(*m_, {.divergence_sensitive = true}));
+    auto q = quotient_stuttering(*m_, *partition_);
+    quotient_ = std::make_unique<kripke::Structure>(std::move(q.structure));
+  }
+
+  kripke::PropRegistryPtr reg_;
+  std::unique_ptr<kripke::Structure> m_;
+  std::unique_ptr<Partition> partition_;
+  std::unique_ptr<kripke::Structure> quotient_;
+};
+
+TEST_F(Incompleteness, TheInertCycleCollapses) {
+  EXPECT_EQ(m_->num_states(), 4u);
+  EXPECT_EQ(partition_->num_blocks(), 3u);
+  EXPECT_TRUE(partition_->same_block(0, 2));
+  EXPECT_FALSE(partition_->same_block(1, 3));
+}
+
+TEST_F(Incompleteness, WithinTheStructureTheCycleStatesCorrespond) {
+  // Inside m, states 0 and 2 correspond: each can "advance toward the
+  // identity pair".  The paper's notion handles this fine.
+  const FindResult self = find_correspondence(*m_, *m_);
+  ASSERT_TRUE(self.relation.has_value());
+  EXPECT_TRUE(self.relation->related(0, 2));
+  EXPECT_TRUE(self.relation->related(2, 0));
+}
+
+TEST_F(Incompleteness, QuotientIsStutteringBisimilar) {
+  EXPECT_TRUE(stuttering_equivalent(*m_, *quotient_, {.divergence_sensitive = true}));
+}
+
+TEST_F(Incompleteness, QuotientAgreesOnFormulas) {
+  mc::Checker original(*m_);
+  mc::Checker collapsed(*quotient_);
+  for (const char* text : {
+           "E F (p & E G p)", "E (q U (p & E G p))", "E (q U (p & !E G p))",
+           "A (q U p)", "A F (p & E G p)", "E G (q | p)",
+           "E F (q & A (q U (p & E G p)))", "E F (q & A (q U (p & !E G p)))",
+           "A G (q -> A F p)", "E G E F p", "A F A G (p | q)",
+       }) {
+    const auto f = logic::parse_formula(text);
+    EXPECT_EQ(original.holds_initially(f), collapsed.holds_initially(f)) << text;
+  }
+}
+
+TEST_F(Incompleteness, YetNoFiniteCorrespondenceExists) {
+  // The finding itself: Section 3's degree-bounded relation cannot relate
+  // the structure to its logically equivalent quotient.
+  EXPECT_FALSE(correspond(*m_, *quotient_));
+  // Not a pre-filter artifact:
+  FindOptions no_prefilter;
+  no_prefilter.use_stuttering_prefilter = false;
+  EXPECT_FALSE(correspond(*m_, *quotient_, no_prefilter));
+  // And not a degree-cap artifact: a generous cap changes nothing, because
+  // the failure is a cyclic strict decrease, not an exhausted budget.
+  FindOptions generous;
+  generous.degree_cap = 200;
+  EXPECT_FALSE(correspond(*m_, *quotient_, generous));
+}
+
+TEST_F(Incompleteness, BreakingTheExitAsymmetryRestoresCorrespondence) {
+  // Control experiment: make both cycle states offer BOTH exits; the
+  // quotient then corresponds, confirming the diagnosis.
+  auto reg = kripke::make_registry();
+  kripke::StructureBuilder b(reg);
+  const auto p = reg->plain("p");
+  const auto q = reg->plain("q");
+  const auto s0 = b.add_state({q});
+  const auto s1 = b.add_state({p});
+  const auto s2 = b.add_state({q});
+  const auto s3 = b.add_state({p});
+  b.add_transition(s0, s1);
+  b.add_transition(s0, s2);
+  b.add_transition(s0, s3);  // 0 now also exits to 3
+  b.add_transition(s1, s0);
+  b.add_transition(s2, s0);
+  b.add_transition(s2, s3);
+  b.add_transition(s2, s1);  // 2 now also exits to 1
+  b.add_transition(s3, s1);
+  b.add_transition(s3, s3);
+  b.set_initial(s0);
+  const auto symmetric = std::move(b).build();
+  const auto partition =
+      stuttering_partition(symmetric, {.divergence_sensitive = true});
+  ASSERT_TRUE(partition.same_block(0, 2));
+  const auto collapsed = quotient_stuttering(symmetric, partition);
+  EXPECT_TRUE(correspond(symmetric, collapsed.structure));
+}
+
+}  // namespace
+}  // namespace ictl::bisim

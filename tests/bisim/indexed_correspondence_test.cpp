@@ -1,0 +1,119 @@
+#include "bisim/indexed_correspondence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.hpp"
+#include "ring/ring.hpp"
+#include "ring/ring_correspondence.hpp"
+
+namespace ictl::bisim {
+namespace {
+
+TEST(IndexedCorrespondence, RingBaseThreeCorresponds) {
+  const auto m3 = ring::RingSystem::build(3);
+  const auto m4 = ring::RingSystem::build(4, m3.structure().registry());
+  for (const IndexPair p : ring::ring_index_relation(3, 4)) {
+    const auto found =
+        find_indexed_correspondence(m3.structure(), m4.structure(), p.i, p.i2);
+    EXPECT_TRUE(found.corresponds()) << p.i << "," << p.i2;
+    if (found.corresponds()) {
+      EXPECT_EQ(found.initial_degree(), 0u);
+      EXPECT_TRUE(found.relation->validate().empty());
+    }
+  }
+}
+
+TEST(IndexedCorrespondence, TwoProcessRingDoesNotCorrespondToThree) {
+  // The reproduction finding: the paper's base case fails.
+  const auto m2 = ring::RingSystem::build(2);
+  const auto m3 = ring::RingSystem::build(3, m2.structure().registry());
+  for (const IndexPair p : ring::ring_index_relation(2, 3)) {
+    const auto found =
+        find_indexed_correspondence(m2.structure(), m3.structure(), p.i, p.i2);
+    EXPECT_FALSE(found.corresponds()) << p.i << "," << p.i2;
+  }
+}
+
+TEST(IndexedCorrespondence, ResultOwnsItsReductions) {
+  const auto m3 = ring::RingSystem::build(3);
+  const auto m4 = ring::RingSystem::build(4, m3.structure().registry());
+  IndexedFindResult found =
+      find_indexed_correspondence(m3.structure(), m4.structure(), 1, 1);
+  ASSERT_TRUE(found.corresponds());
+  // Moving the result keeps the relation usable (structures are heap-owned).
+  IndexedFindResult moved = std::move(found);
+  EXPECT_TRUE(moved.relation->related(moved.reduced1->initial(),
+                                      moved.reduced2->initial()));
+  EXPECT_TRUE(moved.relation->validate().empty());
+}
+
+TEST(Theorem5, CertificateForRingBaseThree) {
+  const auto m3 = ring::RingSystem::build(3);
+  const auto m5 = ring::RingSystem::build(5, m3.structure().registry());
+  const Theorem5Certificate cert = certify_theorem5(
+      m3.structure(), m5.structure(), ring::ring_index_relation(3, 5));
+  EXPECT_TRUE(cert.valid) << (cert.notes.empty() ? "" : cert.notes.front());
+  ASSERT_EQ(cert.initial_degrees.size(), cert.in_relation.size());
+  for (const auto d : cert.initial_degrees) EXPECT_EQ(d, 0u);
+}
+
+TEST(Theorem5, CertificateFailsForPaperBaseTwo) {
+  const auto m2 = ring::RingSystem::build(2);
+  const auto m4 = ring::RingSystem::build(4, m2.structure().registry());
+  const Theorem5Certificate cert = certify_theorem5(
+      m2.structure(), m4.structure(), ring::ring_index_relation(2, 4));
+  EXPECT_FALSE(cert.valid);
+  EXPECT_FALSE(cert.notes.empty());
+}
+
+TEST(Theorem5, NonTotalInRelationIsRejected) {
+  const auto m3 = ring::RingSystem::build(3);
+  const auto m4 = ring::RingSystem::build(4, m3.structure().registry());
+  // Leave index 4 of I' uncovered.
+  const std::vector<IndexPair> partial = {{1, 1}, {2, 2}, {3, 3}};
+  const Theorem5Certificate cert =
+      certify_theorem5(m3.structure(), m4.structure(), partial);
+  EXPECT_FALSE(cert.valid);
+  bool totality_note = false;
+  for (const auto& note : cert.notes)
+    totality_note |= note.find("not total") != std::string::npos;
+  EXPECT_TRUE(totality_note);
+}
+
+TEST(Theorem5, UnknownIndicesAreRejected) {
+  const auto m3 = ring::RingSystem::build(3);
+  const auto m4 = ring::RingSystem::build(4, m3.structure().registry());
+  std::vector<IndexPair> in = ring::ring_index_relation(3, 4);
+  in.push_back({9, 9});
+  const Theorem5Certificate cert = certify_theorem5(m3.structure(), m4.structure(), in);
+  EXPECT_FALSE(cert.valid);
+}
+
+TEST(Theorem5, TransfersOnlyRestrictedFormulas) {
+  const auto m3 = ring::RingSystem::build(3);
+  const auto m4 = ring::RingSystem::build(4, m3.structure().registry());
+  const Theorem5Certificate cert = certify_theorem5(
+      m3.structure(), m4.structure(), ring::ring_index_relation(3, 4));
+  ASSERT_TRUE(cert.valid);
+  std::string why;
+  EXPECT_TRUE(
+      cert.transfers(logic::parse_formula("forall i. AG(d[i] -> AF c[i])"), &why))
+      << why;
+  // Quantifier under an eventuality: restricted logic says no.
+  EXPECT_FALSE(cert.transfers(logic::parse_formula("EF (exists i. c[i])"), &why));
+  EXPECT_NE(why.find("restricted"), std::string::npos);
+  // Concrete index: not closed.
+  EXPECT_FALSE(cert.transfers(logic::parse_formula("AG (c[1] -> t[1])"), &why));
+}
+
+TEST(Theorem5, InvalidCertificateTransfersNothing) {
+  Theorem5Certificate cert;
+  cert.valid = false;
+  cert.notes.push_back("by construction");
+  std::string why;
+  EXPECT_FALSE(cert.transfers(logic::parse_formula("AG (one t)"), &why));
+  EXPECT_NE(why.find("invalid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ictl::bisim

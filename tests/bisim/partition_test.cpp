@@ -1,0 +1,75 @@
+#include "bisim/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace ictl::bisim {
+namespace {
+
+TEST(Partition, StartsWithOneBlock) {
+  Partition p(5);
+  EXPECT_EQ(p.num_blocks(), 1u);
+  EXPECT_EQ(p.num_states(), 5u);
+  EXPECT_TRUE(p.same_block(0, 4));
+}
+
+TEST(Partition, ByLabelsGroupsEqualLabels) {
+  auto reg = kripke::make_registry();
+  const auto m = testing::stuttered_loop(reg, 3);  // a a a b
+  const Partition p = Partition::by_labels(m);
+  EXPECT_EQ(p.num_blocks(), 2u);
+  EXPECT_TRUE(p.same_block(0, 1));
+  EXPECT_TRUE(p.same_block(1, 2));
+  EXPECT_FALSE(p.same_block(0, 3));
+}
+
+TEST(Partition, RefineSplitsBySignature) {
+  Partition p(4);
+  const bool changed =
+      p.refine([](kripke::StateId s) { return Partition::Signature{s % 2}; });
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(p.num_blocks(), 2u);
+  EXPECT_TRUE(p.same_block(0, 2));
+  EXPECT_TRUE(p.same_block(1, 3));
+  EXPECT_FALSE(p.same_block(0, 1));
+}
+
+TEST(Partition, RefineIsStableOnConstantSignature) {
+  Partition p(4);
+  EXPECT_FALSE(p.refine([](kripke::StateId) { return Partition::Signature{7}; }));
+  EXPECT_EQ(p.num_blocks(), 1u);
+}
+
+TEST(Partition, RefineToFixpointTerminates) {
+  Partition p(8);
+  // Signature: state id itself — fully discrete in one round, stable after.
+  p.refine_to_fixpoint(
+      [](kripke::StateId s) { return Partition::Signature{s}; });
+  EXPECT_EQ(p.num_blocks(), 8u);
+}
+
+TEST(Partition, BlocksCoverAllStates) {
+  Partition p(6);
+  p.refine([](kripke::StateId s) { return Partition::Signature{s / 2}; });
+  std::size_t total = 0;
+  for (const auto& block : p.blocks()) total += block.size();
+  EXPECT_EQ(total, 6u);
+  for (std::uint32_t b = 0; b < p.num_blocks(); ++b)
+    for (const auto s : p.blocks()[b]) EXPECT_EQ(p.block_of(s), b);
+}
+
+TEST(Partition, RefinementOnlySplitsNeverMerges) {
+  Partition p(6);
+  p.refine([](kripke::StateId s) { return Partition::Signature{s % 3}; });
+  const auto before = p.block_of(0);
+  const auto before3 = p.block_of(3);
+  EXPECT_EQ(before, before3);
+  // A second refinement with a coarser signature must not merge 0 and 1.
+  p.refine([](kripke::StateId) { return Partition::Signature{}; });
+  EXPECT_FALSE(p.same_block(0, 1));
+  EXPECT_TRUE(p.same_block(0, 3));
+}
+
+}  // namespace
+}  // namespace ictl::bisim

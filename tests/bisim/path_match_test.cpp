@@ -1,0 +1,132 @@
+// Constructive Lemma 1: every finite path of M has a block-matched partner
+// path in M'.
+#include "bisim/path_match.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace ictl::bisim {
+namespace {
+
+std::vector<kripke::StateId> walk(const kripke::Structure& m, std::size_t length,
+                                  std::uint32_t seed) {
+  std::vector<kripke::StateId> path{m.initial()};
+  std::uint64_t x = seed + 1;
+  while (path.size() < length) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const auto succ = m.successors(path.back());
+    path.push_back(succ[x % succ.size()]);
+  }
+  return path;
+}
+
+TEST(PathMatch, MatchesSimpleStutteredPath) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 3);
+  FindResult found = find_correspondence(a, b);
+  ASSERT_TRUE(found.relation.has_value());
+  const auto& rel = *found.relation;
+
+  const std::vector<kripke::StateId> path = {0, 1, 0, 1, 0};
+  const auto match = match_path(rel, path, b.initial());
+  ASSERT_TRUE(match.has_value());
+  EXPECT_TRUE(verify_path_match(rel, path, *match));
+}
+
+TEST(PathMatch, MatchesInBothDirections) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 4);
+  // Lemma 1 is symmetric: match paths of b inside a as well.
+  FindResult found_ba = find_correspondence(b, a);
+  ASSERT_TRUE(found_ba.relation.has_value());
+  const std::vector<kripke::StateId> path = {0, 1, 2, 3, 4, 0, 1};
+  const auto match = match_path(*found_ba.relation, path, a.initial());
+  ASSERT_TRUE(match.has_value());
+  EXPECT_TRUE(verify_path_match(*found_ba.relation, path, *match));
+}
+
+TEST(PathMatch, SingleStatePath) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  FindResult found = find_correspondence(a, a);
+  ASSERT_TRUE(found.relation.has_value());
+  const std::vector<kripke::StateId> path = {0};
+  const auto match = match_path(*found.relation, path, 0);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->path2.size(), 1u);
+  EXPECT_TRUE(verify_path_match(*found.relation, path, *match));
+}
+
+TEST(PathMatch, RequiresRelatedStart) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 3);
+  FindResult found = find_correspondence(a, b);
+  ASSERT_TRUE(found.relation.has_value());
+  const std::vector<kripke::StateId> path = {0, 1};
+  // b-state 3 is the {b}-labeled state: unrelated to a-state 0.
+  EXPECT_THROW(static_cast<void>(match_path(*found.relation, path, 3)), ModelError);
+}
+
+TEST(PathMatch, VerifyRejectsBogusMatches) {
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 3);
+  FindResult found = find_correspondence(a, b);
+  ASSERT_TRUE(found.relation.has_value());
+  const std::vector<kripke::StateId> path = {0, 1};
+  PathMatch bogus;
+  bogus.path2 = {0, 3};          // 0 -> 3 is not an edge of b (0 -> 1 -> 2 -> 3)
+  bogus.block_starts1 = {0, 1};
+  bogus.block_starts2 = {0, 1};
+  EXPECT_FALSE(verify_path_match(*found.relation, path, bogus));
+}
+
+class PathMatchSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint32_t>> {};
+
+TEST_P(PathMatchSweep, RandomWalksAlwaysMatch) {
+  const auto [length, seed] = GetParam();
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 2 + seed % 4);
+  FindResult found = find_correspondence(a, b);
+  ASSERT_TRUE(found.relation.has_value());
+  const auto path = walk(a, length, seed);
+  const auto match = match_path(*found.relation, path, b.initial());
+  ASSERT_TRUE(match.has_value()) << "length " << length << " seed " << seed;
+  EXPECT_TRUE(verify_path_match(*found.relation, path, *match));
+  // Lemma 1's block bound.
+  const std::size_t bound = a.num_states() + b.num_states();
+  for (std::size_t j = 0; j < match->block_starts2.size(); ++j) {
+    const std::size_t end = j + 1 < match->block_starts2.size()
+                                ? match->block_starts2[j + 1]
+                                : match->path2.size();
+    EXPECT_LE(end - match->block_starts2[j], bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PathMatchSweep,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{5},
+                                         std::size_t{10}, std::size_t{25}),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+TEST(PathMatch, WorksOnRingReductions) {
+  const auto a = ring::RingSystem::build(3);
+  const auto b = ring::RingSystem::build(4, a.structure().registry());
+  const auto found = find_indexed_correspondence(a.structure(), b.structure(), 2, 2);
+  ASSERT_TRUE(found.corresponds());
+  const auto path = walk(*found.reduced1, 12, 9);
+  const auto match = match_path(*found.relation, path, found.reduced2->initial());
+  ASSERT_TRUE(match.has_value());
+  EXPECT_TRUE(verify_path_match(*found.relation, path, *match));
+}
+
+}  // namespace
+}  // namespace ictl::bisim

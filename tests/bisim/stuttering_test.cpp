@@ -1,0 +1,120 @@
+#include "bisim/stuttering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace ictl::bisim {
+namespace {
+
+TEST(Stuttering, BlocksOfEqualLabelsCollapse) {
+  // The stuttered loop (a a a b) is stuttering-equivalent to the 2-loop.
+  auto reg = kripke::make_registry();
+  const auto a = testing::two_state_loop(reg);
+  const auto b = testing::stuttered_loop(reg, 3);
+  EXPECT_TRUE(stuttering_equivalent(a, b));
+  EXPECT_TRUE(stuttering_equivalent(b, a));
+}
+
+TEST(Stuttering, StillDistinguishesDifferentFutures) {
+  auto reg = kripke::make_registry();
+  const auto pa = reg->plain("a");
+  const auto pb = reg->plain("b");
+  const auto pc = reg->plain("c");
+  // a -> b -> b... versus a -> c -> c...
+  kripke::StructureBuilder b1(reg);
+  const auto x0 = b1.add_state({pa});
+  const auto x1 = b1.add_state({pb});
+  b1.add_transition(x0, x1);
+  b1.add_transition(x1, x1);
+  b1.set_initial(x0);
+  const auto mb = std::move(b1).build();
+  kripke::StructureBuilder b2(reg);
+  const auto y0 = b2.add_state({pa});
+  const auto y1 = b2.add_state({pc});
+  b2.add_transition(y0, y1);
+  b2.add_transition(y1, y1);
+  b2.set_initial(y0);
+  const auto mc = std::move(b2).build();
+  EXPECT_FALSE(stuttering_equivalent(mb, mc));
+}
+
+TEST(Stuttering, BranchPointMatters) {
+  auto reg = kripke::make_registry();
+  const auto pa = reg->plain("a");
+  const auto pb = reg->plain("b");
+  const auto pc = reg->plain("c");
+  // M1: a-state branches to b or c.  M2: a-state commits (two a-states, one
+  // to b, one to c, initial can reach both only via different a-states).
+  kripke::StructureBuilder b1(reg);
+  const auto s0 = b1.add_state({pa});
+  const auto sb = b1.add_state({pb});
+  const auto sc = b1.add_state({pc});
+  b1.add_transition(s0, sb);
+  b1.add_transition(s0, sc);
+  b1.add_transition(sb, sb);
+  b1.add_transition(sc, sc);
+  b1.set_initial(s0);
+  const auto m1 = std::move(b1).build();
+
+  kripke::StructureBuilder b2(reg);
+  const auto t0 = b2.add_state({pa});   // initial, commits to b
+  const auto tb = b2.add_state({pb});
+  b2.add_transition(t0, tb);
+  b2.add_transition(tb, tb);
+  b2.set_initial(t0);
+  const auto m2 = std::move(b2).build();
+  EXPECT_FALSE(stuttering_equivalent(m1, m2));
+}
+
+TEST(Stuttering, DivergenceBlindVersusSensitive) {
+  auto reg = kripke::make_registry();
+  const auto pa = reg->plain("a");
+  const auto pb = reg->plain("b");
+  // M1: a with self-loop AND an exit to b.  M2: a -> b only (no loop).
+  kripke::StructureBuilder b1(reg);
+  const auto s0 = b1.add_state({pa});
+  const auto s1 = b1.add_state({pb});
+  b1.add_transition(s0, s0);
+  b1.add_transition(s0, s1);
+  b1.add_transition(s1, s1);
+  b1.set_initial(s0);
+  const auto m1 = std::move(b1).build();
+  kripke::StructureBuilder b2(reg);
+  const auto t0 = b2.add_state({pa});
+  const auto t1 = b2.add_state({pb});
+  b2.add_transition(t0, t1);
+  b2.add_transition(t1, t1);
+  b2.set_initial(t0);
+  const auto m2 = std::move(b2).build();
+  // Blind: equivalent (both can go a...b).  Sensitive: m1's a-state can
+  // stutter forever (divergence), m2's cannot.
+  EXPECT_TRUE(stuttering_equivalent(m1, m2));
+  StutteringOptions sensitive;
+  sensitive.divergence_sensitive = true;
+  EXPECT_FALSE(stuttering_equivalent(m1, m2, sensitive));
+}
+
+TEST(Stuttering, PartitionRefinesLabels) {
+  auto reg = kripke::make_registry();
+  const auto m = testing::random_structure(reg, 40, 11);
+  const Partition p = stuttering_partition(m);
+  for (const auto& block : p.blocks())
+    for (const auto s : block) EXPECT_TRUE(m.label(s) == m.label(block.front()));
+}
+
+TEST(Stuttering, CoarserThanStrongBisim) {
+  auto reg = kripke::make_registry();
+  const auto m = testing::random_structure(reg, 40, 13);
+  const Partition strong = strong_bisimulation_partition(m);
+  const Partition stutter = stuttering_partition(m);
+  // Every strong-bisim class lies inside one stuttering class.
+  for (const auto& block : strong.blocks()) {
+    for (const auto s : block)
+      EXPECT_EQ(stutter.block_of(s), stutter.block_of(block.front()));
+  }
+  EXPECT_LE(stutter.num_blocks(), strong.num_blocks());
+}
+
+}  // namespace
+}  // namespace ictl::bisim

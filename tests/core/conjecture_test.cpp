@@ -1,0 +1,72 @@
+// Section 6's conjecture, probed empirically on free products: a formula
+// with at most k levels of index quantifiers cannot distinguish free
+// products of more than k identical processes — "It is easy to prove this
+// result when the product of the individual processes is a free product."
+#include <gtest/gtest.h>
+
+#include "logic/classify.hpp"
+#include "mc/indexed_checker.hpp"
+#include "network/counting_family.hpp"
+
+namespace ictl::core {
+namespace {
+
+using network::counting_network;
+using network::depth_k_formula_family;
+
+class ConjectureSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConjectureSweep, DepthKFormulasAgreeBeyondKProcesses) {
+  const std::size_t k = GetParam();
+  // Verdicts of every depth-k formula must coincide on M_n for all n > k.
+  auto reg = kripke::make_registry();
+  std::vector<kripke::Structure> networks;
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = k + 1; n <= k + 3; ++n) {
+    networks.push_back(counting_network(n, reg));
+    sizes.push_back(n);
+  }
+  for (const auto& f : depth_k_formula_family(k)) {
+    ASSERT_EQ(logic::index_quantifier_depth(f), k);
+    const bool base = mc::holds(networks.front(), f);
+    for (std::size_t idx = 1; idx < networks.size(); ++idx) {
+      EXPECT_EQ(mc::holds(networks[idx], f), base)
+          << "depth " << k << " formula differs between sizes " << sizes.front()
+          << " and " << sizes[idx];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ConjectureSweep,
+                         ::testing::Values(std::size_t{0}, std::size_t{1},
+                                           std::size_t{2}, std::size_t{3}));
+
+TEST(Conjecture, DepthKCanDistinguishUpToKProcesses) {
+  // The bound is tight: the depth-k counting formula separates M_k from
+  // M_{k-1}, so "more than k processes" cannot be weakened.
+  auto reg = kripke::make_registry();
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const auto f = network::at_least_k_processes(k);
+    EXPECT_EQ(logic::index_quantifier_depth(f), k);
+    EXPECT_FALSE(mc::holds(counting_network(k - 1 == 0 ? 1 : k - 1, reg), f) &&
+                 k > 1)
+        << k;
+    EXPECT_TRUE(mc::holds(counting_network(k, reg), f)) << k;
+    if (k > 1) {
+      EXPECT_FALSE(mc::holds(counting_network(k - 1, reg), f)) << k;
+    }
+  }
+}
+
+TEST(Conjecture, CountingFormulaStabilizesBeyondItsDepth) {
+  // For n, m > k the depth-k counting formula agrees (it is true in both).
+  auto reg = kripke::make_registry();
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const auto f = network::at_least_k_processes(k);
+    for (std::size_t n = k + 1; n <= k + 3; ++n)
+      EXPECT_TRUE(mc::holds(counting_network(n, reg), f)) << k << "," << n;
+  }
+}
+
+}  // namespace
+}  // namespace ictl::core

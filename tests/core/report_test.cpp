@@ -1,0 +1,44 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.hpp"
+#include "ring/ring.hpp"
+
+namespace ictl::core {
+namespace {
+
+TEST(Report, RendersTransferredVerdicts) {
+  RingMutexFamily family;
+  const std::vector<std::uint32_t> sizes = {4, 1000};
+  const auto result =
+      verify_for_all(family, ring::property_eventually_critical(), 3, sizes);
+  const std::string text = to_string(result);
+  EXPECT_NE(text.find("size 3"), std::string::npos);
+  EXPECT_NE(text.find("holds"), std::string::npos);
+  EXPECT_NE(text.find("size 1000"), std::string::npos);
+  EXPECT_NE(text.find("analytic certificate"), std::string::npos);
+  EXPECT_NE(text.find("Theorem 5 applies"), std::string::npos);
+}
+
+TEST(Report, RendersRestrictionFailures) {
+  RingMutexFamily family;
+  const auto f = logic::parse_formula("EF (exists i. c[i])");
+  const std::vector<std::uint32_t> sizes = {4};
+  const auto result = verify_for_all(family, f, 3, sizes);
+  const std::string text = to_string(result);
+  EXPECT_NE(text.find("OUTSIDE the restricted logic"), std::string::npos);
+  EXPECT_NE(text.find("no transfer"), std::string::npos);
+}
+
+TEST(Report, RendersFailingBaseVerdicts) {
+  RingMutexFamily family;
+  const auto f = logic::parse_formula("forall i. AF c[i]");  // fails: no fairness
+  const std::vector<std::uint32_t> sizes = {4};
+  const auto result = verify_for_all(family, f, 3, sizes);
+  const std::string text = to_string(result);
+  EXPECT_NE(text.find("fails"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ictl::core

@@ -1,0 +1,72 @@
+// Shared structure builders for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ictl.hpp"
+
+namespace ictl::testing {
+
+/// A two-state loop a -> b -> a with labels {a} and {b}.
+inline kripke::Structure two_state_loop(kripke::PropRegistryPtr reg) {
+  kripke::StructureBuilder b(reg);
+  const auto pa = reg->plain("a");
+  const auto pb = reg->plain("b");
+  const auto s0 = b.add_state({pa});
+  const auto s1 = b.add_state({pb});
+  b.add_transition(s0, s1);
+  b.add_transition(s1, s0);
+  b.set_initial(s0);
+  return std::move(b).build();
+}
+
+/// The stuttered variant: a -> a -> a -> b -> (first a).  Corresponds to
+/// two_state_loop with degrees 2, 1, 0 against the first/second/third
+/// a-state — the Fig. 3.1 situation.
+inline kripke::Structure stuttered_loop(kripke::PropRegistryPtr reg,
+                                        std::size_t a_run = 3) {
+  kripke::StructureBuilder b(reg);
+  const auto pa = reg->plain("a");
+  const auto pb = reg->plain("b");
+  std::vector<kripke::StateId> as;
+  for (std::size_t i = 0; i < a_run; ++i) as.push_back(b.add_state({pa}));
+  const auto sb = b.add_state({pb});
+  for (std::size_t i = 0; i + 1 < a_run; ++i) b.add_transition(as[i], as[i + 1]);
+  b.add_transition(as.back(), sb);
+  b.add_transition(sb, as.front());
+  b.set_initial(as.front());
+  return std::move(b).build();
+}
+
+/// A deterministic pseudo-random total structure over propositions {p, q}.
+/// Same seed, same structure: usable in parameterized sweeps.
+inline kripke::Structure random_structure(kripke::PropRegistryPtr reg,
+                                          std::uint32_t num_states,
+                                          std::uint32_t seed) {
+  kripke::StructureBuilder b(reg);
+  const auto pp = reg->plain("p");
+  const auto pq = reg->plain("q");
+  std::uint64_t x = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (std::uint32_t s = 0; s < num_states; ++s) {
+    std::vector<kripke::PropId> props;
+    if (next() & 1) props.push_back(pp);
+    if (next() & 1) props.push_back(pq);
+    b.add_state(props);
+  }
+  for (std::uint32_t s = 0; s < num_states; ++s) {
+    const std::uint32_t out_degree = 1 + next() % 3;
+    for (std::uint32_t k = 0; k < out_degree; ++k)
+      b.add_transition(s, static_cast<kripke::StateId>(next() % num_states));
+  }
+  b.set_initial(0);
+  return kripke::restrict_to_reachable(std::move(b).build());
+}
+
+}  // namespace ictl::testing

@@ -1,0 +1,93 @@
+// Section 2's remark, reproduced: with the nexttime operator X the logic
+// can count the ring size —  AG(t_1 -> XXX t_1)  holds exactly when the ring
+// has three processes — which is why the paper (and the public API) exclude
+// X.
+#include <gtest/gtest.h>
+
+#include "ictl.hpp"
+
+namespace ictl {
+namespace {
+
+logic::FormulaPtr parse_x(const char* text) {
+  logic::ParseOptions options;
+  options.allow_nexttime = true;
+  return logic::parse_formula(text, options);
+}
+
+TEST(Nexttime, PublicParserRejectsX) {
+  EXPECT_THROW(static_cast<void>(logic::parse_formula("AG (t[1] -> X X X t[1])")),
+               LogicError);
+}
+
+TEST(Nexttime, RestrictionCheckerFlagsX) {
+  const auto f = parse_x("forall i. AG X c[i]");
+  EXPECT_FALSE(logic::is_restricted_ictl(f));
+}
+
+TEST(Nexttime, CountingRingsWithXXX) {
+  // A deterministic token-circulation ring: the token moves one step left
+  // per transition (a ring where everyone is always delayed, modeled
+  // directly as a cycle of token positions).  AG(t[1] -> XXXt[1]) holds iff
+  // the ring has exactly 3 positions — the paper's example formula.
+  auto build_circulator = [](std::uint32_t r) {
+    auto reg = kripke::make_registry();
+    kripke::StructureBuilder b(reg);
+    std::vector<kripke::StateId> states;
+    for (std::uint32_t pos = 0; pos < r; ++pos)
+      states.push_back(b.add_state({reg->indexed("t", pos + 1)}));
+    for (std::uint32_t pos = 0; pos < r; ++pos)
+      b.add_transition(states[pos], states[(pos + 1) % r]);
+    b.set_initial(states[0]);
+    std::vector<std::uint32_t> indices(r);
+    for (std::uint32_t i = 0; i < r; ++i) indices[i] = i + 1;
+    b.set_index_set(indices);
+    return std::move(b).build();
+  };
+
+  const auto counting = parse_x("AG (t[1] -> X X X t[1])");
+  for (std::uint32_t r = 2; r <= 6; ++r) {
+    const auto m = build_circulator(r);
+    mc::Checker checker(m);
+    EXPECT_EQ(checker.holds_initially(counting), r == 3) << "r=" << r;
+  }
+}
+
+TEST(Nexttime, XFreeFormulasCannotCountTheCirculator) {
+  // Counterpoint: the X-free specification "the token always eventually
+  // returns" holds at every size, as Theorem 5 predicts for closed
+  // restricted formulas.
+  auto build_circulator = [](std::uint32_t r) {
+    auto reg = kripke::make_registry();
+    kripke::StructureBuilder b(reg);
+    std::vector<kripke::StateId> states;
+    for (std::uint32_t pos = 0; pos < r; ++pos)
+      states.push_back(b.add_state({reg->indexed("t", pos + 1)}));
+    for (std::uint32_t pos = 0; pos < r; ++pos)
+      b.add_transition(states[pos], states[(pos + 1) % r]);
+    b.set_initial(states[0]);
+    std::vector<std::uint32_t> indices(r);
+    for (std::uint32_t i = 0; i < r; ++i) indices[i] = i + 1;
+    b.set_index_set(indices);
+    return std::move(b).build();
+  };
+  const auto spec = logic::parse_formula("forall i. AG (t[i] -> AF t[i])");
+  for (std::uint32_t r = 2; r <= 6; ++r)
+    EXPECT_TRUE(mc::holds(build_circulator(r), spec)) << r;
+}
+
+TEST(Nexttime, InternalCheckerHandlesXCorrectly) {
+  // EX/AX sanity on a known structure: initial ring state.
+  const auto sys = ring::RingSystem::build(3);
+  mc::Checker checker(sys.structure());
+  // From s0, process 1 keeps the token in every immediate successor
+  // (delays and rule 3 don't move it).
+  EXPECT_TRUE(checker.holds_initially(parse_x("A X t[1]")));
+  // Some successor puts process 1 into its critical section (rule 3).
+  EXPECT_TRUE(checker.holds_initially(parse_x("E X c[1]")));
+  // No immediate successor gives the token away (nobody is delayed yet).
+  EXPECT_FALSE(checker.holds_initially(parse_x("E X t[2]")));
+}
+
+}  // namespace
+}  // namespace ictl

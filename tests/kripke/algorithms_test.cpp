@@ -1,0 +1,136 @@
+#include "kripke/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace ictl::kripke {
+namespace {
+
+Structure chain_with_cycle(PropRegistryPtr reg) {
+  // 0 -> 1 -> 2 -> 3 -> 2 (cycle at the end), 0 -> 4 -> 4.
+  StructureBuilder b(reg);
+  for (int i = 0; i < 5; ++i) b.add_state({});
+  b.add_transition(0, 1);
+  b.add_transition(1, 2);
+  b.add_transition(2, 3);
+  b.add_transition(3, 2);
+  b.add_transition(0, 4);
+  b.add_transition(4, 4);
+  b.set_initial(0);
+  return std::move(b).build();
+}
+
+TEST(ForwardReachable, FromSingleState) {
+  auto reg = make_registry();
+  const Structure m = chain_with_cycle(reg);
+  const auto r = forward_reachable(m, 1);
+  EXPECT_TRUE(r.test(1));
+  EXPECT_TRUE(r.test(2));
+  EXPECT_TRUE(r.test(3));
+  EXPECT_FALSE(r.test(0));
+  EXPECT_FALSE(r.test(4));
+}
+
+TEST(ForwardReachable, FromSet) {
+  auto reg = make_registry();
+  const Structure m = chain_with_cycle(reg);
+  support::DynamicBitset seed(m.num_states());
+  seed.set(4);
+  const auto r = forward_reachable(m, seed);
+  EXPECT_EQ(r.count(), 1u);
+  EXPECT_TRUE(r.test(4));
+}
+
+TEST(BackwardReachable, FindsAllAncestors) {
+  auto reg = make_registry();
+  const Structure m = chain_with_cycle(reg);
+  support::DynamicBitset targets(m.num_states());
+  targets.set(3);
+  const auto r = backward_reachable(m, targets);
+  EXPECT_TRUE(r.test(0));
+  EXPECT_TRUE(r.test(1));
+  EXPECT_TRUE(r.test(2));
+  EXPECT_TRUE(r.test(3));
+  EXPECT_FALSE(r.test(4));
+}
+
+TEST(BackwardReachable, RespectsWithinRestriction) {
+  auto reg = make_registry();
+  const Structure m = chain_with_cycle(reg);
+  support::DynamicBitset targets(m.num_states());
+  targets.set(3);
+  support::DynamicBitset within(m.num_states());
+  within.set(2);  // only state 2 may be traversed
+  const auto r = backward_reachable(m, targets, &within);
+  EXPECT_TRUE(r.test(2));
+  EXPECT_FALSE(r.test(1));
+  EXPECT_FALSE(r.test(0));
+}
+
+TEST(Scc, FindsComponentsInReverseTopologicalOrder) {
+  auto reg = make_registry();
+  const Structure m = chain_with_cycle(reg);
+  const SccDecomposition scc = strongly_connected_components(m);
+  // Components: {2,3} cycle, {4} self-loop, {0}, {1} singletons.
+  EXPECT_EQ(scc.components.size(), 4u);
+  EXPECT_EQ(scc.component_of[2], scc.component_of[3]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[1]);
+  // Reverse topological: a successor's component appears before its
+  // predecessor's.
+  EXPECT_LT(scc.component_of[2], scc.component_of[1]);
+  EXPECT_LT(scc.component_of[1], scc.component_of[0]);
+}
+
+TEST(Scc, NontrivialDetection) {
+  auto reg = make_registry();
+  const Structure m = chain_with_cycle(reg);
+  const SccDecomposition scc = strongly_connected_components(m);
+  EXPECT_TRUE(scc.is_nontrivial(m, scc.component_of[2]));   // 2-cycle
+  EXPECT_TRUE(scc.is_nontrivial(m, scc.component_of[4]));   // self-loop
+  EXPECT_FALSE(scc.is_nontrivial(m, scc.component_of[0]));  // no loop
+}
+
+TEST(Scc, WholeGraphStronglyConnected) {
+  auto reg = make_registry();
+  const Structure m = testing::two_state_loop(reg);
+  const SccDecomposition scc = strongly_connected_components(m);
+  EXPECT_EQ(scc.components.size(), 1u);
+  EXPECT_TRUE(scc.is_nontrivial(m, 0));
+}
+
+class RandomStructureSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RandomStructureSweep, SccPartitionsAllStates) {
+  auto reg = make_registry();
+  const Structure m = testing::random_structure(reg, 60, GetParam());
+  const SccDecomposition scc = strongly_connected_components(m);
+  std::size_t total = 0;
+  for (const auto& comp : scc.components) total += comp.size();
+  EXPECT_EQ(total, m.num_states());
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    ASSERT_LT(scc.component_of[s], scc.components.size());
+    const auto& comp = scc.components[scc.component_of[s]];
+    EXPECT_NE(std::find(comp.begin(), comp.end(), s), comp.end());
+  }
+}
+
+TEST_P(RandomStructureSweep, ForwardBackwardDuality) {
+  // t reachable from s  <=>  s backward-reachable from {t}.
+  auto reg = make_registry();
+  const Structure m = testing::random_structure(reg, 40, GetParam());
+  const StateId s = 0;
+  const auto fwd = forward_reachable(m, s);
+  for (StateId t = 0; t < m.num_states(); ++t) {
+    support::DynamicBitset target(m.num_states());
+    target.set(t);
+    const auto bwd = backward_reachable(m, target);
+    EXPECT_EQ(fwd.test(t), bwd.test(s)) << "state " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStructureSweep,
+                         ::testing::Values(1u, 2u, 3u, 7u, 11u, 42u));
+
+}  // namespace
+}  // namespace ictl::kripke

@@ -1,0 +1,81 @@
+#include "kripke/prop_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ictl::kripke {
+namespace {
+
+TEST(PropRegistry, PlainAndIndexedAreDistinct) {
+  PropRegistry reg;
+  const PropId plain = reg.plain("t");
+  const PropId indexed = reg.indexed("t", 1);
+  EXPECT_NE(plain, indexed);
+  EXPECT_EQ(reg.kind(plain), PropKind::kPlain);
+  EXPECT_EQ(reg.kind(indexed), PropKind::kIndexed);
+}
+
+TEST(PropRegistry, IndexedPropsDifferByIndex) {
+  PropRegistry reg;
+  const PropId t1 = reg.indexed("t", 1);
+  const PropId t2 = reg.indexed("t", 2);
+  EXPECT_NE(t1, t2);
+  EXPECT_EQ(reg.indexed("t", 1), t1);  // idempotent
+  EXPECT_EQ(reg.index_of(t1), 1u);
+  EXPECT_EQ(reg.index_of(t2), 2u);
+  EXPECT_EQ(reg.base_name(t1), "t");
+}
+
+TEST(PropRegistry, ThetaAndIndexedBaseKinds) {
+  PropRegistry reg;
+  const PropId theta = reg.theta("t");
+  const PropId base = reg.indexed_base("t");
+  EXPECT_NE(theta, base);
+  EXPECT_EQ(reg.kind(theta), PropKind::kTheta);
+  EXPECT_EQ(reg.kind(base), PropKind::kIndexedBase);
+}
+
+TEST(PropRegistry, DisplayForms) {
+  PropRegistry reg;
+  EXPECT_EQ(reg.display(reg.plain("go")), "go");
+  EXPECT_EQ(reg.display(reg.indexed("d", 3)), "d[3]");
+  EXPECT_EQ(reg.display(reg.theta("t")), "one(t)");
+  EXPECT_EQ(reg.display(reg.indexed_base("c")), "c[.]");
+}
+
+TEST(PropRegistry, FindVariantsDoNotIntern) {
+  PropRegistry reg;
+  EXPECT_FALSE(reg.find_plain("a").has_value());
+  EXPECT_FALSE(reg.find_indexed("a", 1).has_value());
+  EXPECT_FALSE(reg.find_theta("a").has_value());
+  EXPECT_FALSE(reg.find_indexed_base("a").has_value());
+  EXPECT_EQ(reg.size(), 0u);
+  const PropId a = reg.plain("a");
+  EXPECT_EQ(reg.find_plain("a"), a);
+}
+
+TEST(PropRegistry, IndexedWithBaseListsAllIndices) {
+  PropRegistry reg;
+  reg.indexed("t", 1);
+  reg.indexed("t", 2);
+  reg.indexed("d", 1);
+  reg.plain("t");  // must not appear
+  const auto ts = reg.indexed_with_base("t");
+  EXPECT_EQ(ts.size(), 2u);
+  const auto bases = reg.indexed_bases();
+  EXPECT_EQ(bases.size(), 2u);  // "t" and "d"
+}
+
+TEST(PropRegistry, SameNameDifferentKindsCoexist) {
+  PropRegistry reg;
+  const PropId p = reg.plain("x");
+  const PropId i = reg.indexed("x", 1);
+  const PropId t = reg.theta("x");
+  const PropId b = reg.indexed_base("x");
+  EXPECT_NE(p, i);
+  EXPECT_NE(i, t);
+  EXPECT_NE(t, b);
+  EXPECT_EQ(reg.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ictl::kripke

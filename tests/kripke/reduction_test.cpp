@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "kripke/structure.hpp"
+#include "ring/ring.hpp"
+
+namespace ictl::kripke {
+namespace {
+
+TEST(ReduceToIndex, KeepsOnlyOneIndexAndErasesIt) {
+  auto reg = make_registry();
+  const auto a1 = reg->indexed("a", 1);
+  const auto a2 = reg->indexed("a", 2);
+  const auto p = reg->plain("glob");
+  StructureBuilder b(reg);
+  const auto s0 = b.add_state({a1, p});
+  const auto s1 = b.add_state({a2});
+  b.add_transition(s0, s1);
+  b.add_transition(s1, s0);
+  b.set_initial(s0);
+  const Structure m = std::move(b).build();
+
+  const Structure r1 = reduce_to_index(m, 1);
+  const auto base = reg->find_indexed_base("a");
+  ASSERT_TRUE(base.has_value());
+  EXPECT_TRUE(r1.has_prop(0, *base));   // a_1 became a[.]
+  EXPECT_TRUE(r1.has_prop(0, p));       // plain props survive
+  EXPECT_FALSE(r1.has_prop(1, *base));  // a_2 was dropped
+  EXPECT_FALSE(r1.has_prop(0, a1));     // the concrete indexed prop is gone
+  // Shape is unchanged.
+  EXPECT_EQ(r1.num_states(), m.num_states());
+  EXPECT_EQ(r1.num_transitions(), m.num_transitions());
+  EXPECT_EQ(r1.initial(), m.initial());
+}
+
+TEST(ReduceToIndex, ReductionsOfDifferentIndicesAreComparable) {
+  // M|1 of a symmetric structure equals M|2 with roles swapped: the erased
+  // labels coincide on corresponding states.
+  auto reg = make_registry();
+  const auto a1 = reg->indexed("a", 1);
+  const auto a2 = reg->indexed("a", 2);
+  StructureBuilder b(reg);
+  const auto s0 = b.add_state({a1});
+  const auto s1 = b.add_state({a2});
+  b.add_transition(s0, s1);
+  b.add_transition(s1, s0);
+  b.set_initial(s0);
+  const Structure m = std::move(b).build();
+  const Structure r1 = reduce_to_index(m, 1);
+  const Structure r2 = reduce_to_index(m, 2);
+  // State 0 in M|1 carries a[.]; state 1 in M|2 carries a[.]:
+  EXPECT_EQ(r1.label(0).to_indices(), r2.label(1).to_indices());
+  EXPECT_EQ(r1.label(1).to_indices(), r2.label(0).to_indices());
+}
+
+TEST(ReduceToIndex, ThetaPropsSurviveReduction) {
+  // The paper adds Theta_i P_i to AP, so reductions must keep it.
+  const auto sys = ring::RingSystem::build(2);
+  const Structure r = reduce_to_index(sys.structure(), 1);
+  const auto theta = sys.structure().registry()->find_theta("t");
+  ASSERT_TRUE(theta.has_value());
+  for (StateId s = 0; s < r.num_states(); ++s)
+    EXPECT_TRUE(r.has_prop(s, *theta)) << "state " << s;
+}
+
+TEST(ReduceToIndex, RingReductionHasPartLabels) {
+  const auto sys = ring::RingSystem::build(2);
+  const Structure r = reduce_to_index(sys.structure(), 2);
+  const auto& reg = *r.registry();
+  const auto d = reg.find_indexed_base("d");
+  const auto n = reg.find_indexed_base("n");
+  const auto t = reg.find_indexed_base("t");
+  const auto c = reg.find_indexed_base("c");
+  ASSERT_TRUE(d && n && t && c);
+  // Initial state: process 2 is neutral.
+  EXPECT_TRUE(r.has_prop(r.initial(), *n));
+  EXPECT_FALSE(r.has_prop(r.initial(), *t));
+  // Every state shows exactly one of the four parts for process 2
+  // (T shows n and t together; C shows c and t).
+  for (StateId s = 0; s < r.num_states(); ++s) {
+    const bool dd = r.has_prop(s, *d), nn = r.has_prop(s, *n), tt = r.has_prop(s, *t),
+               cc = r.has_prop(s, *c);
+    const int part = (dd ? 1 : 0) + ((nn && !tt) ? 1 : 0) + ((nn && tt) ? 1 : 0) +
+                     (cc ? 1 : 0);
+    EXPECT_EQ(part, 1) << "state " << s;
+  }
+}
+
+}  // namespace
+}  // namespace ictl::kripke

@@ -1,0 +1,171 @@
+#include "kripke/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "kripke/dot.hpp"
+#include "support/error.hpp"
+
+namespace ictl::kripke {
+namespace {
+
+TEST(StructureBuilder, BuildsSimpleStructure) {
+  auto reg = make_registry();
+  const Structure m = testing::two_state_loop(reg);
+  EXPECT_EQ(m.num_states(), 2u);
+  EXPECT_EQ(m.num_transitions(), 2u);
+  EXPECT_EQ(m.initial(), 0u);
+  EXPECT_TRUE(m.is_total());
+  ASSERT_EQ(m.successors(0).size(), 1u);
+  EXPECT_EQ(m.successors(0)[0], 1u);
+  ASSERT_EQ(m.predecessors(0).size(), 1u);
+  EXPECT_EQ(m.predecessors(0)[0], 1u);
+}
+
+TEST(StructureBuilder, LabelsAreQueryable) {
+  auto reg = make_registry();
+  const auto pa = reg->plain("a");
+  const auto pb = reg->plain("b");
+  const Structure m = testing::two_state_loop(reg);
+  EXPECT_TRUE(m.has_prop(0, pa));
+  EXPECT_FALSE(m.has_prop(0, pb));
+  EXPECT_TRUE(m.has_prop(1, pb));
+}
+
+TEST(StructureBuilder, PropRegisteredAfterBuildReadsFalse) {
+  auto reg = make_registry();
+  const Structure m = testing::two_state_loop(reg);
+  const auto late = reg->plain("late_prop");
+  EXPECT_FALSE(m.has_prop(0, late));
+}
+
+TEST(StructureBuilder, RequiresInitialState) {
+  auto reg = make_registry();
+  StructureBuilder b(reg);
+  b.add_state({});
+  EXPECT_THROW(static_cast<void>(std::move(b).build()), ModelError);
+}
+
+TEST(StructureBuilder, RejectsNonTotalByDefault) {
+  auto reg = make_registry();
+  StructureBuilder b(reg);
+  const auto s0 = b.add_state({});
+  const auto s1 = b.add_state({});
+  b.add_transition(s0, s1);  // s1 has no successor
+  b.set_initial(s0);
+  EXPECT_THROW(static_cast<void>(std::move(b).build()), ModelError);
+}
+
+TEST(StructureBuilder, NonTotalAllowedWhenRequested) {
+  auto reg = make_registry();
+  StructureBuilder b(reg);
+  const auto s0 = b.add_state({});
+  const auto s1 = b.add_state({});
+  b.add_transition(s0, s1);
+  b.set_initial(s0);
+  const Structure m = std::move(b).build({.require_total = false});
+  EXPECT_FALSE(m.is_total());
+}
+
+TEST(StructureBuilder, DeduplicatesTransitions) {
+  auto reg = make_registry();
+  StructureBuilder b(reg);
+  const auto s0 = b.add_state({});
+  b.add_transition(s0, s0);
+  b.add_transition(s0, s0);
+  b.set_initial(s0);
+  const Structure m = std::move(b).build();
+  EXPECT_EQ(m.num_transitions(), 1u);
+}
+
+TEST(StructureBuilder, RejectsUnknownStateIds) {
+  auto reg = make_registry();
+  StructureBuilder b(reg);
+  b.add_state({});
+  EXPECT_THROW(b.add_transition(0, 7), ModelError);
+  EXPECT_THROW(b.set_initial(9), ModelError);
+}
+
+TEST(StructureBuilder, IndexSetIsSortedAndDeduplicated) {
+  auto reg = make_registry();
+  StructureBuilder b(reg);
+  const auto s0 = b.add_state({});
+  b.add_transition(s0, s0);
+  b.set_initial(s0);
+  b.set_index_set({3, 1, 2, 1});
+  const Structure m = std::move(b).build();
+  ASSERT_EQ(m.index_set().size(), 3u);
+  EXPECT_EQ(m.index_set()[0], 1u);
+  EXPECT_EQ(m.index_set()[2], 3u);
+}
+
+TEST(RestrictToReachable, DropsUnreachableStates) {
+  auto reg = make_registry();
+  StructureBuilder b(reg);
+  const auto s0 = b.add_state({reg->plain("a")});
+  const auto s1 = b.add_state({reg->plain("b")});
+  const auto orphan = b.add_state({});
+  b.add_transition(s0, s1);
+  b.add_transition(s1, s0);
+  b.add_transition(orphan, s0);
+  b.set_initial(s0);
+  const Structure m = std::move(b).build();
+  std::vector<StateId> map;
+  const Structure r = restrict_to_reachable(m, &map);
+  EXPECT_EQ(r.num_states(), 2u);
+  EXPECT_EQ(map[orphan], kNoState);
+  EXPECT_EQ(r.initial(), 0u);
+}
+
+TEST(DisjointUnion, CombinesStatesAndKeepsFirstInitial) {
+  auto reg = make_registry();
+  const Structure a = testing::two_state_loop(reg);
+  const Structure b = testing::stuttered_loop(reg);
+  const Structure u = disjoint_union(a, b);
+  EXPECT_EQ(u.num_states(), a.num_states() + b.num_states());
+  EXPECT_EQ(u.num_transitions(), a.num_transitions() + b.num_transitions());
+  EXPECT_EQ(u.initial(), a.initial());
+  // No cross edges: successors of a-states stay below a.num_states().
+  for (StateId s = 0; s < a.num_states(); ++s)
+    for (const StateId t : u.successors(s)) EXPECT_LT(t, a.num_states());
+}
+
+TEST(DisjointUnion, RequiresSharedRegistry) {
+  const Structure a = testing::two_state_loop(make_registry());
+  const Structure b = testing::two_state_loop(make_registry());
+  EXPECT_THROW(static_cast<void>(disjoint_union(a, b)), ModelError);
+}
+
+TEST(MaterializeTheta, LabelsExactlyOneStates) {
+  auto reg = make_registry();
+  StructureBuilder b(reg);
+  const auto t1 = reg->indexed("t", 1);
+  const auto t2 = reg->indexed("t", 2);
+  const auto s0 = b.add_state({t1});          // exactly one
+  const auto s1 = b.add_state({t1, t2});      // two holders
+  const auto s2 = b.add_state({});            // zero holders
+  b.add_transition(s0, s1);
+  b.add_transition(s1, s2);
+  b.add_transition(s2, s0);
+  b.set_initial(s0);
+  const Structure m = std::move(b).build();
+  const Structure with_theta = materialize_theta(m, "t");
+  const auto theta = reg->find_theta("t");
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_TRUE(with_theta.has_prop(0, *theta));
+  EXPECT_FALSE(with_theta.has_prop(1, *theta));
+  EXPECT_FALSE(with_theta.has_prop(2, *theta));
+}
+
+TEST(Dot, ContainsStatesAndEdges) {
+  auto reg = make_registry();
+  const Structure m = testing::two_state_loop(reg);
+  const std::string dot = to_dot(m, "G");
+  EXPECT_NE(dot.find("digraph G"), std::string::npos);
+  EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+  EXPECT_NE(dot.find("s1 -> s0"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ictl::kripke

@@ -1,0 +1,131 @@
+#include "logic/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.hpp"
+
+namespace ictl::logic {
+namespace {
+
+FormulaPtr parse_x(const char* text) {
+  ParseOptions options;
+  options.allow_nexttime = true;
+  return parse_formula(text, options);
+}
+
+TEST(StateFormula, Classification) {
+  EXPECT_TRUE(is_state_formula(parse_formula("p & q")));
+  EXPECT_TRUE(is_state_formula(parse_formula("A G p")));
+  EXPECT_TRUE(is_state_formula(parse_formula("E (p U q)")));
+  EXPECT_TRUE(is_state_formula(parse_formula("forall i. c[i]")));
+  EXPECT_FALSE(is_state_formula(parse_formula("p U q")));
+  EXPECT_FALSE(is_state_formula(parse_formula("G p")));
+  EXPECT_FALSE(is_state_formula(parse_formula("F p & q")));
+}
+
+TEST(FreeIndexVars, CollectsUnboundVariables) {
+  EXPECT_TRUE(free_index_vars(parse_formula("p")).empty());
+  EXPECT_EQ(free_index_vars(parse_formula("d[i]")),
+            (std::vector<std::string>{"i"}));
+  EXPECT_EQ(free_index_vars(parse_formula("d[i] & c[j]")),
+            (std::vector<std::string>{"i", "j"}));
+  EXPECT_TRUE(free_index_vars(parse_formula("forall i. d[i]")).empty());
+  EXPECT_EQ(free_index_vars(parse_formula("forall i. d[i] & c[j]")),
+            (std::vector<std::string>{"j"}));
+}
+
+TEST(FreeIndexVars, ShadowingInnerQuantifier) {
+  // The inner forall re-binds i; the outer body's direct d[i] is bound too.
+  const FormulaPtr f = parse_formula("forall i. (d[i] & (forall i. c[i]))");
+  EXPECT_TRUE(free_index_vars(f).empty());
+}
+
+TEST(Closed, RequiresBoundVarsAndNoConstants) {
+  EXPECT_TRUE(is_closed(parse_formula("forall i. A G (c[i] -> t[i])")));
+  EXPECT_FALSE(is_closed(parse_formula("d[i]")));           // free var
+  EXPECT_FALSE(is_closed(parse_formula("A G t[1]")));       // constant index
+  EXPECT_TRUE(is_closed(parse_formula("A G (one t)")));     // theta is closed
+  EXPECT_TRUE(has_concrete_indexed_atoms(parse_formula("t[1]")));
+  EXPECT_FALSE(has_concrete_indexed_atoms(parse_formula("forall i. t[i]")));
+}
+
+TEST(Nexttime, Detection) {
+  EXPECT_TRUE(uses_nexttime(parse_x("A G (p -> X p)")));
+  EXPECT_FALSE(uses_nexttime(parse_formula("A G (p -> F p)")));
+}
+
+TEST(IndexQuantifierDepth, CountsNesting) {
+  EXPECT_EQ(index_quantifier_depth(parse_formula("p")), 0u);
+  EXPECT_EQ(index_quantifier_depth(parse_formula("forall i. c[i]")), 1u);
+  EXPECT_EQ(index_quantifier_depth(parse_formula("forall i. exists j. c[i] & c[j]")),
+            2u);
+  EXPECT_EQ(index_quantifier_depth(
+                parse_formula("(forall i. c[i]) & (exists j. d[j])")),
+            1u);
+}
+
+TEST(Ctl, FragmentDetection) {
+  EXPECT_TRUE(is_ctl(parse_formula("A G (p -> A F q)")));
+  EXPECT_TRUE(is_ctl(parse_formula("E (p U q)")));
+  EXPECT_TRUE(is_ctl(parse_formula("forall i. A G (c[i] -> t[i])")));
+  EXPECT_TRUE(is_ctl(parse_formula("A (p R q)")));
+  // Path booleans and nested path operators are CTL*.
+  EXPECT_FALSE(is_ctl(parse_formula("A (F p & G q)")));
+  EXPECT_FALSE(is_ctl(parse_formula("A F G p")));
+  EXPECT_FALSE(is_ctl(parse_formula("E ((p U q) U r)")));
+  EXPECT_FALSE(is_ctl(parse_x("E X p")));
+}
+
+TEST(Restrictions, AcceptsThePaperSpecifications) {
+  EXPECT_TRUE(is_restricted_ictl(
+      parse_formula("forall i. A G (d[i] -> A[d[i] U t[i]])")));
+  EXPECT_TRUE(is_restricted_ictl(parse_formula("A G (one t)")));
+  EXPECT_TRUE(is_restricted_ictl(parse_formula(
+      "!(exists i. EF(!d[i] & !t[i] & E[(!d[i] & !t[i]) U t[i]]))")));
+}
+
+TEST(Restrictions, RejectsNestedQuantifiers) {
+  const auto report = check_ictl_restrictions(
+      parse_formula("exists i. (a[i] & (exists j. b[j]))"));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Restrictions, RejectsQuantifierUnderUntil) {
+  const auto report = check_ictl_restrictions(
+      parse_formula("E (true U (exists i. b[i]))"));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Restrictions, EventuallyCountsAsUntil) {
+  // F g abbreviates true U g, so a quantifier under F is also rejected.
+  const auto report =
+      check_ictl_restrictions(parse_formula("E F (exists i. b[i])"));
+  EXPECT_FALSE(report.ok());
+  const auto report2 =
+      check_ictl_restrictions(parse_formula("A G (exists i. b[i])"));
+  EXPECT_FALSE(report2.ok());
+}
+
+TEST(Restrictions, RejectsOpenFormulas) {
+  EXPECT_FALSE(is_restricted_ictl(parse_formula("d[i]")));
+  EXPECT_FALSE(is_restricted_ictl(parse_formula("A G t[1]")));
+}
+
+TEST(Restrictions, RejectsBodyWithWrongFreeVariable) {
+  // Body's free variable j differs from the bound i.
+  EXPECT_FALSE(is_restricted_ictl(parse_formula("forall i. exists j. c[j]")));
+}
+
+TEST(Restrictions, RejectsNexttime) {
+  EXPECT_FALSE(is_restricted_ictl(parse_x("forall i. A G X c[i]")));
+}
+
+TEST(Restrictions, QuantifierOverUntilBodyIsFine) {
+  // The until lies under the quantifier but contains no quantifier itself:
+  // permitted, as in the paper's property 3.
+  EXPECT_TRUE(is_restricted_ictl(
+      parse_formula("forall i. A G (d[i] -> !E[d[i] U (!d[i] & !t[i])])")));
+}
+
+}  // namespace
+}  // namespace ictl::logic

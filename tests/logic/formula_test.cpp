@@ -1,0 +1,87 @@
+#include "logic/formula.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ictl::logic {
+namespace {
+
+TEST(Formula, HashConsingGivesPointerIdentity) {
+  const FormulaPtr a1 = atom("p");
+  const FormulaPtr a2 = atom("p");
+  EXPECT_EQ(a1.get(), a2.get());
+  const FormulaPtr f1 = make_and(atom("p"), atom("q"));
+  const FormulaPtr f2 = make_and(atom("p"), atom("q"));
+  EXPECT_EQ(f1.get(), f2.get());
+  EXPECT_NE(f1.get(), make_and(atom("q"), atom("p")).get());
+}
+
+TEST(Formula, KindsAndChildren) {
+  const FormulaPtr u = make_until(atom("a"), atom("b"));
+  EXPECT_EQ(u->kind(), Kind::kUntil);
+  EXPECT_EQ(u->lhs()->name(), "a");
+  EXPECT_EQ(u->rhs()->name(), "b");
+  const FormulaPtr e = make_E(u);
+  EXPECT_EQ(e->kind(), Kind::kExistsPath);
+  EXPECT_EQ(e->lhs().get(), u.get());
+}
+
+TEST(Formula, IndexedAtoms) {
+  const FormulaPtr var = iatom("d", "i");
+  EXPECT_EQ(var->kind(), Kind::kIndexedAtom);
+  EXPECT_EQ(var->name(), "d");
+  EXPECT_EQ(var->index_var(), "i");
+  EXPECT_FALSE(var->index_value().has_value());
+
+  const FormulaPtr val = iatom_val("d", 3);
+  ASSERT_TRUE(val->index_value().has_value());
+  EXPECT_EQ(*val->index_value(), 3u);
+  EXPECT_NE(var.get(), val.get());
+  EXPECT_NE(iatom("d", "i").get(), iatom("d", "j").get());
+}
+
+TEST(Formula, QuantifiersCarryVariable) {
+  const FormulaPtr f = forall_index("i", iatom("c", "i"));
+  EXPECT_EQ(f->kind(), Kind::kForallIndex);
+  EXPECT_EQ(f->name(), "i");
+  const FormulaPtr g = exists_index("i", iatom("c", "i"));
+  EXPECT_EQ(g->kind(), Kind::kExistsIndex);
+}
+
+TEST(Formula, VariadicConjunction) {
+  EXPECT_EQ(make_and(std::vector<FormulaPtr>{})->kind(), Kind::kTrue);
+  EXPECT_EQ(make_or(std::vector<FormulaPtr>{})->kind(), Kind::kFalse);
+  const FormulaPtr f = make_and({atom("a"), atom("b"), atom("c")});
+  EXPECT_EQ(f->kind(), Kind::kAnd);
+  EXPECT_EQ(formula_size(f), 5u);  // ((a & b) & c)
+}
+
+TEST(Formula, ConvenienceCombinators) {
+  EXPECT_EQ(AG(atom("p"))->kind(), Kind::kForallPath);
+  EXPECT_EQ(AG(atom("p"))->lhs()->kind(), Kind::kAlways);
+  EXPECT_EQ(EF(atom("p"))->lhs()->kind(), Kind::kEventually);
+  EXPECT_EQ(AU(atom("a"), atom("b"))->lhs()->kind(), Kind::kUntil);
+}
+
+TEST(Formula, RejectsEmptyNames) {
+  EXPECT_THROW(static_cast<void>(atom("")), LogicError);
+  EXPECT_THROW(static_cast<void>(iatom("", "i")), LogicError);
+  EXPECT_THROW(static_cast<void>(iatom("d", "")), LogicError);
+  EXPECT_THROW(static_cast<void>(exactly_one("")), LogicError);
+}
+
+TEST(Formula, RejectsNullOperands) {
+  EXPECT_THROW(static_cast<void>(make_not(nullptr)), LogicError);
+  EXPECT_THROW(static_cast<void>(make_and(atom("a"), nullptr)), LogicError);
+  EXPECT_THROW(static_cast<void>(make_E(nullptr)), LogicError);
+}
+
+TEST(Formula, SizeCountsTreeNodes) {
+  EXPECT_EQ(formula_size(atom("a")), 1u);
+  EXPECT_EQ(formula_size(make_not(atom("a"))), 2u);
+  EXPECT_EQ(formula_size(make_until(atom("a"), atom("b"))), 3u);
+}
+
+}  // namespace
+}  // namespace ictl::logic

@@ -1,0 +1,157 @@
+#include "logic/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/printer.hpp"
+#include "support/error.hpp"
+
+namespace ictl::logic {
+namespace {
+
+TEST(Parser, Atoms) {
+  EXPECT_EQ(parse_formula("p")->kind(), Kind::kAtom);
+  EXPECT_EQ(parse_formula("true")->kind(), Kind::kTrue);
+  EXPECT_EQ(parse_formula("false")->kind(), Kind::kFalse);
+  const FormulaPtr f = parse_formula("d[i]");
+  EXPECT_EQ(f->kind(), Kind::kIndexedAtom);
+  EXPECT_EQ(f->index_var(), "i");
+  const FormulaPtr g = parse_formula("t[2]");
+  ASSERT_TRUE(g->index_value().has_value());
+  EXPECT_EQ(*g->index_value(), 2u);
+  EXPECT_EQ(parse_formula("one t")->kind(), Kind::kExactlyOne);
+}
+
+TEST(Parser, Precedence) {
+  // & binds tighter than |, | tighter than ->, -> tighter than <->.
+  const FormulaPtr f = parse_formula("a | b & c");
+  EXPECT_EQ(f->kind(), Kind::kOr);
+  EXPECT_EQ(f->rhs()->kind(), Kind::kAnd);
+  const FormulaPtr g = parse_formula("a -> b | c");
+  EXPECT_EQ(g->kind(), Kind::kImplies);
+  const FormulaPtr h = parse_formula("a <-> b -> c");
+  EXPECT_EQ(h->kind(), Kind::kIff);
+}
+
+TEST(Parser, ImpliesIsRightAssociative) {
+  const FormulaPtr f = parse_formula("a -> b -> c");
+  EXPECT_EQ(f->kind(), Kind::kImplies);
+  EXPECT_EQ(f->rhs()->kind(), Kind::kImplies);
+}
+
+TEST(Parser, UntilBindsTighterThanAnd) {
+  const FormulaPtr f = parse_formula("a & b U c");
+  EXPECT_EQ(f->kind(), Kind::kAnd);
+  EXPECT_EQ(f->rhs()->kind(), Kind::kUntil);
+}
+
+TEST(Parser, UntilIsRightAssociative) {
+  const FormulaPtr f = parse_formula("a U b U c");
+  EXPECT_EQ(f->kind(), Kind::kUntil);
+  EXPECT_EQ(f->rhs()->kind(), Kind::kUntil);
+}
+
+TEST(Parser, PathQuantifiersAndTemporalOperators) {
+  const FormulaPtr f = parse_formula("A G (p -> A F q)");
+  EXPECT_EQ(f->kind(), Kind::kForallPath);
+  EXPECT_EQ(f->lhs()->kind(), Kind::kAlways);
+  const FormulaPtr g = parse_formula("E (p U q)");
+  EXPECT_EQ(g->kind(), Kind::kExistsPath);
+  EXPECT_EQ(g->lhs()->kind(), Kind::kUntil);
+}
+
+TEST(Parser, CompactOperatorWordsSplit) {
+  // AG / EF / AF / EG parse as operator sequences (reserved letters).
+  EXPECT_EQ(to_string(parse_formula("AG p")), to_string(parse_formula("A G p")));
+  EXPECT_EQ(to_string(parse_formula("EF p")), to_string(parse_formula("E F p")));
+  EXPECT_EQ(to_string(parse_formula("AGEF p")),
+            to_string(parse_formula("A G E F p")));
+}
+
+TEST(Parser, BracketsGroupLikeParens) {
+  const FormulaPtr f = parse_formula("A[d U t]");
+  EXPECT_EQ(f->kind(), Kind::kForallPath);
+  EXPECT_EQ(f->lhs()->kind(), Kind::kUntil);
+  EXPECT_EQ(to_string(parse_formula("A[d U t]")), to_string(parse_formula("A(d U t)")));
+}
+
+TEST(Parser, PaperFormulasParse) {
+  // The Section 5 specifications in concrete syntax.
+  EXPECT_NO_THROW(static_cast<void>(
+      parse_formula("forall i. AG(d[i] -> A[d[i] U t[i]])")));
+  EXPECT_NO_THROW(static_cast<void>(parse_formula("AG (one t)")));
+  EXPECT_NO_THROW(static_cast<void>(parse_formula(
+      "!(exists i. EF(!d[i] & !t[i] & E[(!d[i] & !t[i]) U t[i]]))")));
+}
+
+TEST(Parser, QuantifierBodyExtendsRight) {
+  const FormulaPtr f = parse_formula("exists i. a[i] & b[i]");
+  EXPECT_EQ(f->kind(), Kind::kExistsIndex);
+  EXPECT_EQ(f->lhs()->kind(), Kind::kAnd);
+}
+
+TEST(Parser, RejectsNexttimeWithExplanation) {
+  try {
+    static_cast<void>(parse_formula("A G (t[1] -> X t[1])"));
+    FAIL() << "X should be rejected";
+  } catch (const LogicError& e) {
+    EXPECT_NE(std::string(e.what()).find("count the number of processes"),
+              std::string::npos);
+  }
+}
+
+TEST(Parser, AcceptsNexttimeWhenAllowed) {
+  ParseOptions options;
+  options.allow_nexttime = true;
+  const FormulaPtr f = parse_formula("E X p", options);
+  EXPECT_EQ(f->lhs()->kind(), Kind::kNext);
+}
+
+TEST(Parser, ErrorsCarryOffsets) {
+  try {
+    static_cast<void>(parse_formula("a & ("));
+    FAIL();
+  } catch (const LogicError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+  EXPECT_THROW(static_cast<void>(parse_formula("")), LogicError);
+  EXPECT_THROW(static_cast<void>(parse_formula("a &")), LogicError);
+  EXPECT_THROW(static_cast<void>(parse_formula("a b")), LogicError);
+  EXPECT_THROW(static_cast<void>(parse_formula("d[")), LogicError);
+  EXPECT_THROW(static_cast<void>(parse_formula("forall . p")), LogicError);
+  EXPECT_THROW(static_cast<void>(parse_formula("a <- b")), LogicError);
+  EXPECT_THROW(static_cast<void>(parse_formula("one")), LogicError);
+}
+
+TEST(Parser, TildeIsNegation) {
+  EXPECT_EQ(to_string(parse_formula("~p")), to_string(parse_formula("!p")));
+}
+
+TEST(Parser, IndexValueRangeChecked) {
+  EXPECT_NO_THROW(static_cast<void>(parse_formula("t[4294967295]")));
+  EXPECT_THROW(static_cast<void>(parse_formula("t[4294967296]")), LogicError);
+}
+
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, ParsePrintParseIsIdentity) {
+  const FormulaPtr once = parse_formula(GetParam());
+  const FormulaPtr twice = parse_formula(to_string(once));
+  // Hash consing: structural equality is pointer equality.
+  EXPECT_EQ(once.get(), twice.get()) << to_string(once);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formulas, RoundTrip,
+    ::testing::Values(
+        "p", "!p", "p & q", "p | q & r", "p -> q -> r", "p <-> q",
+        "A G p", "E F p", "A (p U q)", "E (p R q)", "A G (p -> A F q)",
+        "forall i. A G (c[i] -> t[i])",
+        "exists i. E F (d[i] & t[3])",
+        "one t", "A G (one t)",
+        "!(exists i. E F (!d[i] & !t[i] & E ((!d[i] & !t[i]) U t[i])))",
+        "a U b U c", "(a U b) U c",
+        "forall i. exists j. a[i] & b[j]",
+        "true", "false", "true & !false"));
+
+}  // namespace
+}  // namespace ictl::logic

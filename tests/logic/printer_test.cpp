@@ -1,0 +1,63 @@
+#include "logic/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/formula.hpp"
+#include "logic/parser.hpp"
+
+namespace ictl::logic {
+namespace {
+
+TEST(Printer, AtomsAndConstants) {
+  EXPECT_EQ(to_string(atom("p")), "p");
+  EXPECT_EQ(to_string(f_true()), "true");
+  EXPECT_EQ(to_string(f_false()), "false");
+  EXPECT_EQ(to_string(iatom("d", "i")), "d[i]");
+  EXPECT_EQ(to_string(iatom_val("t", 7)), "t[7]");
+  EXPECT_EQ(to_string(exactly_one("t")), "one t");
+}
+
+TEST(Printer, MinimalParens) {
+  EXPECT_EQ(to_string(make_and(atom("a"), atom("b"))), "a & b");
+  EXPECT_EQ(to_string(make_or(make_and(atom("a"), atom("b")), atom("c"))),
+            "a & b | c");
+  EXPECT_EQ(to_string(make_and(make_or(atom("a"), atom("b")), atom("c"))),
+            "(a | b) & c");
+}
+
+TEST(Printer, NegationAndUnary) {
+  EXPECT_EQ(to_string(make_not(atom("p"))), "!p");
+  EXPECT_EQ(to_string(make_not(make_and(atom("a"), atom("b")))), "!(a & b)");
+}
+
+TEST(Printer, TemporalOperators) {
+  EXPECT_EQ(to_string(AG(atom("p"))), "A G p");
+  // E/A bind tighter than U, so the until gets parentheses.
+  EXPECT_EQ(to_string(EU(atom("a"), atom("b"))), "E (a U b)");
+  EXPECT_EQ(to_string(make_E(make_release(atom("a"), atom("b")))), "E (a R b)");
+}
+
+TEST(Printer, Quantifiers) {
+  EXPECT_EQ(to_string(forall_index("i", AG(iatom("c", "i")))),
+            "forall i. A G c[i]");
+  EXPECT_EQ(to_string(make_not(exists_index("i", iatom("d", "i")))),
+            "!(exists i. d[i])");
+}
+
+TEST(Printer, RightAssociativityNeedsParensOnLeft) {
+  // (a -> b) -> c needs parens; a -> (b -> c) does not.
+  const FormulaPtr left = make_implies(make_implies(atom("a"), atom("b")), atom("c"));
+  const FormulaPtr right = make_implies(atom("a"), make_implies(atom("b"), atom("c")));
+  EXPECT_EQ(to_string(left), "(a -> b) -> c");
+  EXPECT_EQ(to_string(right), "a -> b -> c");
+  // Same for U.
+  const FormulaPtr lu = make_until(make_until(atom("a"), atom("b")), atom("c"));
+  EXPECT_EQ(parse_formula(to_string(lu)).get(), lu.get());
+}
+
+TEST(Printer, NexttimePrintable) {
+  EXPECT_EQ(to_string(make_next(atom("p"))), "X p");
+}
+
+}  // namespace
+}  // namespace ictl::logic

@@ -1,0 +1,111 @@
+#include "logic/rewrite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/classify.hpp"
+#include "logic/parser.hpp"
+#include "logic/printer.hpp"
+#include "support/error.hpp"
+
+namespace ictl::logic {
+namespace {
+
+TEST(BindIndex, SubstitutesFreeOccurrences) {
+  const FormulaPtr f = parse_formula("d[i] & c[j]");
+  const FormulaPtr g = bind_index(f, "i", 2);
+  EXPECT_EQ(to_string(g), "d[2] & c[j]");
+}
+
+TEST(BindIndex, RespectsShadowing) {
+  const FormulaPtr f = parse_formula("d[i] & (forall i. c[i])");
+  const FormulaPtr g = bind_index(f, "i", 5);
+  EXPECT_EQ(to_string(g), "d[5] & (forall i. c[i])");
+}
+
+TEST(BindIndex, NoOccurrenceReturnsSameNode) {
+  const FormulaPtr f = parse_formula("A G (p U q)");
+  EXPECT_EQ(bind_index(f, "i", 1).get(), f.get());
+}
+
+TEST(BindIndex, BindsUnderOtherQuantifier) {
+  const FormulaPtr f = parse_formula("forall j. (a[j] & b[i])");
+  EXPECT_EQ(to_string(bind_index(f, "i", 9)), "forall j. a[j] & b[9]");
+}
+
+TEST(Desugar, ImpliesAndIff) {
+  EXPECT_EQ(to_string(desugar(parse_formula("a -> b"))), "!a | b");
+  EXPECT_EQ(to_string(desugar(parse_formula("a <-> b"))), "a & b | !a & !b");
+}
+
+TEST(Desugar, EventuallyAndAlways) {
+  EXPECT_EQ(to_string(desugar(parse_formula("F p"))), "true U p");
+  EXPECT_EQ(to_string(desugar(parse_formula("G p"))), "false R p");
+  EXPECT_EQ(to_string(desugar(parse_formula("A G p"))), "A (false R p)");
+}
+
+TEST(Nnf, PushesNegationsToLeaves) {
+  EXPECT_EQ(to_string(to_nnf(desugar(parse_formula("!(a & b)")))), "!a | !b");
+  EXPECT_EQ(to_string(to_nnf(desugar(parse_formula("!(a | b)")))), "!a & !b");
+  EXPECT_EQ(to_string(to_nnf(desugar(parse_formula("!!a")))), "a");
+}
+
+TEST(Nnf, UntilReleaseDuality) {
+  EXPECT_EQ(to_string(to_nnf(desugar(parse_formula("!(a U b)")))), "!a R !b");
+  EXPECT_EQ(to_string(to_nnf(desugar(parse_formula("!(a R b)")))), "!a U !b");
+  // !G p = F !p = true U !p.
+  EXPECT_EQ(to_string(to_nnf(desugar(parse_formula("!(G p)")))), "true U !p");
+}
+
+TEST(Nnf, PathQuantifierDuality) {
+  EXPECT_EQ(to_string(to_nnf(desugar(parse_formula("!(E (a U b))")))),
+            "A (!a R !b)");
+  EXPECT_EQ(to_string(to_nnf(desugar(parse_formula("!(A (a U b))")))),
+            "E (!a R !b)");
+}
+
+TEST(Nnf, IndexQuantifierDuality) {
+  EXPECT_EQ(to_string(to_nnf(desugar(parse_formula("!(forall i. c[i])")))),
+            "exists i. !c[i]");
+  EXPECT_EQ(to_string(to_nnf(desugar(parse_formula("!(exists i. c[i])")))),
+            "forall i. !c[i]");
+}
+
+TEST(Nnf, ConstantsFlip) {
+  EXPECT_EQ(to_nnf(desugar(parse_formula("!true")))->kind(), Kind::kFalse);
+  EXPECT_EQ(to_nnf(desugar(parse_formula("!false")))->kind(), Kind::kTrue);
+}
+
+TEST(Nnf, RequiresDesugaredInput) {
+  EXPECT_THROW(static_cast<void>(to_nnf(parse_formula("a -> b"))), LogicError);
+  EXPECT_THROW(static_cast<void>(to_nnf(parse_formula("F p"))), LogicError);
+}
+
+class NnfSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NnfSweep, NnfHasNegationsOnlyOnLeaves) {
+  const FormulaPtr f = to_nnf(desugar(parse_formula(GetParam())));
+  // Walk the tree: every Not node must wrap a leaf.
+  std::vector<FormulaPtr> stack{f};
+  while (!stack.empty()) {
+    const FormulaPtr node = stack.back();
+    stack.pop_back();
+    if (node == nullptr) continue;
+    if (node->kind() == Kind::kNot) {
+      const Kind inner = node->lhs()->kind();
+      EXPECT_TRUE(inner == Kind::kAtom || inner == Kind::kIndexedAtom ||
+                  inner == Kind::kExactlyOne)
+          << to_string(node);
+    }
+    stack.push_back(node->lhs());
+    stack.push_back(node->rhs());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formulas, NnfSweep,
+    ::testing::Values("!(a & (b | !c))", "!(a U (b R c))", "!A G (p -> F q)",
+                      "!(E (p U q) | A G r)", "!(forall i. E F c[i])",
+                      "!( (a -> b) <-> c )", "!(one t & !p)"));
+
+}  // namespace
+}  // namespace ictl::logic

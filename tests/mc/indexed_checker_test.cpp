@@ -1,0 +1,83 @@
+#include "mc/indexed_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.hpp"
+#include "ring/ring.hpp"
+
+namespace ictl::mc {
+namespace {
+
+using logic::parse_formula;
+
+TEST(IndexedChecker, RingSpecificationsHoldWithCleanRestrictionReports) {
+  const auto sys = ring::RingSystem::build(3);
+  for (const auto& [name, f] : ring::section5_specifications()) {
+    const IndexedCheckResult result = check_indexed(sys.structure(), f);
+    EXPECT_TRUE(result.holds) << name;
+    EXPECT_TRUE(result.restrictions.ok()) << name;
+    EXPECT_EQ(result.satisfying_states, sys.structure().num_states()) << name;
+  }
+}
+
+TEST(IndexedChecker, ViolatingFormulaStillCheckedButFlagged) {
+  const auto sys = ring::RingSystem::build(2);
+  // Quantifier under EF: outside the restricted logic but still checkable.
+  const auto f = parse_formula("E F (exists i. c[i])");
+  const IndexedCheckResult result = check_indexed(sys.structure(), f);
+  EXPECT_TRUE(result.holds);
+  EXPECT_FALSE(result.restrictions.ok());
+}
+
+TEST(IndexedChecker, ConcreteIndicesWork) {
+  const auto sys = ring::RingSystem::build(2);
+  EXPECT_TRUE(holds(sys.structure(), parse_formula("t[1]")));   // P1 starts with token
+  EXPECT_FALSE(holds(sys.structure(), parse_formula("t[2]")));
+  EXPECT_TRUE(holds(sys.structure(), parse_formula("A G (c[1] -> t[1])")));
+}
+
+TEST(IndexedChecker, MutualExclusionViaThetaAndImplication) {
+  const auto sys = ring::RingSystem::build(4);
+  // The paper's mutual exclusion argument: exactly one token + critical
+  // implies token = never two processes critical.
+  EXPECT_TRUE(holds(sys.structure(),
+                    parse_formula("A G ((one t) & (forall i. c[i] -> t[i]))")));
+  // Spot check the pairwise form for concrete indices.
+  EXPECT_TRUE(holds(sys.structure(), parse_formula("A G !(c[1] & c[2])")));
+  EXPECT_TRUE(holds(sys.structure(), parse_formula("A G !(c[2] & c[3])")));
+}
+
+TEST(IndexedChecker, NegativePropertiesFail) {
+  const auto sys = ring::RingSystem::build(3);
+  // "Some process is always critical" is false.
+  EXPECT_FALSE(holds(sys.structure(), parse_formula("exists i. A G c[i]")));
+  // "Every process is eventually critical" fails: nothing forces requests.
+  EXPECT_FALSE(holds(sys.structure(), parse_formula("forall i. A F c[i]")));
+  // But every process CAN become critical.
+  EXPECT_TRUE(holds(sys.structure(), parse_formula("forall i. E F c[i]")));
+}
+
+TEST(IndexedChecker, TokenCirculationPossibilities) {
+  const auto sys = ring::RingSystem::build(3);
+  // The token can reach every process...
+  EXPECT_TRUE(holds(sys.structure(), parse_formula("forall i. E F t[i]")));
+  // ...but no process is guaranteed to ever hold it (the holder may keep it).
+  EXPECT_FALSE(holds(sys.structure(), parse_formula("forall i. A F t[i]")));
+  // The initial holder can keep the token forever.
+  EXPECT_TRUE(holds(sys.structure(), parse_formula("E G t[1]")));
+  EXPECT_FALSE(holds(sys.structure(), parse_formula("E G t[2]")));
+}
+
+class RingSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RingSizeSweep, Section5SpecsHoldAtEverySize) {
+  const auto sys = ring::RingSystem::build(GetParam());
+  for (const auto& [name, f] : ring::section5_specifications())
+    EXPECT_TRUE(holds(sys.structure(), f)) << name << " at r=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSizeSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace ictl::mc

@@ -1,0 +1,140 @@
+// The Section 6 research directions, exercised:
+//   * the synchronized token circulator (where the nesting conjecture is
+//     "much more difficult to prove") — probed empirically,
+//   * process-level (local) correspondence implying global correspondence
+//     of free products.
+#include "network/composition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bisim/indexed_correspondence.hpp"
+#include "logic/classify.hpp"
+#include "logic/parser.hpp"
+#include "mc/indexed_checker.hpp"
+#include "network/counting_family.hpp"
+#include "network/free_product.hpp"
+
+namespace ictl::network {
+namespace {
+
+TEST(TokenCirculator, ShapeAndLabels) {
+  auto reg = kripke::make_registry();
+  const auto m = token_circulator(4, reg);
+  EXPECT_EQ(m.num_states(), 4u);
+  EXPECT_EQ(m.num_transitions(), 4u);
+  EXPECT_TRUE(m.is_total());
+  EXPECT_TRUE(m.has_prop(m.initial(), *reg->find_indexed("t", 1)));
+}
+
+TEST(TokenCirculator, TokenAlwaysReturns) {
+  auto reg = kripke::make_registry();
+  const auto spec = logic::parse_formula("forall i. AG (t[i] -> AF t[i])");
+  for (std::uint32_t n = 2; n <= 7; ++n)
+    EXPECT_TRUE(mc::holds(token_circulator(n, reg), spec)) << n;
+}
+
+TEST(TokenCirculator, RestrictedFormulasAgreeAcrossSizes) {
+  // Empirical Section 6 probe in the synchronized setting: closed restricted
+  // formulas over the token propositions evaluate identically on
+  // circulators of every size.
+  auto reg = kripke::make_registry();
+  const std::vector<const char*> specs = {
+      "forall i. AG (t[i] -> AF t[i])",
+      "exists i. t[i]",
+      "forall i. EF t[i]",
+      "forall i. AF t[i]",
+      "exists i. AG (t[i] -> E[t[i] U !t[i]])",
+      "AG (one t)",
+  };
+  for (const char* text : specs) {
+    const auto f = logic::parse_formula(text);
+    ASSERT_TRUE(logic::is_restricted_ictl(f)) << text;
+    const bool base = mc::holds(token_circulator(2, reg), f);
+    for (std::uint32_t n = 3; n <= 7; ++n)
+      EXPECT_EQ(mc::holds(token_circulator(n, reg), f), base) << text << " n=" << n;
+  }
+}
+
+TEST(TokenCirculator, CirculatorsOfDifferentSizesCorrespond) {
+  // (i,i')-correspondence holds between synchronized circulators: the
+  // per-index view is "token arrives periodically", independent of size.
+  auto reg = kripke::make_registry();
+  const auto a = token_circulator(3, reg);
+  const auto b = token_circulator(5, reg);
+  EXPECT_TRUE(bisim::find_indexed_correspondence(a, b, 1, 1).corresponds());
+  EXPECT_TRUE(bisim::find_indexed_correspondence(a, b, 2, 2).corresponds());
+  EXPECT_TRUE(bisim::find_indexed_correspondence(a, b, 3, 4).corresponds());
+}
+
+TEST(StructureOfTemplate, PlainAndIndexedViews) {
+  auto reg = kripke::make_registry();
+  const auto t = fig41_process();
+  const auto plain = structure_of_template(t, reg);
+  EXPECT_EQ(plain.num_states(), 2u);
+  EXPECT_TRUE(plain.has_prop(plain.initial(), *reg->find_plain("a")));
+  const auto indexed = structure_of_template(t, reg, 3);
+  EXPECT_TRUE(indexed.has_prop(indexed.initial(), *reg->find_indexed("a", 3)));
+  EXPECT_EQ(indexed.index_set().size(), 1u);
+}
+
+/// The stuttered variant of the Fig. 4.1 process: a -> a -> b (two a-steps).
+ProcessTemplate stuttered_fig41() {
+  ProcessTemplate t;
+  const auto a1 = t.add_state({"a"});
+  const auto a2 = t.add_state({"a"});
+  const auto b = t.add_state({"b"});
+  t.add_transition(a1, a2);
+  t.add_transition(a2, b);
+  t.add_transition(b, b);
+  t.set_initial(a1);
+  return t;
+}
+
+TEST(LocalCorrespondence, TemplatesCorrespondLocally) {
+  EXPECT_TRUE(templates_correspond(fig41_process(), fig41_process()));
+  EXPECT_TRUE(templates_correspond(fig41_process(), stuttered_fig41()));
+  // A process that never flips does NOT correspond to one that may.
+  ProcessTemplate never;
+  const auto a = never.add_state({"a"});
+  never.add_transition(a, a);
+  never.set_initial(a);
+  EXPECT_FALSE(templates_correspond(fig41_process(), never));
+}
+
+TEST(LocalCorrespondence, LocalImpliesGlobalForFreeProducts) {
+  // The paper's open question, answered empirically for free products:
+  // locally corresponding templates yield (i,i')-corresponding networks.
+  auto reg = kripke::make_registry();
+  const auto fast = fig41_process();
+  const auto slow = stuttered_fig41();
+  ASSERT_TRUE(templates_correspond(fast, slow));
+  for (std::size_t n = 2; n <= 3; ++n) {
+    const auto product_fast = free_product(fast, n, reg);
+    const auto product_slow = free_product(slow, n, reg);
+    for (std::uint32_t i = 1; i <= n; ++i) {
+      EXPECT_TRUE(bisim::find_indexed_correspondence(product_fast, product_slow, i, i)
+                      .corresponds())
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(LocalCorrespondence, GlobalVerdictsAgreeThroughLocalReasoning) {
+  auto reg = kripke::make_registry();
+  const auto product_fast = free_product(fig41_process(), 3, reg);
+  const auto product_slow = free_product(stuttered_fig41(), 3, reg);
+  for (const char* text :
+       {"forall i. AG (b[i] -> AG b[i])", "forall i. EF b[i]",
+        "exists i. E G a[i]", "forall i. A (a[i] U b[i]) | E G a[i]"}) {
+    const auto f = logic::parse_formula(text);
+    EXPECT_EQ(mc::holds(product_fast, f), mc::holds(product_slow, f)) << text;
+  }
+}
+
+TEST(TokenCirculator, RejectsDegenerateSizes) {
+  EXPECT_THROW(static_cast<void>(token_circulator(1, kripke::make_registry())),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace ictl::network

@@ -1,0 +1,71 @@
+// Fig. 4.1: nesting index quantifiers through eventualities counts the
+// number of processes — the reason ICTL* must be restricted.
+#include <gtest/gtest.h>
+
+#include "logic/classify.hpp"
+#include "logic/parser.hpp"
+#include "mc/indexed_checker.hpp"
+#include "network/counting_family.hpp"
+
+namespace ictl::network {
+namespace {
+
+TEST(Fig41, ProcessShape) {
+  const ProcessTemplate t = fig41_process();
+  EXPECT_EQ(t.num_states(), 2u);
+  EXPECT_TRUE(t.is_total());
+  // B is absorbing: the b-state's only successor is itself.
+  EXPECT_EQ(t.successors(1), std::vector<std::uint32_t>{1});
+}
+
+TEST(Fig41, OnceBAlwaysB) {
+  // The paper's premise: "Once B_i becomes true, it remains true."
+  auto reg = kripke::make_registry();
+  const auto m = counting_network(3, reg);
+  EXPECT_TRUE(mc::holds(m, logic::parse_formula("forall i. AG (b[i] -> AG b[i])")));
+}
+
+TEST(Fig41, CountingFormulaViolatesRestrictions) {
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const auto f = at_least_k_processes(k);
+    EXPECT_TRUE(logic::is_closed(f));
+    // phi_1 has a single quantifier with nothing nested: still restricted.
+    // From depth 2 on, a quantifier sits under the EF of the outer one —
+    // exactly the pattern the paper forbids.
+    EXPECT_EQ(logic::is_restricted_ictl(f), k == 1) << k;
+    EXPECT_EQ(logic::index_quantifier_depth(f), k);
+  }
+}
+
+class CountingSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CountingSweep, FormulaCountsProcessesExactly) {
+  const auto [n, k] = GetParam();
+  auto reg = kripke::make_registry();
+  const auto m = counting_network(n, reg);
+  const bool expected = n >= k;
+  EXPECT_EQ(mc::holds(m, at_least_k_processes(k)), expected)
+      << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CountingSweep,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{4},
+                                         std::size_t{5}),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{4},
+                                         std::size_t{5}, std::size_t{6})));
+
+TEST(Fig41, DepthFamilyIsWellFormed) {
+  const auto family = depth_k_formula_family(2);
+  EXPECT_FALSE(family.empty());
+  for (const auto& f : family) {
+    EXPECT_TRUE(logic::is_closed(f));
+    EXPECT_EQ(logic::index_quantifier_depth(f), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ictl::network

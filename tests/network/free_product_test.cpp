@@ -1,0 +1,72 @@
+#include "network/free_product.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/counting_family.hpp"
+
+namespace ictl::network {
+namespace {
+
+TEST(FreeProduct, SizeIsLocalStatesToTheN) {
+  auto reg = kripke::make_registry();
+  for (std::size_t n = 1; n <= 5; ++n) {
+    const auto m = free_product(fig41_process(), n, reg);
+    EXPECT_EQ(m.num_states(), std::size_t{1} << n) << n;  // 2^n
+    EXPECT_TRUE(m.is_total());
+    EXPECT_EQ(m.index_set().size(), n);
+  }
+}
+
+TEST(FreeProduct, ExactlyOneProcessMovesPerTransition) {
+  auto reg = kripke::make_registry();
+  const auto m = free_product(fig41_process(), 3, reg);
+  std::vector<kripke::PropId> a(4), b(4);
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    a[i] = *reg->find_indexed("a", i);
+    b[i] = *reg->find_indexed("b", i);
+  }
+  for (kripke::StateId s = 0; s < m.num_states(); ++s) {
+    for (const kripke::StateId t : m.successors(s)) {
+      int changed = 0;
+      for (std::uint32_t i = 1; i <= 3; ++i)
+        if (m.has_prop(s, a[i]) != m.has_prop(t, a[i])) ++changed;
+      EXPECT_LE(changed, 1);
+    }
+  }
+}
+
+TEST(FreeProduct, InitialStateIsAllInitial) {
+  auto reg = kripke::make_registry();
+  const auto m = free_product(fig41_process(), 4, reg);
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    EXPECT_TRUE(m.has_prop(m.initial(), *reg->find_indexed("a", i)));
+    EXPECT_FALSE(m.has_prop(m.initial(), *reg->find_indexed("b", i)));
+  }
+}
+
+TEST(FreeProduct, RequiresTotalTemplate) {
+  ProcessTemplate t;
+  const auto s0 = t.add_state({"p"});
+  const auto s1 = t.add_state({"q"});
+  t.add_transition(s0, s1);  // s1 dead-ends
+  t.set_initial(s0);
+  EXPECT_THROW(static_cast<void>(free_product(t, 2, kripke::make_registry())),
+               ModelError);
+}
+
+TEST(FreeProduct, StateCapIsEnforced) {
+  FreeProductOptions options;
+  options.max_states = 7;  // 2^3 = 8 > 7
+  EXPECT_THROW(static_cast<void>(
+                   free_product(fig41_process(), 3, kripke::make_registry(), options)),
+               ModelError);
+}
+
+TEST(FreeProduct, RejectsZeroProcesses) {
+  EXPECT_THROW(static_cast<void>(free_product(fig41_process(), 0,
+                                              kripke::make_registry())),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace ictl::network

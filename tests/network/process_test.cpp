@@ -1,0 +1,48 @@
+#include "network/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ictl::network {
+namespace {
+
+TEST(ProcessTemplate, BuildsStatesAndTransitions) {
+  ProcessTemplate t;
+  const auto a = t.add_state({"a"}, "A");
+  const auto b = t.add_state({"b"}, "B");
+  t.add_transition(a, b);
+  t.add_transition(b, b);
+  t.set_initial(a);
+  EXPECT_EQ(t.num_states(), 2u);
+  EXPECT_EQ(t.initial(), a);
+  EXPECT_EQ(t.state(a).props, std::vector<std::string>{"a"});
+  EXPECT_EQ(t.state(a).name, "A");
+  EXPECT_EQ(t.successors(a), std::vector<std::uint32_t>{b});
+}
+
+TEST(ProcessTemplate, TotalityCheck) {
+  ProcessTemplate t;
+  const auto a = t.add_state({"a"});
+  const auto b = t.add_state({"b"});
+  t.add_transition(a, b);
+  EXPECT_FALSE(t.is_total());
+  t.add_transition(b, a);
+  EXPECT_TRUE(t.is_total());
+}
+
+TEST(ProcessTemplate, PropBasesDeduplicated) {
+  ProcessTemplate t;
+  t.add_state({"x", "y"});
+  t.add_state({"y", "z"});
+  const auto bases = t.prop_bases();
+  EXPECT_EQ(bases, (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(ProcessTemplate, RejectsUnknownStates) {
+  ProcessTemplate t;
+  t.add_state({});
+  EXPECT_THROW(t.add_transition(0, 5), ModelError);
+  EXPECT_THROW(t.set_initial(3), ModelError);
+}
+
+}  // namespace
+}  // namespace ictl::network

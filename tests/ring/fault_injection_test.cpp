@@ -1,0 +1,225 @@
+// Fault injection: seed classic distributed-mutex bugs into ring variants
+// and confirm the specifications and invariants CATCH each one.  A
+// verification stack that never sees a failing property is untested itself.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <unordered_map>
+
+#include "logic/parser.hpp"
+#include "mc/ctl_checker.hpp"
+#include "mc/indexed_checker.hpp"
+#include "mc/witness.hpp"
+#include "ring/ring.hpp"
+
+namespace ictl::ring {
+namespace {
+
+std::uint32_t bit(std::uint32_t i) { return std::uint32_t{1} << (i - 1); }
+
+enum class Fault {
+  kNone,
+  kDuplicateToken,   // rule 2 forgets to take the token away from j
+  kDropRequest,      // a delayed process may silently go back to neutral
+  kCriticalNoToken,  // a neutral process may barge into its critical section
+  kLostToken,        // the holder may drop the token entirely
+};
+
+/// Ring variant with an injectable bug.  Kept independent of
+/// RingSystem::build on purpose: a bug in the main builder cannot hide here.
+/// Faulty systems may deadlock; dead-ends get self-loops so the structure
+/// stays total (we model check safety/liveness, not deadlock).
+kripke::Structure faulty_ring(std::uint32_t r, Fault fault) {
+  auto reg = kripke::make_registry();
+  std::vector<kripke::PropId> dp(r + 1), np(r + 1), tp(r + 1), cp(r + 1);
+  for (std::uint32_t i = 1; i <= r; ++i) {
+    dp[i] = reg->indexed("d", i);
+    np[i] = reg->indexed("n", i);
+    tp[i] = reg->indexed("t", i);
+    cp[i] = reg->indexed("c", i);
+  }
+  struct S {
+    std::uint32_t d = 0, n = 0, t = 0, c = 0;
+    std::uint32_t barged = 0;  // critical WITHOUT the token (the barge fault)
+    bool operator==(const S&) const = default;
+  };
+  struct H {
+    std::size_t operator()(const S& s) const {
+      return (((s.d * 131u + s.n) * 131u + s.t) * 131u + s.c) * 131u + s.barged;
+    }
+  };
+  kripke::StructureBuilder builder(reg);
+  std::unordered_map<S, kripke::StateId, H> ids;
+  std::queue<S> frontier;
+  auto intern = [&](const S& s) {
+    if (auto it = ids.find(s); it != ids.end()) return it->second;
+    std::vector<kripke::PropId> props;
+    for (std::uint32_t i = 1; i <= r; ++i) {
+      if (s.d & bit(i)) props.push_back(dp[i]);
+      if (s.n & bit(i)) props.push_back(np[i]);
+      if (s.t & bit(i)) {
+        props.push_back(np[i]);
+        props.push_back(tp[i]);
+      }
+      if (s.c & bit(i)) {
+        props.push_back(cp[i]);
+        props.push_back(tp[i]);
+      }
+      if (s.barged & bit(i)) props.push_back(cp[i]);  // critical, token-less
+    }
+    const auto id = builder.add_state(props);
+    ids.emplace(s, id);
+    frontier.push(s);
+    return id;
+  };
+
+  S s0;
+  for (std::uint32_t i = 2; i <= r; ++i) s0.n |= bit(i);
+  s0.t = bit(1);
+  intern(s0);
+
+  std::vector<std::pair<S, kripke::StateId>> needs_move_check;
+  while (!frontier.empty()) {
+    const S s = frontier.front();
+    frontier.pop();
+    const auto from = ids.at(s);
+    bool any_move = false;
+    auto go = [&](const S& next) {
+      builder.add_transition(from, intern(next));
+      any_move = true;
+    };
+    for (std::uint32_t i = 1; i <= r; ++i) {
+      if (s.n & bit(i)) {  // rule 1: neutral -> delayed
+        S next = s;
+        next.n &= ~bit(i);
+        next.d |= bit(i);
+        go(next);
+        if (fault == Fault::kCriticalNoToken) {
+          S bad = s;  // barge into the critical section without the token
+          bad.n &= ~bit(i);
+          bad.barged |= bit(i);
+          go(bad);
+        }
+      }
+      if ((s.d & bit(i)) && fault == Fault::kDropRequest) {
+        S bad = s;  // the request is silently dropped
+        bad.d &= ~bit(i);
+        bad.n |= bit(i);
+        go(bad);
+      }
+      if (s.barged & bit(i)) {  // a barger eventually leaves again
+        S next = s;
+        next.barged &= ~bit(i);
+        next.n |= bit(i);
+        go(next);
+      }
+      if ((s.t | s.c) & bit(i)) {  // rule 2: transfer to cln(i)
+        std::uint32_t receiver = 0;
+        for (std::uint32_t step = 1; step < r && receiver == 0; ++step) {
+          const std::uint32_t cand = ((i - 1 + r - step) % r) + 1;
+          if (s.d & bit(cand)) receiver = cand;
+        }
+        if (receiver != 0) {
+          S next = s;
+          next.d &= ~bit(receiver);
+          next.c |= bit(receiver);
+          if (fault == Fault::kDuplicateToken) {
+            // BUG: j keeps its token as well.
+          } else {
+            next.t &= ~bit(i);
+            next.c &= ~bit(i);
+            next.c |= bit(receiver);
+            next.n |= bit(i);
+          }
+          go(next);
+        }
+      }
+      if (s.t & bit(i)) {  // rule 3: enter critical
+        S next = s;
+        next.t &= ~bit(i);
+        next.c |= bit(i);
+        go(next);
+        if (fault == Fault::kLostToken) {
+          S bad = s;  // the holder just drops the token
+          bad.t &= ~bit(i);
+          bad.n |= bit(i);
+          go(bad);
+        }
+      }
+      if ((s.c & bit(i)) && s.d == 0) {  // rule 4: leave critical
+        S next = s;
+        next.c &= ~bit(i);
+        next.t |= bit(i);
+        go(next);
+      }
+    }
+    if (!any_move) needs_move_check.emplace_back(s, from);
+  }
+  for (const auto& [state, id] : needs_move_check) {
+    static_cast<void>(state);
+    builder.add_transition(id, id);  // keep R total despite the fault
+  }
+  builder.set_initial(0);
+  std::vector<std::uint32_t> indices(r);
+  for (std::uint32_t i = 0; i < r; ++i) indices[i] = i + 1;
+  builder.set_index_set(std::move(indices));
+  return std::move(builder).build();
+}
+
+TEST(FaultInjection, CleanVariantMatchesTheRealRing) {
+  const auto clean = faulty_ring(3, Fault::kNone);
+  const auto real = RingSystem::build(3);
+  EXPECT_EQ(clean.num_states(), real.structure().num_states());
+  for (const auto& [name, f] : section5_specifications())
+    EXPECT_TRUE(mc::holds(clean, f)) << name;
+}
+
+TEST(FaultInjection, DuplicateTokenBreaksInvariant3) {
+  const auto buggy = faulty_ring(3, Fault::kDuplicateToken);
+  EXPECT_FALSE(mc::holds(buggy, invariant_one_token()));
+  // And a counterexample trace reaches a two-token state.
+  mc::CtlChecker checker(buggy);
+  const auto ag = logic::parse_formula("AG (one t)");
+  const auto e = mc::explain(checker, ag, buggy.initial());
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->kind, mc::WitnessKind::kCounterexample);
+  EXPECT_TRUE(mc::validate_trace(checker, e->shape, e->trace, buggy.initial()));
+}
+
+TEST(FaultInjection, DroppedRequestBreaksInvariant2) {
+  const auto buggy = faulty_ring(3, Fault::kDropRequest);
+  EXPECT_FALSE(mc::holds(buggy, invariant_request_persistence()));
+  EXPECT_FALSE(mc::holds(buggy, property_request_granted()));
+  // Invariant 3 survives this particular bug.
+  EXPECT_TRUE(mc::holds(buggy, invariant_one_token()));
+}
+
+TEST(FaultInjection, BargingBreaksCriticalImpliesToken) {
+  const auto buggy = faulty_ring(3, Fault::kCriticalNoToken);
+  EXPECT_FALSE(mc::holds(buggy, property_critical_implies_token()));
+  // Mutual exclusion is now genuinely violated: two criticals at once.
+  EXPECT_TRUE(mc::holds(buggy, logic::parse_formula("EF (c[1] & c[2])")));
+}
+
+TEST(FaultInjection, LostTokenBreaksLiveness) {
+  const auto buggy = faulty_ring(3, Fault::kLostToken);
+  EXPECT_FALSE(mc::holds(buggy, property_eventually_critical()));
+  EXPECT_FALSE(mc::holds(buggy, property_request_granted()));
+}
+
+TEST(FaultInjection, EveryFaultFlipsSomeSpecification) {
+  // Corresponding structures satisfy identical specs (Theorem 2), so a
+  // flipped verdict also proves no buggy variant corresponds to the ring.
+  const auto real = RingSystem::build(3);
+  for (const Fault fault : {Fault::kDuplicateToken, Fault::kDropRequest,
+                            Fault::kCriticalNoToken, Fault::kLostToken}) {
+    const auto buggy = faulty_ring(3, fault);
+    bool some_spec_differs = false;
+    for (const auto& [name, f] : section5_specifications())
+      some_spec_differs |= mc::holds(buggy, f) != mc::holds(real.structure(), f);
+    EXPECT_TRUE(some_spec_differs) << static_cast<int>(fault);
+  }
+}
+
+}  // namespace
+}  // namespace ictl::ring

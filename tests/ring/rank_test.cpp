@@ -1,0 +1,108 @@
+// The Appendix rank function: the closed form must agree with the maximal
+// i-idle transition chain computed from the explicit graph, on every state
+// of every ring size we can build.
+#include "ring/rank.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ictl::ring {
+namespace {
+
+TEST(Rank, NeutralProcessesHaveRankZero) {
+  const auto sys = RingSystem::build(3);
+  const auto s0 = sys.structure().initial();
+  // Processes 2 and 3 are neutral initially: infinitely many idle steps,
+  // rank 0 by the Appendix convention.
+  EXPECT_EQ(rank(sys.state(s0), 2, 3), 0u);
+  EXPECT_EQ(rank(sys.state(s0), 3, 3), 0u);
+}
+
+TEST(Rank, HolderRankIsNeutralCount) {
+  const auto sys = RingSystem::build(4);
+  const auto s0 = sys.structure().initial();
+  // Process 1 is in T; |N| = 3.
+  EXPECT_EQ(rank(sys.state(s0), 1, 4), 3u);
+}
+
+TEST(Rank, DelayedCaseUsesRingDistance) {
+  // r(s, i) = |N| + |T| + 2*((j - i) mod r) - 2 for i in D.
+  RingState s;
+  s.d = 0b0010;  // process 2 delayed
+  s.n = 0b1100;  // processes 3, 4 neutral
+  s.t = 0b0001;  // process 1 holds token in T
+  // |N| = 2, |T| = 1, (1 - 2) mod 4 = 3: rank = 2 + 1 + 6 - 2 = 7.
+  EXPECT_EQ(rank(s, 2, 4), 7u);
+}
+
+TEST(Rank, CriticalWithEmptyDIsZero) {
+  RingState s;
+  s.c = 0b0001;
+  s.n = 0b1110;
+  EXPECT_EQ(rank(s, 1, 4), 0u);
+}
+
+TEST(Rank, CriticalWithWaitersIsNeutralCount) {
+  RingState s;
+  s.c = 0b0001;
+  s.d = 0b0010;
+  s.n = 0b1100;
+  EXPECT_EQ(rank(s, 1, 4), 2u);
+}
+
+TEST(IdleTransition, DefinitionMatchesThePaper) {
+  RingState from, to;
+  from.c = 0b01;
+  from.n = 0b10;
+  to = from;
+  // Same parts, D stays empty: idle.
+  EXPECT_TRUE(is_idle_transition(from, to, 1));
+  // D becomes nonempty while 1 is critical with empty D: NOT 1-idle.
+  to.n = 0;
+  to.d = 0b10;
+  EXPECT_FALSE(is_idle_transition(from, to, 1));
+  // But it IS 2-idle? no: 2 moved N -> D.
+  EXPECT_FALSE(is_idle_transition(from, to, 2));
+  // With D nonempty before, D change irrelevant for part-stable processes.
+  RingState busy = from;
+  busy.d = 0b10;
+  busy.n = 0;
+  RingState busy2 = busy;
+  EXPECT_TRUE(is_idle_transition(busy, busy2, 1));
+}
+
+class RankSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RankSweep, ClosedFormMatchesBruteForceEverywhere) {
+  const std::uint32_t r = GetParam();
+  const auto sys = RingSystem::build(r);
+  for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s) {
+    for (std::uint32_t i = 1; i <= r; ++i) {
+      EXPECT_EQ(rank(sys.state(s), i, r), brute_force_rank(sys, s, i))
+          << "state " << s << " process " << i << " r " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RankSweep, ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Rank, DegreeIsSumOfRanks) {
+  const auto a = RingSystem::build(3);
+  const auto b = RingSystem::build(4, a.structure().registry());
+  EXPECT_EQ(correspondence_degree(a, a.structure().initial(), 1, b,
+                                  b.structure().initial(), 1),
+            rank(a.state(a.structure().initial()), 1, 3) +
+                rank(b.state(b.structure().initial()), 1, 4));
+}
+
+TEST(Rank, RanksAreBoundedLinearly) {
+  // From the closed form: rank <= |N| + |T| + 2(r-1) - 2 <= 3r.
+  for (std::uint32_t r = 2; r <= 7; ++r) {
+    const auto sys = RingSystem::build(r);
+    for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s)
+      for (std::uint32_t i = 1; i <= r; ++i)
+        EXPECT_LE(rank(sys.state(s), i, r), 3 * r);
+  }
+}
+
+}  // namespace
+}  // namespace ictl::ring

@@ -1,0 +1,155 @@
+// Fig. 5.1 and the G_r construction: exact state counts, labeling, and the
+// structure of the two-process global state graph.
+#include <gtest/gtest.h>
+
+#include "ring/ring.hpp"
+
+namespace ictl::ring {
+namespace {
+
+TEST(RingGraph, Figure51HasEightStates) {
+  const auto sys = RingSystem::build(2);
+  EXPECT_EQ(sys.structure().num_states(), 8u);
+  EXPECT_EQ(ring_state_count(2), 8u);
+  EXPECT_TRUE(sys.structure().is_total());
+}
+
+TEST(RingGraph, InitialStateMatchesThePaper) {
+  // s0 = (D = {}, N = {2..r}, T = {1}, C = {}).
+  const auto sys = RingSystem::build(4);
+  const RingState& s0 = sys.state(sys.structure().initial());
+  EXPECT_EQ(s0.d, 0u);
+  EXPECT_EQ(s0.n, 0b1110u);
+  EXPECT_EQ(s0.t, 0b0001u);
+  EXPECT_EQ(s0.c, 0u);
+  EXPECT_EQ(s0.o, 0u);
+  EXPECT_EQ(sys.token_holder(sys.structure().initial()), 1u);
+}
+
+class RingSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RingSizeSweep, StateCountIsRTimesTwoToTheR) {
+  const std::uint32_t r = GetParam();
+  const auto sys = RingSystem::build(r);
+  EXPECT_EQ(sys.structure().num_states(), ring_state_count(r));
+}
+
+TEST_P(RingSizeSweep, EveryStateHasExactlyOneTokenHolder) {
+  const auto sys = RingSystem::build(GetParam());
+  for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s) {
+    const RingState& st = sys.state(s);
+    const std::uint32_t holders = st.t | st.c;
+    EXPECT_NE(holders, 0u);
+    EXPECT_EQ(holders & (holders - 1), 0u);  // power of two: single bit
+  }
+}
+
+TEST_P(RingSizeSweep, PartsFormAPartitionEverywhere) {
+  const std::uint32_t r = GetParam();
+  const auto sys = RingSystem::build(r);
+  for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s)
+    EXPECT_TRUE(parts_form_partition(sys.state(s), r)) << s;
+}
+
+TEST_P(RingSizeSweep, LabelsFollowThePaper) {
+  const std::uint32_t r = GetParam();
+  const auto sys = RingSystem::build(r);
+  const auto& reg = *sys.structure().registry();
+  for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s) {
+    for (std::uint32_t i = 1; i <= r; ++i) {
+      const bool has_d = sys.structure().has_prop(s, *reg.find_indexed("d", i));
+      const bool has_n = sys.structure().has_prop(s, *reg.find_indexed("n", i));
+      const bool has_t = sys.structure().has_prop(s, *reg.find_indexed("t", i));
+      const bool has_c = sys.structure().has_prop(s, *reg.find_indexed("c", i));
+      switch (sys.part_of(s, i)) {
+        case Part::kDelayed:
+          EXPECT_TRUE(has_d && !has_n && !has_t && !has_c);
+          break;
+        case Part::kNeutral:
+          EXPECT_TRUE(!has_d && has_n && !has_t && !has_c);
+          break;
+        case Part::kTokenNeutral:  // {n_i, t_i}
+          EXPECT_TRUE(!has_d && has_n && has_t && !has_c);
+          break;
+        case Part::kCritical:  // {c_i, t_i}
+          EXPECT_TRUE(!has_d && !has_n && has_t && has_c);
+          break;
+      }
+    }
+    // Theta label materialized on every reachable state.
+    EXPECT_TRUE(sys.structure().has_prop(s, *reg.find_theta("t")));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSizeSweep, ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(RingGraph, Figure51TransitionsExactly) {
+  // Hand-checked transition relation of the two-process graph.
+  const auto sys = RingSystem::build(2);
+  const auto& m = sys.structure();
+  // Identify states by (part of 1, part of 2).
+  auto find_state = [&](Part p1, Part p2) {
+    for (kripke::StateId s = 0; s < m.num_states(); ++s)
+      if (sys.part_of(s, 1) == p1 && sys.part_of(s, 2) == p2) return s;
+    return kripke::kNoState;
+  };
+  const auto nt_n = find_state(Part::kTokenNeutral, Part::kNeutral);   // s0
+  const auto nt_d = find_state(Part::kTokenNeutral, Part::kDelayed);
+  const auto c_n = find_state(Part::kCritical, Part::kNeutral);
+  const auto c_d = find_state(Part::kCritical, Part::kDelayed);
+  const auto n_c = find_state(Part::kNeutral, Part::kCritical);
+  const auto d_c = find_state(Part::kDelayed, Part::kCritical);
+  const auto n_nt = find_state(Part::kNeutral, Part::kTokenNeutral);
+  const auto d_nt = find_state(Part::kDelayed, Part::kTokenNeutral);
+  for (const auto s : {nt_n, nt_d, c_n, c_d, n_c, d_c, n_nt, d_nt})
+    ASSERT_NE(s, kripke::kNoState);
+
+  auto succs = [&](kripke::StateId s) {
+    std::vector<kripke::StateId> out(m.successors(s).begin(), m.successors(s).end());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  auto sorted = [](std::vector<kripke::StateId> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(succs(nt_n), sorted({nt_d, c_n}));        // P2 delays | P1 enters
+  EXPECT_EQ(succs(nt_d), sorted({c_d, n_c}));         // P1 enters | transfer
+  EXPECT_EQ(succs(c_n), sorted({c_d, nt_n}));         // P2 delays | P1 exits
+  EXPECT_EQ(succs(c_d), sorted({n_c}));               // transfer only
+  EXPECT_EQ(succs(n_c), sorted({d_c, n_nt}));         // P1 delays | P2 exits
+  EXPECT_EQ(succs(d_c), sorted({c_n}));               // transfer only
+  EXPECT_EQ(succs(n_nt), sorted({d_nt, n_c}));        // P1 delays | P2 enters
+  EXPECT_EQ(succs(d_nt), sorted({d_c, c_n}));         // P2 enters | transfer
+}
+
+TEST(RingGraph, ClnFindsClosestLeftDelayedNeighbor) {
+  RingState s;
+  s.d = 0b0110;  // processes 2 and 3 delayed (r = 4)
+  // Left of 1 (wrapping): 4, 3, 2 — closest delayed is 3.
+  EXPECT_EQ(cln(s, 1, 4), 3u);
+  // Left of 4: 3.
+  EXPECT_EQ(cln(s, 4, 4), 3u);
+  // Left of 3: 2.
+  EXPECT_EQ(cln(s, 3, 4), 2u);
+  // Left of 2 (wrapping): 1, 4, 3 — closest delayed is 3.
+  EXPECT_EQ(cln(s, 2, 4), 3u);
+  RingState empty;
+  EXPECT_EQ(cln(empty, 1, 4), 0u);
+}
+
+TEST(RingGraph, RejectsDegenerateSizes) {
+  EXPECT_THROW(static_cast<void>(RingSystem::build(1)), ModelError);
+  EXPECT_THROW(static_cast<void>(RingSystem::build(0)), ModelError);
+  EXPECT_THROW(static_cast<void>(RingSystem::build(25)), ModelError);
+}
+
+TEST(RingGraph, SharedRegistryKeepsLabelsComparable) {
+  auto reg = kripke::make_registry();
+  const auto a = RingSystem::build(2, reg);
+  const auto b = RingSystem::build(3, reg);
+  EXPECT_EQ(a.structure().registry().get(), b.structure().registry().get());
+}
+
+}  // namespace
+}  // namespace ictl::ring

@@ -1,0 +1,147 @@
+#include "support/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ictl::support {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  EXPECT_FALSE(b.all());
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, AssignChoosesSetOrReset) {
+  DynamicBitset b(8);
+  b.assign(3, true);
+  EXPECT_TRUE(b.test(3));
+  b.assign(3, false);
+  EXPECT_FALSE(b.test(3));
+}
+
+TEST(DynamicBitset, SetAllRespectsSize) {
+  DynamicBitset b(65);
+  b.set_all();
+  EXPECT_EQ(b.count(), 65u);
+  EXPECT_TRUE(b.all());
+  b.reset_all();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitset, FlipIsInvolutionAndTrims) {
+  DynamicBitset b(67);
+  b.set(1);
+  b.set(66);
+  DynamicBitset copy = b;
+  b.flip();
+  EXPECT_EQ(b.count(), 65u);
+  EXPECT_FALSE(b.test(1));
+  EXPECT_TRUE(b.test(0));
+  b.flip();
+  EXPECT_TRUE(b == copy);
+}
+
+TEST(DynamicBitset, BitwiseOperations) {
+  DynamicBitset a(10), b(10);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_TRUE((a & b).test(2));
+  EXPECT_EQ((a | b).count(), 3u);
+  DynamicBitset x = a;
+  x ^= b;
+  EXPECT_TRUE(x.test(1));
+  EXPECT_FALSE(x.test(2));
+  EXPECT_TRUE(x.test(3));
+  DynamicBitset y = a;
+  y.and_not(b);
+  EXPECT_TRUE(y.test(1));
+  EXPECT_FALSE(y.test(2));
+}
+
+TEST(DynamicBitset, SubsetAndIntersects) {
+  DynamicBitset a(100), b(100);
+  a.set(5);
+  a.set(80);
+  b.set(5);
+  b.set(80);
+  b.set(99);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  DynamicBitset c(100);
+  c.set(7);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(DynamicBitset, FindFirstAndNext) {
+  DynamicBitset b(200);
+  EXPECT_EQ(b.find_first(), 200u);
+  b.set(3);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 3u);
+  EXPECT_EQ(b.find_next(3), 64u);
+  EXPECT_EQ(b.find_next(64), 199u);
+  EXPECT_EQ(b.find_next(199), 200u);
+}
+
+TEST(DynamicBitset, ForEachVisitsAscending) {
+  DynamicBitset b(130);
+  b.set(0);
+  b.set(65);
+  b.set(129);
+  std::vector<std::size_t> seen;
+  b.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 65, 129}));
+  EXPECT_EQ(b.to_indices(), seen);
+}
+
+TEST(DynamicBitset, HashDistinguishesContent) {
+  DynamicBitset a(64), b(64);
+  a.set(1);
+  b.set(2);
+  EXPECT_NE(a.hash(), b.hash());
+  DynamicBitset c(64);
+  c.set(1);
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(DynamicBitset, EqualityRequiresSameSize) {
+  DynamicBitset a(10), b(11);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DynamicBitset, ZeroSized) {
+  DynamicBitset b(0);
+  EXPECT_TRUE(b.none());
+  EXPECT_TRUE(b.all());  // vacuously
+  EXPECT_EQ(b.find_first(), 0u);
+}
+
+}  // namespace
+}  // namespace ictl::support

@@ -1,0 +1,39 @@
+#include "support/interner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ictl::support {
+namespace {
+
+TEST(StringInterner, AssignsDenseIdsInOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.intern("alpha"), 0u);
+  EXPECT_EQ(interner.intern("beta"), 1u);
+  EXPECT_EQ(interner.intern("gamma"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(StringInterner, InterningIsIdempotent) {
+  StringInterner interner;
+  const auto a = interner.intern("x");
+  EXPECT_EQ(interner.intern("x"), a);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(StringInterner, RoundTripsNames) {
+  StringInterner interner;
+  const auto id = interner.intern("token");
+  EXPECT_EQ(interner.name(id), "token");
+}
+
+TEST(StringInterner, LookupDoesNotIntern) {
+  StringInterner interner;
+  EXPECT_FALSE(interner.lookup("missing").has_value());
+  EXPECT_EQ(interner.size(), 0u);
+  interner.intern("present");
+  ASSERT_TRUE(interner.lookup("present").has_value());
+  EXPECT_EQ(*interner.lookup("present"), 0u);
+}
+
+}  // namespace
+}  // namespace ictl::support
