@@ -2,6 +2,12 @@
 
 namespace ictl::support {
 
+void DynamicBitset::resize(std::size_t new_size) {
+  size_ = new_size;
+  words_.resize((new_size + kWordBits - 1) / kWordBits, 0);
+  trim();  // on shrink, drop bits of the new last word beyond new_size
+}
+
 std::size_t DynamicBitset::count() const noexcept {
   std::size_t n = 0;
   for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));

@@ -40,6 +40,10 @@ class DynamicBitset {
 
   void assign(std::size_t i, bool value) { value ? set(i) : reset(i); }
 
+  /// Grows or shrinks to `new_size` bits.  New bits are cleared; on shrink,
+  /// bits beyond the new size are dropped (a later grow sees them as 0).
+  void resize(std::size_t new_size);
+
   /// Sets every bit.
   void set_all() {
     for (auto& w : words_) w = ~std::uint64_t{0};

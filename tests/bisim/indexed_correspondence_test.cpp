@@ -6,12 +6,14 @@
 #include "ring/ring.hpp"
 #include "ring/ring_correspondence.hpp"
 
+#include "../helpers.hpp"
+
 namespace ictl::bisim {
 namespace {
 
 TEST(IndexedCorrespondence, RingBaseThreeCorresponds) {
-  const auto m3 = ring::RingSystem::build(3);
-  const auto m4 = ring::RingSystem::build(4, m3.structure().registry());
+  const auto m3 = testing::ring_of(3);
+  const auto m4 = testing::ring_of(4, m3.structure().registry());
   for (const IndexPair p : ring::ring_index_relation(3, 4)) {
     const auto found =
         find_indexed_correspondence(m3.structure(), m4.structure(), p.i, p.i2);
@@ -25,8 +27,8 @@ TEST(IndexedCorrespondence, RingBaseThreeCorresponds) {
 
 TEST(IndexedCorrespondence, TwoProcessRingDoesNotCorrespondToThree) {
   // The reproduction finding: the paper's base case fails.
-  const auto m2 = ring::RingSystem::build(2);
-  const auto m3 = ring::RingSystem::build(3, m2.structure().registry());
+  const auto m2 = testing::ring_of(2);
+  const auto m3 = testing::ring_of(3, m2.structure().registry());
   for (const IndexPair p : ring::ring_index_relation(2, 3)) {
     const auto found =
         find_indexed_correspondence(m2.structure(), m3.structure(), p.i, p.i2);
@@ -35,8 +37,8 @@ TEST(IndexedCorrespondence, TwoProcessRingDoesNotCorrespondToThree) {
 }
 
 TEST(IndexedCorrespondence, ResultOwnsItsReductions) {
-  const auto m3 = ring::RingSystem::build(3);
-  const auto m4 = ring::RingSystem::build(4, m3.structure().registry());
+  const auto m3 = testing::ring_of(3);
+  const auto m4 = testing::ring_of(4, m3.structure().registry());
   IndexedFindResult found =
       find_indexed_correspondence(m3.structure(), m4.structure(), 1, 1);
   ASSERT_TRUE(found.corresponds());
@@ -48,8 +50,8 @@ TEST(IndexedCorrespondence, ResultOwnsItsReductions) {
 }
 
 TEST(Theorem5, CertificateForRingBaseThree) {
-  const auto m3 = ring::RingSystem::build(3);
-  const auto m5 = ring::RingSystem::build(5, m3.structure().registry());
+  const auto m3 = testing::ring_of(3);
+  const auto m5 = testing::ring_of(5, m3.structure().registry());
   const Theorem5Certificate cert = certify_theorem5(
       m3.structure(), m5.structure(), ring::ring_index_relation(3, 5));
   EXPECT_TRUE(cert.valid) << (cert.notes.empty() ? "" : cert.notes.front());
@@ -58,8 +60,8 @@ TEST(Theorem5, CertificateForRingBaseThree) {
 }
 
 TEST(Theorem5, CertificateFailsForPaperBaseTwo) {
-  const auto m2 = ring::RingSystem::build(2);
-  const auto m4 = ring::RingSystem::build(4, m2.structure().registry());
+  const auto m2 = testing::ring_of(2);
+  const auto m4 = testing::ring_of(4, m2.structure().registry());
   const Theorem5Certificate cert = certify_theorem5(
       m2.structure(), m4.structure(), ring::ring_index_relation(2, 4));
   EXPECT_FALSE(cert.valid);
@@ -67,8 +69,8 @@ TEST(Theorem5, CertificateFailsForPaperBaseTwo) {
 }
 
 TEST(Theorem5, NonTotalInRelationIsRejected) {
-  const auto m3 = ring::RingSystem::build(3);
-  const auto m4 = ring::RingSystem::build(4, m3.structure().registry());
+  const auto m3 = testing::ring_of(3);
+  const auto m4 = testing::ring_of(4, m3.structure().registry());
   // Leave index 4 of I' uncovered.
   const std::vector<IndexPair> partial = {{1, 1}, {2, 2}, {3, 3}};
   const Theorem5Certificate cert =
@@ -81,8 +83,8 @@ TEST(Theorem5, NonTotalInRelationIsRejected) {
 }
 
 TEST(Theorem5, UnknownIndicesAreRejected) {
-  const auto m3 = ring::RingSystem::build(3);
-  const auto m4 = ring::RingSystem::build(4, m3.structure().registry());
+  const auto m3 = testing::ring_of(3);
+  const auto m4 = testing::ring_of(4, m3.structure().registry());
   std::vector<IndexPair> in = ring::ring_index_relation(3, 4);
   in.push_back({9, 9});
   const Theorem5Certificate cert = certify_theorem5(m3.structure(), m4.structure(), in);
@@ -90,8 +92,8 @@ TEST(Theorem5, UnknownIndicesAreRejected) {
 }
 
 TEST(Theorem5, TransfersOnlyRestrictedFormulas) {
-  const auto m3 = ring::RingSystem::build(3);
-  const auto m4 = ring::RingSystem::build(4, m3.structure().registry());
+  const auto m3 = testing::ring_of(3);
+  const auto m4 = testing::ring_of(4, m3.structure().registry());
   const Theorem5Certificate cert = certify_theorem5(
       m3.structure(), m4.structure(), ring::ring_index_relation(3, 4));
   ASSERT_TRUE(cert.valid);

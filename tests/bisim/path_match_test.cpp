@@ -118,8 +118,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1u, 2u, 3u, 4u, 5u)));
 
 TEST(PathMatch, WorksOnRingReductions) {
-  const auto a = ring::RingSystem::build(3);
-  const auto b = ring::RingSystem::build(4, a.structure().registry());
+  const auto a = testing::ring_of(3);
+  const auto b = testing::ring_of(4, a.structure().registry());
   const auto found = find_indexed_correspondence(a.structure(), b.structure(), 2, 2);
   ASSERT_TRUE(found.corresponds());
   const auto path = walk(*found.reduced1, 12, 9);

@@ -99,7 +99,7 @@ TEST(QuotientStuttering, RingReductionShrinksAndPreservesVerdicts) {
   // (Section 3 correspondence may conservatively refuse quotients of inert
   // cycles — see incompleteness_test — so the guarantee checked here is the
   // semantic one: stuttering equivalence plus formula agreement.)
-  const auto sys = ring::RingSystem::build(5);
+  const auto sys = testing::ring_of(5);
   const auto reduced = kripke::reduce_to_index(sys.structure(), 2);
   const auto p = stuttering_partition(reduced, {.divergence_sensitive = true});
   const auto q = quotient_stuttering(reduced, p);

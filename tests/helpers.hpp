@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <utility>
 #include <vector>
 
 #include "ictl.hpp"
@@ -67,6 +69,26 @@ inline kripke::Structure random_structure(kripke::PropRegistryPtr reg,
   }
   b.set_initial(0);
   return kripke::restrict_to_reachable(std::move(b).build());
+}
+
+/// Token-ring family generator shared by the ring/network/bisim suites.
+/// Builds the Section 5 mutual-exclusion ring M_n; pass a registry to put
+/// several sizes of the family on shared propositions (the common case when
+/// comparing M_n against M_{n+1}), or omit it for a fresh one.
+inline ring::RingSystem ring_of(std::uint32_t n,
+                                kripke::PropRegistryPtr reg = nullptr) {
+  return ring::RingSystem::build(n, std::move(reg));
+}
+
+/// The family {M_n : n in sizes}, all over one shared registry so indexed
+/// propositions line up across sizes.
+inline std::vector<ring::RingSystem> ring_family(
+    std::initializer_list<std::uint32_t> sizes,
+    kripke::PropRegistryPtr reg = nullptr) {
+  if (!reg) reg = kripke::make_registry();
+  std::vector<ring::RingSystem> family;
+  for (const auto n : sizes) family.push_back(ring::RingSystem::build(n, reg));
+  return family;
 }
 
 }  // namespace ictl::testing

@@ -5,6 +5,8 @@
 
 #include "ictl.hpp"
 
+#include "../helpers.hpp"
+
 namespace ictl {
 namespace {
 
@@ -30,9 +32,9 @@ TEST(EndToEnd, CertificatesAreCrossValidatedExplicitly) {
   // The analytic certificate's claims agree with the mechanically verified
   // explicit certificates on every size we can build quickly.
   auto reg = kripke::make_registry();
-  const auto m3 = ring::RingSystem::build(3, reg);
+  const auto m3 = testing::ring_of(3, reg);
   for (std::uint32_t r = 4; r <= 8; ++r) {
-    const auto mr = ring::RingSystem::build(r, reg);
+    const auto mr = testing::ring_of(r, reg);
     const auto cert = ring::explicit_ring_certificate(m3, mr);
     ASSERT_TRUE(cert.valid) << r;
     const auto analytic = ring::analytic_ring_certificate(r);
@@ -51,9 +53,9 @@ TEST(EndToEnd, TheReproductionFindingIsStable) {
   // The paper's claimed base (2) fails; the corrected base (3) works; the
   // distinguishing formula is genuinely in the restricted logic.
   auto reg = kripke::make_registry();
-  const auto m2 = ring::RingSystem::build(2, reg);
-  const auto m3 = ring::RingSystem::build(3, reg);
-  const auto m4 = ring::RingSystem::build(4, reg);
+  const auto m2 = testing::ring_of(2, reg);
+  const auto m3 = testing::ring_of(3, reg);
+  const auto m4 = testing::ring_of(4, reg);
   EXPECT_FALSE(bisim::find_indexed_correspondence(m2.structure(), m3.structure(), 2, 2)
                    .corresponds());
   EXPECT_TRUE(bisim::find_indexed_correspondence(m3.structure(), m4.structure(), 2, 2)
@@ -72,7 +74,7 @@ TEST(EndToEnd, AllSpecificationsAgreeAcrossBuildableSizes) {
   for (const auto& [name, f] : ring::section5_specifications()) {
     bool expected = true;
     for (std::uint32_t r = 2; r <= 9; ++r) {
-      const auto sys = ring::RingSystem::build(r, reg);
+      const auto sys = testing::ring_of(r, reg);
       EXPECT_EQ(mc::holds(sys.structure(), f), expected) << name << " r=" << r;
     }
   }

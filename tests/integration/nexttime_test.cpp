@@ -6,6 +6,8 @@
 
 #include "ictl.hpp"
 
+#include "../helpers.hpp"
+
 namespace ictl {
 namespace {
 
@@ -78,7 +80,7 @@ TEST(Nexttime, XFreeFormulasCannotCountTheCirculator) {
 
 TEST(Nexttime, InternalCheckerHandlesXCorrectly) {
   // EX/AX sanity on a known structure: initial ring state.
-  const auto sys = ring::RingSystem::build(3);
+  const auto sys = testing::ring_of(3);
   mc::Checker checker(sys.structure());
   // From s0, process 1 keeps the token in every immediate successor
   // (delays and rule 3 don't move it).

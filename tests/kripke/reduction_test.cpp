@@ -3,6 +3,8 @@
 #include "kripke/structure.hpp"
 #include "ring/ring.hpp"
 
+#include "../helpers.hpp"
+
 namespace ictl::kripke {
 namespace {
 
@@ -54,7 +56,7 @@ TEST(ReduceToIndex, ReductionsOfDifferentIndicesAreComparable) {
 
 TEST(ReduceToIndex, ThetaPropsSurviveReduction) {
   // The paper adds Theta_i P_i to AP, so reductions must keep it.
-  const auto sys = ring::RingSystem::build(2);
+  const auto sys = testing::ring_of(2);
   const Structure r = reduce_to_index(sys.structure(), 1);
   const auto theta = sys.structure().registry()->find_theta("t");
   ASSERT_TRUE(theta.has_value());
@@ -63,7 +65,7 @@ TEST(ReduceToIndex, ThetaPropsSurviveReduction) {
 }
 
 TEST(ReduceToIndex, RingReductionHasPartLabels) {
-  const auto sys = ring::RingSystem::build(2);
+  const auto sys = testing::ring_of(2);
   const Structure r = reduce_to_index(sys.structure(), 2);
   const auto& reg = *r.registry();
   const auto d = reg.find_indexed_base("d");

@@ -45,7 +45,7 @@ TEST(TextFormat, RoundTripsSimpleStructures) {
 }
 
 TEST(TextFormat, RoundTripsTheRing) {
-  const auto sys = ring::RingSystem::build(3);
+  const auto sys = testing::ring_of(3);
   const std::string text = to_text(sys.structure());
   auto reg = make_registry();
   const Structure back = parse_structure(text, reg);
@@ -58,7 +58,7 @@ TEST(TextFormat, RoundTripsTheRing) {
 }
 
 TEST(TextFormat, IndexErasedPropsRoundTrip) {
-  const auto sys = ring::RingSystem::build(2);
+  const auto sys = testing::ring_of(2);
   const Structure reduced = reduce_to_index(sys.structure(), 1);
   auto reg = make_registry();
   const Structure back = parse_structure(to_text(reduced), reg);

@@ -80,7 +80,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(11u, 29u, 53u, 97u)));
 
 TEST(Differential, AgreementOnTheRingToo) {
-  const auto sys = ring::RingSystem::build(4);
+  const auto sys = testing::ring_of(4);
   CtlChecker labeling(sys.structure());
   mc::CheckerOptions tableau_only;
   tableau_only.use_ctl_fast_path = false;

@@ -5,13 +5,15 @@
 #include "logic/parser.hpp"
 #include "ring/ring.hpp"
 
+#include "../helpers.hpp"
+
 namespace ictl::mc {
 namespace {
 
 using logic::parse_formula;
 
 TEST(IndexedChecker, RingSpecificationsHoldWithCleanRestrictionReports) {
-  const auto sys = ring::RingSystem::build(3);
+  const auto sys = testing::ring_of(3);
   for (const auto& [name, f] : ring::section5_specifications()) {
     const IndexedCheckResult result = check_indexed(sys.structure(), f);
     EXPECT_TRUE(result.holds) << name;
@@ -21,7 +23,7 @@ TEST(IndexedChecker, RingSpecificationsHoldWithCleanRestrictionReports) {
 }
 
 TEST(IndexedChecker, ViolatingFormulaStillCheckedButFlagged) {
-  const auto sys = ring::RingSystem::build(2);
+  const auto sys = testing::ring_of(2);
   // Quantifier under EF: outside the restricted logic but still checkable.
   const auto f = parse_formula("E F (exists i. c[i])");
   const IndexedCheckResult result = check_indexed(sys.structure(), f);
@@ -30,14 +32,14 @@ TEST(IndexedChecker, ViolatingFormulaStillCheckedButFlagged) {
 }
 
 TEST(IndexedChecker, ConcreteIndicesWork) {
-  const auto sys = ring::RingSystem::build(2);
+  const auto sys = testing::ring_of(2);
   EXPECT_TRUE(holds(sys.structure(), parse_formula("t[1]")));   // P1 starts with token
   EXPECT_FALSE(holds(sys.structure(), parse_formula("t[2]")));
   EXPECT_TRUE(holds(sys.structure(), parse_formula("A G (c[1] -> t[1])")));
 }
 
 TEST(IndexedChecker, MutualExclusionViaThetaAndImplication) {
-  const auto sys = ring::RingSystem::build(4);
+  const auto sys = testing::ring_of(4);
   // The paper's mutual exclusion argument: exactly one token + critical
   // implies token = never two processes critical.
   EXPECT_TRUE(holds(sys.structure(),
@@ -48,7 +50,7 @@ TEST(IndexedChecker, MutualExclusionViaThetaAndImplication) {
 }
 
 TEST(IndexedChecker, NegativePropertiesFail) {
-  const auto sys = ring::RingSystem::build(3);
+  const auto sys = testing::ring_of(3);
   // "Some process is always critical" is false.
   EXPECT_FALSE(holds(sys.structure(), parse_formula("exists i. A G c[i]")));
   // "Every process is eventually critical" fails: nothing forces requests.
@@ -58,7 +60,7 @@ TEST(IndexedChecker, NegativePropertiesFail) {
 }
 
 TEST(IndexedChecker, TokenCirculationPossibilities) {
-  const auto sys = ring::RingSystem::build(3);
+  const auto sys = testing::ring_of(3);
   // The token can reach every process...
   EXPECT_TRUE(holds(sys.structure(), parse_formula("forall i. E F t[i]")));
   // ...but no process is guaranteed to ever hold it (the holder may keep it).
@@ -71,7 +73,7 @@ TEST(IndexedChecker, TokenCirculationPossibilities) {
 class RingSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(RingSizeSweep, Section5SpecsHoldAtEverySize) {
-  const auto sys = ring::RingSystem::build(GetParam());
+  const auto sys = testing::ring_of(GetParam());
   for (const auto& [name, f] : ring::section5_specifications())
     EXPECT_TRUE(holds(sys.structure(), f)) << name << " at r=" << GetParam();
 }

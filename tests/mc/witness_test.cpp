@@ -131,7 +131,7 @@ TEST(Witness, RingLivenessCounterexampleStory) {
   // "Every process eventually enters its critical section" fails on the
   // ring (nothing forces requests); the counterexample is a lasso where
   // process 2 never goes critical.
-  const auto sys = ring::RingSystem::build(3);
+  const auto sys = testing::ring_of(3);
   CtlChecker checker(sys.structure());
   const auto f = parse_formula("A F c[2]");
   ASSERT_FALSE(checker.sat(f).test(sys.structure().initial()));

@@ -12,6 +12,8 @@
 #include "mc/witness.hpp"
 #include "ring/ring.hpp"
 
+#include "../helpers.hpp"
+
 namespace ictl::ring {
 namespace {
 
@@ -168,7 +170,7 @@ kripke::Structure faulty_ring(std::uint32_t r, Fault fault) {
 
 TEST(FaultInjection, CleanVariantMatchesTheRealRing) {
   const auto clean = faulty_ring(3, Fault::kNone);
-  const auto real = RingSystem::build(3);
+  const auto real = testing::ring_of(3);
   EXPECT_EQ(clean.num_states(), real.structure().num_states());
   for (const auto& [name, f] : section5_specifications())
     EXPECT_TRUE(mc::holds(clean, f)) << name;
@@ -210,7 +212,7 @@ TEST(FaultInjection, LostTokenBreaksLiveness) {
 TEST(FaultInjection, EveryFaultFlipsSomeSpecification) {
   // Corresponding structures satisfy identical specs (Theorem 2), so a
   // flipped verdict also proves no buggy variant corresponds to the ring.
-  const auto real = RingSystem::build(3);
+  const auto real = testing::ring_of(3);
   for (const Fault fault : {Fault::kDuplicateToken, Fault::kDropRequest,
                             Fault::kCriticalNoToken, Fault::kLostToken}) {
     const auto buggy = faulty_ring(3, fault);

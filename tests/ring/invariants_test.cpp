@@ -6,6 +6,8 @@
 #include "mc/indexed_checker.hpp"
 #include "ring/ring.hpp"
 
+#include "../helpers.hpp"
+
 namespace ictl::ring {
 namespace {
 
@@ -13,38 +15,38 @@ class InvariantSweep : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(InvariantSweep, Invariant1PartitionHolds) {
   const std::uint32_t r = GetParam();
-  const auto sys = RingSystem::build(r);
+  const auto sys = testing::ring_of(r);
   for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s)
     ASSERT_TRUE(parts_form_partition(sys.state(s), r));
 }
 
 TEST_P(InvariantSweep, Invariant2RequestPersistence) {
-  const auto sys = RingSystem::build(GetParam());
+  const auto sys = testing::ring_of(GetParam());
   EXPECT_TRUE(mc::holds(sys.structure(), invariant_request_persistence()));
 }
 
 TEST_P(InvariantSweep, Invariant3ExactlyOneToken) {
-  const auto sys = RingSystem::build(GetParam());
+  const auto sys = testing::ring_of(GetParam());
   EXPECT_TRUE(mc::holds(sys.structure(), invariant_one_token()));
 }
 
 TEST_P(InvariantSweep, Property1TransferOnlyOnRequest) {
-  const auto sys = RingSystem::build(GetParam());
+  const auto sys = testing::ring_of(GetParam());
   EXPECT_TRUE(mc::holds(sys.structure(), property_transfer_only_on_request()));
 }
 
 TEST_P(InvariantSweep, Property2CriticalImpliesToken) {
-  const auto sys = RingSystem::build(GetParam());
+  const auto sys = testing::ring_of(GetParam());
   EXPECT_TRUE(mc::holds(sys.structure(), property_critical_implies_token()));
 }
 
 TEST_P(InvariantSweep, Property3RequestEventuallyGranted) {
-  const auto sys = RingSystem::build(GetParam());
+  const auto sys = testing::ring_of(GetParam());
   EXPECT_TRUE(mc::holds(sys.structure(), property_request_granted()));
 }
 
 TEST_P(InvariantSweep, Property4DelayedEventuallyCritical) {
-  const auto sys = RingSystem::build(GetParam());
+  const auto sys = testing::ring_of(GetParam());
   EXPECT_TRUE(mc::holds(sys.structure(), property_eventually_critical()));
 }
 
@@ -81,7 +83,7 @@ TEST(Invariants, MutationBreaksInvariant2) {
 }
 
 TEST(Invariants, NoTwoTokensEver) {
-  const auto sys = RingSystem::build(5);
+  const auto sys = testing::ring_of(5);
   // one(t) is materialized: assert it appears on every state label.
   const auto theta = sys.structure().registry()->find_theta("t");
   ASSERT_TRUE(theta.has_value());
@@ -94,7 +96,7 @@ TEST(Invariants, DeadlockFreedomViaTotality) {
   // with the token, this process can always make the transition to and from
   // its critical section; therefore R is total."
   for (std::uint32_t r = 2; r <= 8; ++r)
-    EXPECT_TRUE(RingSystem::build(r).structure().is_total()) << r;
+    EXPECT_TRUE(testing::ring_of(r).structure().is_total()) << r;
 }
 
 }  // namespace

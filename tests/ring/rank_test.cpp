@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include "../helpers.hpp"
+
 namespace ictl::ring {
 namespace {
 
 TEST(Rank, NeutralProcessesHaveRankZero) {
-  const auto sys = RingSystem::build(3);
+  const auto sys = testing::ring_of(3);
   const auto s0 = sys.structure().initial();
   // Processes 2 and 3 are neutral initially: infinitely many idle steps,
   // rank 0 by the Appendix convention.
@@ -18,7 +20,7 @@ TEST(Rank, NeutralProcessesHaveRankZero) {
 }
 
 TEST(Rank, HolderRankIsNeutralCount) {
-  const auto sys = RingSystem::build(4);
+  const auto sys = testing::ring_of(4);
   const auto s0 = sys.structure().initial();
   // Process 1 is in T; |N| = 3.
   EXPECT_EQ(rank(sys.state(s0), 1, 4), 3u);
@@ -74,7 +76,7 @@ class RankSweep : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(RankSweep, ClosedFormMatchesBruteForceEverywhere) {
   const std::uint32_t r = GetParam();
-  const auto sys = RingSystem::build(r);
+  const auto sys = testing::ring_of(r);
   for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s) {
     for (std::uint32_t i = 1; i <= r; ++i) {
       EXPECT_EQ(rank(sys.state(s), i, r), brute_force_rank(sys, s, i))
@@ -86,8 +88,8 @@ TEST_P(RankSweep, ClosedFormMatchesBruteForceEverywhere) {
 INSTANTIATE_TEST_SUITE_P(Sizes, RankSweep, ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u));
 
 TEST(Rank, DegreeIsSumOfRanks) {
-  const auto a = RingSystem::build(3);
-  const auto b = RingSystem::build(4, a.structure().registry());
+  const auto a = testing::ring_of(3);
+  const auto b = testing::ring_of(4, a.structure().registry());
   EXPECT_EQ(correspondence_degree(a, a.structure().initial(), 1, b,
                                   b.structure().initial(), 1),
             rank(a.state(a.structure().initial()), 1, 3) +
@@ -97,7 +99,7 @@ TEST(Rank, DegreeIsSumOfRanks) {
 TEST(Rank, RanksAreBoundedLinearly) {
   // From the closed form: rank <= |N| + |T| + 2(r-1) - 2 <= 3r.
   for (std::uint32_t r = 2; r <= 7; ++r) {
-    const auto sys = RingSystem::build(r);
+    const auto sys = testing::ring_of(r);
     for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s)
       for (std::uint32_t i = 1; i <= r; ++i)
         EXPECT_LE(rank(sys.state(s), i, r), 3 * r);

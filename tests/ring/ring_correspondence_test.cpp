@@ -7,6 +7,8 @@
 #include "logic/classify.hpp"
 #include "mc/indexed_checker.hpp"
 
+#include "../helpers.hpp"
+
 namespace ictl::ring {
 namespace {
 
@@ -46,21 +48,21 @@ TEST(Finding, DistinguishingFormulaIsClosedAndRestricted) {
 TEST(Finding, DistinguishingFormulaSeparatesTwoFromLarger) {
   auto reg = kripke::make_registry();
   const auto psi = distinguishing_formula();
-  EXPECT_FALSE(mc::holds(RingSystem::build(2, reg).structure(), psi));
+  EXPECT_FALSE(mc::holds(testing::ring_of(2, reg).structure(), psi));
   for (std::uint32_t r = 3; r <= 6; ++r)
-    EXPECT_TRUE(mc::holds(RingSystem::build(r, reg).structure(), psi)) << r;
+    EXPECT_TRUE(mc::holds(testing::ring_of(r, reg).structure(), psi)) << r;
 }
 
 TEST(Finding, PaperRelationFailsTheClauseChecker) {
   // The Section 5 relation E_{i,i'} as literally defined is not a valid
   // correspondence relation — even between sizes that DO correspond.
   auto reg = kripke::make_registry();
-  const auto m3 = RingSystem::build(3, reg);
-  const auto m4 = RingSystem::build(4, reg);
+  const auto m3 = testing::ring_of(3, reg);
+  const auto m4 = testing::ring_of(4, reg);
   const ExplicitRingCorrespondence corr(m3, 2, m4, 2);
   EXPECT_FALSE(corr.relation().validate(1).empty());
   // And between 2 and 3 (the paper's own setting) it also fails.
-  const auto m2 = RingSystem::build(2, reg);
+  const auto m2 = testing::ring_of(2, reg);
   const ExplicitRingCorrespondence corr23(m2, 2, m3, 2);
   EXPECT_FALSE(corr23.relation().validate(1).empty());
 }
@@ -69,8 +71,8 @@ TEST(Finding, PaperRelationHasTheRightShapeOtherwise) {
   // Label agreement (clause 2a) always holds for the part-based pairing —
   // the failure is purely in the matching clauses 2b/2c.
   auto reg = kripke::make_registry();
-  const auto m2 = RingSystem::build(2, reg);
-  const auto m3 = RingSystem::build(3, reg);
+  const auto m2 = testing::ring_of(2, reg);
+  const auto m3 = testing::ring_of(3, reg);
   const ExplicitRingCorrespondence corr(m2, 2, m3, 3);
   for (const auto& v : corr.relation().validate(256))
     EXPECT_EQ(v.reason.find("2a"), std::string::npos) << v.reason;
@@ -78,9 +80,9 @@ TEST(Finding, PaperRelationHasTheRightShapeOtherwise) {
 
 TEST(ExplicitCertificate, BaseThreeIsCertifiedUpToSeven) {
   auto reg = kripke::make_registry();
-  const auto m3 = RingSystem::build(3, reg);
+  const auto m3 = testing::ring_of(3, reg);
   for (std::uint32_t r = 3; r <= 7; ++r) {
-    const auto mr = RingSystem::build(r, reg);
+    const auto mr = testing::ring_of(r, reg);
     const auto cert = explicit_ring_certificate(m3, mr);
     EXPECT_TRUE(cert.valid) << "r=" << r
                             << (cert.notes.empty() ? "" : " " + cert.notes.front());
@@ -90,19 +92,19 @@ TEST(ExplicitCertificate, BaseThreeIsCertifiedUpToSeven) {
 
 TEST(ExplicitCertificate, BaseTwoFails) {
   auto reg = kripke::make_registry();
-  const auto m2 = RingSystem::build(2, reg);
-  const auto m4 = RingSystem::build(4, reg);
+  const auto m2 = testing::ring_of(2, reg);
+  const auto m4 = testing::ring_of(4, reg);
   const auto cert = explicit_ring_certificate(m2, m4);
   EXPECT_FALSE(cert.valid);
 }
 
 TEST(AnalyticCertificate, MatchesExplicitForSmallSizes) {
   auto reg = kripke::make_registry();
-  const auto m3 = RingSystem::build(3, reg);
+  const auto m3 = testing::ring_of(3, reg);
   for (std::uint32_t r = 3; r <= 6; ++r) {
     const auto analytic = analytic_ring_certificate(r);
     const auto explicit_cert =
-        explicit_ring_certificate(m3, RingSystem::build(r, reg));
+        explicit_ring_certificate(m3, testing::ring_of(r, reg));
     EXPECT_TRUE(analytic.valid);
     ASSERT_TRUE(explicit_cert.valid);
     ASSERT_EQ(analytic.in_relation.size(), explicit_cert.in_relation.size());
@@ -130,9 +132,7 @@ TEST(AnalyticCertificate, RefusesBaseTwo) {
 TEST(Transfer, VerdictsAgreeBetweenCorrespondingSizes) {
   // Empirical Theorem 5: every Section 5 spec plus the distinguishing
   // formula evaluates identically on M_3..M_6.
-  auto reg = kripke::make_registry();
-  std::vector<RingSystem> systems;
-  for (std::uint32_t r = 3; r <= 6; ++r) systems.push_back(RingSystem::build(r, reg));
+  const auto systems = testing::ring_family({3, 4, 5, 6});
   auto specs = section5_specifications();
   specs.emplace_back("distinguishing formula", distinguishing_formula());
   for (const auto& [name, f] : specs) {

@@ -4,11 +4,13 @@
 
 #include "ring/ring.hpp"
 
+#include "../helpers.hpp"
+
 namespace ictl::ring {
 namespace {
 
 TEST(RingGraph, Figure51HasEightStates) {
-  const auto sys = RingSystem::build(2);
+  const auto sys = testing::ring_of(2);
   EXPECT_EQ(sys.structure().num_states(), 8u);
   EXPECT_EQ(ring_state_count(2), 8u);
   EXPECT_TRUE(sys.structure().is_total());
@@ -16,7 +18,7 @@ TEST(RingGraph, Figure51HasEightStates) {
 
 TEST(RingGraph, InitialStateMatchesThePaper) {
   // s0 = (D = {}, N = {2..r}, T = {1}, C = {}).
-  const auto sys = RingSystem::build(4);
+  const auto sys = testing::ring_of(4);
   const RingState& s0 = sys.state(sys.structure().initial());
   EXPECT_EQ(s0.d, 0u);
   EXPECT_EQ(s0.n, 0b1110u);
@@ -30,12 +32,12 @@ class RingSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(RingSizeSweep, StateCountIsRTimesTwoToTheR) {
   const std::uint32_t r = GetParam();
-  const auto sys = RingSystem::build(r);
+  const auto sys = testing::ring_of(r);
   EXPECT_EQ(sys.structure().num_states(), ring_state_count(r));
 }
 
 TEST_P(RingSizeSweep, EveryStateHasExactlyOneTokenHolder) {
-  const auto sys = RingSystem::build(GetParam());
+  const auto sys = testing::ring_of(GetParam());
   for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s) {
     const RingState& st = sys.state(s);
     const std::uint32_t holders = st.t | st.c;
@@ -46,14 +48,14 @@ TEST_P(RingSizeSweep, EveryStateHasExactlyOneTokenHolder) {
 
 TEST_P(RingSizeSweep, PartsFormAPartitionEverywhere) {
   const std::uint32_t r = GetParam();
-  const auto sys = RingSystem::build(r);
+  const auto sys = testing::ring_of(r);
   for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s)
     EXPECT_TRUE(parts_form_partition(sys.state(s), r)) << s;
 }
 
 TEST_P(RingSizeSweep, LabelsFollowThePaper) {
   const std::uint32_t r = GetParam();
-  const auto sys = RingSystem::build(r);
+  const auto sys = testing::ring_of(r);
   const auto& reg = *sys.structure().registry();
   for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s) {
     for (std::uint32_t i = 1; i <= r; ++i) {
@@ -85,7 +87,7 @@ INSTANTIATE_TEST_SUITE_P(Sizes, RingSizeSweep, ::testing::Values(2u, 3u, 4u, 5u,
 
 TEST(RingGraph, Figure51TransitionsExactly) {
   // Hand-checked transition relation of the two-process graph.
-  const auto sys = RingSystem::build(2);
+  const auto sys = testing::ring_of(2);
   const auto& m = sys.structure();
   // Identify states by (part of 1, part of 2).
   auto find_state = [&](Part p1, Part p2) {
@@ -139,6 +141,7 @@ TEST(RingGraph, ClnFindsClosestLeftDelayedNeighbor) {
 }
 
 TEST(RingGraph, RejectsDegenerateSizes) {
+  // Deliberately on the raw API: these test RingSystem::build's validation.
   EXPECT_THROW(static_cast<void>(RingSystem::build(1)), ModelError);
   EXPECT_THROW(static_cast<void>(RingSystem::build(0)), ModelError);
   EXPECT_THROW(static_cast<void>(RingSystem::build(25)), ModelError);
@@ -146,8 +149,8 @@ TEST(RingGraph, RejectsDegenerateSizes) {
 
 TEST(RingGraph, SharedRegistryKeepsLabelsComparable) {
   auto reg = kripke::make_registry();
-  const auto a = RingSystem::build(2, reg);
-  const auto b = RingSystem::build(3, reg);
+  const auto a = testing::ring_of(2, reg);
+  const auto b = testing::ring_of(3, reg);
   EXPECT_EQ(a.structure().registry().get(), b.structure().registry().get());
 }
 

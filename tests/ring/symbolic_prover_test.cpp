@@ -6,6 +6,8 @@
 
 #include "ring/ring.hpp"
 
+#include "../helpers.hpp"
+
 namespace ictl::ring {
 namespace {
 
@@ -47,7 +49,7 @@ TEST(SymbolicProver, AgreesWithExplicitInstances) {
   // explicit graphs (they are built by the literal rules, so this guards
   // against the prover and the builder drifting apart).
   for (std::uint32_t r = 2; r <= 8; ++r) {
-    const auto sys = RingSystem::build(r);
+    const auto sys = testing::ring_of(r);
     for (kripke::StateId s = 0; s < sys.structure().num_states(); ++s) {
       ASSERT_TRUE(parts_form_partition(sys.state(s), r)) << r << ":" << s;
       const auto holders = sys.state(s).t | sys.state(s).c;
@@ -60,7 +62,7 @@ TEST(SymbolicProver, AgreesWithExplicitInstances) {
 TEST(SymbolicProver, PersistenceMatchesTransitionLevelCheck) {
   // Transition-level invariant 2: along every edge, a delayed process stays
   // delayed or becomes critical-with-token.
-  const auto sys = RingSystem::build(5);
+  const auto sys = testing::ring_of(5);
   const auto& m = sys.structure();
   for (kripke::StateId s = 0; s < m.num_states(); ++s) {
     for (const kripke::StateId t : m.successors(s)) {

@@ -143,5 +143,111 @@ TEST(DynamicBitset, ZeroSized) {
   EXPECT_EQ(b.find_first(), 0u);
 }
 
+TEST(DynamicBitset, ZeroSizedOperations) {
+  DynamicBitset a(0), b(0);
+  a &= b;
+  a |= b;
+  a ^= b;
+  a.and_not(b);
+  a.flip();
+  a.set_all();
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_TRUE(a.to_indices().empty());
+  bool visited = false;
+  a.for_each([&](std::size_t) { visited = true; });
+  EXPECT_FALSE(visited);
+}
+
+TEST(DynamicBitset, DefaultConstructedIsEmpty) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.find_first(), 0u);
+  EXPECT_TRUE(b == DynamicBitset(0));
+}
+
+TEST(DynamicBitset, ResizeGrowWithinWordKeepsContent) {
+  DynamicBitset b(10);
+  b.set(3);
+  b.set(9);
+  b.resize(40);
+  EXPECT_EQ(b.size(), 40u);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_TRUE(b.test(9));
+  EXPECT_FALSE(b.test(10));
+  EXPECT_FALSE(b.test(39));
+}
+
+TEST(DynamicBitset, ResizeGrowAcrossWordBoundary) {
+  DynamicBitset b(60);
+  b.set(0);
+  b.set(59);
+  b.resize(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_TRUE(b.test(59));
+  EXPECT_FALSE(b.test(64));
+  EXPECT_FALSE(b.test(129));
+  b.set(129);
+  EXPECT_EQ(b.find_next(59), 129u);
+}
+
+TEST(DynamicBitset, ResizeShrinkAcrossWordBoundaryDropsBits) {
+  DynamicBitset b(200);
+  b.set(5);
+  b.set(69);
+  b.set(130);
+  b.set(199);
+  b.resize(70);
+  EXPECT_EQ(b.size(), 70u);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_TRUE(b.test(5));
+  EXPECT_TRUE(b.test(69));
+  // Dropped bits must not resurface when the bitset grows again.
+  b.resize(200);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_FALSE(b.test(130));
+  EXPECT_FALSE(b.test(199));
+}
+
+TEST(DynamicBitset, ResizeShrinkWithinLastWordTrims) {
+  DynamicBitset b(64);
+  b.set_all();
+  b.resize(61);
+  EXPECT_EQ(b.count(), 61u);
+  EXPECT_TRUE(b.all());
+  b.flip();
+  EXPECT_TRUE(b.none());  // trimmed tail bits stayed clear through flip
+  b.resize(64);
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(DynamicBitset, ResizeToZeroAndBack) {
+  DynamicBitset b(100);
+  b.set_all();
+  b.resize(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.none());
+  b.resize(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitset, ResizeExactWordMultiples) {
+  DynamicBitset b(64);
+  b.set(63);
+  b.resize(128);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_EQ(b.count(), 1u);
+  b.set(127);
+  b.resize(64);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_TRUE(b.test(63));
+}
+
 }  // namespace
 }  // namespace ictl::support

@@ -35,5 +35,56 @@ TEST(StringInterner, LookupDoesNotIntern) {
   EXPECT_EQ(*interner.lookup("present"), 0u);
 }
 
+TEST(StringInterner, EmptyStringIsAnOrdinaryKey) {
+  StringInterner interner;
+  const auto id = interner.intern("");
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(interner.intern(""), id);
+  EXPECT_EQ(interner.name(id), "");
+  EXPECT_NE(interner.intern("nonempty"), id);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(StringInterner, InternCopiesTransientBuffers) {
+  // A string_view into a buffer that is mutated after interning must not
+  // alias: lookups go by the value at intern time.
+  StringInterner interner;
+  std::string buffer = "alpha";
+  const auto id = interner.intern(std::string_view{buffer});
+  buffer = "omega";
+  EXPECT_EQ(interner.name(id), "alpha");
+  ASSERT_TRUE(interner.lookup("alpha").has_value());
+  EXPECT_FALSE(interner.lookup("omega").has_value());
+}
+
+TEST(StringInterner, IdsAndNamesStableAcrossRehash) {
+  // Enough keys to force several rehashes of the underlying hash map (and,
+  // with them, any bucket collisions): dense ids and round-trips must hold.
+  StringInterner interner;
+  constexpr std::uint32_t kCount = 5000;
+  for (std::uint32_t i = 0; i < kCount; ++i)
+    ASSERT_EQ(interner.intern("key_" + std::to_string(i)), i);
+  EXPECT_EQ(interner.size(), kCount);
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(interner.name(i), "key_" + std::to_string(i));
+    EXPECT_EQ(interner.intern("key_" + std::to_string(i)), i);  // idempotent
+  }
+}
+
+TEST(StringInterner, SharedPrefixAndSuffixKeysStayDistinct) {
+  // Near-identical names (classic collision fodder for weak hashes) must map
+  // to distinct ids.
+  StringInterner interner;
+  const auto a = interner.intern("state_1");
+  const auto b = interner.intern("state_10");
+  const auto c = interner.intern("state_01");
+  const auto d = interner.intern("tate_1");
+  EXPECT_EQ(interner.size(), 4u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, d);
+}
+
 }  // namespace
 }  // namespace ictl::support
