@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Runs the Google Benchmark binaries with --benchmark_format=json and merges
+# the per-binary results into one JSON file (default: BENCH_2.json in the
+# repo root), so the perf trajectory accumulates PR over PR.
+#
+# Usage:
+#   bench/run_bench.sh [OUTPUT.json]
+#
+# Environment:
+#   BUILD_DIR         build tree to use (default: build)
+#   BENCHES           space-separated binary names (default: every bench_*
+#                     binary found in $BUILD_DIR/bench)
+#   BENCHMARK_FILTER  regex forwarded as --benchmark_filter (default: all)
+#
+# The script configures the build tree with ICTL_BUILD_BENCH=ON if needed;
+# binaries are skipped with a notice when Google Benchmark is unavailable.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_2.json}"
+BUILD_DIR="${BUILD_DIR:-build}"
+FILTER="${BENCHMARK_FILTER:-}"
+
+cmake -B "$BUILD_DIR" -S . -DICTL_BUILD_BENCH=ON >/dev/null
+cmake --build "$BUILD_DIR" -j >/dev/null
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "run_bench: no bench binaries were built (Google Benchmark missing?)" >&2
+  exit 1
+fi
+
+if [ -z "${BENCHES:-}" ]; then
+  BENCHES="$(cd "$BUILD_DIR/bench" && ls bench_* 2>/dev/null | tr '\n' ' ')"
+fi
+
+TMPDIR_RESULTS="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_RESULTS"' EXIT
+
+for b in $BENCHES; do
+  bin="$BUILD_DIR/bench/$b"
+  if [ ! -x "$bin" ]; then
+    echo "run_bench: skipping $b (not built)" >&2
+    continue
+  fi
+  echo "run_bench: $b" >&2
+  args=(--benchmark_format=json)
+  if [ -n "$FILTER" ]; then
+    args+=("--benchmark_filter=$FILTER")
+  fi
+  "$bin" "${args[@]}" >"$TMPDIR_RESULTS/$b.json"
+done
+
+python3 - "$OUT" "$TMPDIR_RESULTS" <<'EOF'
+import json, os, sys, datetime
+
+out_path, results_dir = sys.argv[1], sys.argv[2]
+merged = {
+    "schema": "ictl-bench-v1",
+    "generated_utc": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "results": {},
+}
+# Preserve hand-recorded cross-PR comparisons when regenerating.
+if os.path.exists(out_path):
+    try:
+        with open(out_path) as f:
+            prev = json.load(f)
+        if "headline_vs_seed" in prev:
+            merged["headline_vs_seed"] = prev["headline_vs_seed"]
+    except (json.JSONDecodeError, OSError):
+        pass
+for name in sorted(os.listdir(results_dir)):
+    if not name.endswith(".json"):
+        continue
+    with open(os.path.join(results_dir, name)) as f:
+        merged["results"][name[:-len(".json")]] = json.load(f)
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"run_bench: wrote {out_path}")
+EOF

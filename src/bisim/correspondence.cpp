@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "bisim/stuttering.hpp"
+#include "support/bitset.hpp"
 #include "support/error.hpp"
 
 namespace ictl::bisim {
@@ -52,8 +53,9 @@ CorrespondenceRelation::entries() const {
 bool labels_equal(const kripke::Structure& m1, StateId s, const kripke::Structure& m2,
                   StateId s2) {
   // Widths can differ when the shared registry grew between builds; compare
-  // the set-bit positions.
-  return m1.label(s).to_indices() == m2.label(s2).to_indices();
+  // word-parallel and width-agnostically (no allocation: this runs O(n1*n2)
+  // times during candidate generation).
+  return m1.label(s).same_bits(m2.label(s2));
 }
 
 bool CorrespondenceRelation::clause_2b(StateId s, StateId s2, std::uint32_t k) const {
@@ -187,7 +189,53 @@ FindResult find_correspondence(const kripke::Structure& m1, const kripke::Struct
 
   // Greatest fixpoint: raise each pair's minimal degree until the Section 3
   // clauses hold; pairs exceeding the cap die.  Monotone (degrees only
-  // grow), so this terminates.
+  // grow), so this terminates.  (A pair-level worklist was tried and lost
+  // to the batched sweep: degrees creep up one unit at a time, so change
+  // propagation re-examines pairs once per unit instead of once per round.)
+  //
+  // The inner "does s->t pair with some s'-move" test only depends on which
+  // pairs are alive, so it is cached in two pair bitsets and maintained on
+  // pair death, turning the per-pair work from O(deg1 * deg2) into
+  // O(deg1 + deg2):
+  //   joint_b(t, s2) = exists t2 in succ(s2) with (t, t2) alive,
+  //   joint_c(s, t2) = exists t  in succ(s)  with (t, t2) alive.
+  const std::size_t num_pairs = n1 * n2;
+  support::DynamicBitset joint_b(num_pairs), joint_c(num_pairs);
+  for (const std::uint64_t k : candidates) {
+    const auto t = static_cast<StateId>(k / n2);
+    const auto t2 = static_cast<StateId>(k % n2);
+    for (const StateId s2 : m2.predecessors(t2))
+      joint_b.set(static_cast<std::size_t>(t) * n2 + s2);
+    for (const StateId s : m1.predecessors(t))
+      joint_c.set(static_cast<std::size_t>(s) * n2 + t2);
+  }
+
+  auto on_death = [&](StateId u, StateId v) {
+    // Recompute the joint flags that listed (u, v) as a witness.
+    for (const StateId s2 : m2.predecessors(v)) {
+      const std::size_t jk = static_cast<std::size_t>(u) * n2 + s2;
+      if (!joint_b.test(jk)) continue;
+      bool alive = false;
+      for (const StateId t2 : m2.successors(s2))
+        if (md_of(u, t2) < kInf) {
+          alive = true;
+          break;
+        }
+      if (!alive) joint_b.reset(jk);
+    }
+    for (const StateId s : m1.predecessors(u)) {
+      const std::size_t jk = static_cast<std::size_t>(s) * n2 + v;
+      if (!joint_c.test(jk)) continue;
+      bool alive = false;
+      for (const StateId t : m1.successors(s))
+        if (md_of(t, v) < kInf) {
+          alive = true;
+          break;
+        }
+      if (!alive) joint_c.reset(jk);
+    }
+  };
+
   bool changed = true;
   while (changed) {
     changed = false;
@@ -208,13 +256,7 @@ FindResult find_correspondence(const kripke::Structure& m1, const kripke::Struct
         stay_b = std::min(stay_b, md_of(s, t2) >= kInf ? kInf : md_of(s, t2) + 1);
       std::uint64_t all_b = 0;
       for (const StateId t : m1.successors(s)) {
-        bool joint = false;
-        for (const StateId t2 : m2.successors(s2))
-          if (md_of(t, t2) < kInf) {
-            joint = true;
-            break;
-          }
-        if (joint) continue;
+        if (joint_b.test(static_cast<std::size_t>(t) * n2 + s2)) continue;
         const std::uint64_t cost = md_of(t, s2) >= kInf ? kInf : md_of(t, s2) + 1;
         all_b = std::max(all_b, cost);
       }
@@ -226,13 +268,7 @@ FindResult find_correspondence(const kripke::Structure& m1, const kripke::Struct
         stay_c = std::min(stay_c, md_of(t, s2) >= kInf ? kInf : md_of(t, s2) + 1);
       std::uint64_t all_c = 0;
       for (const StateId t2 : m2.successors(s2)) {
-        bool joint = false;
-        for (const StateId t : m1.successors(s))
-          if (md_of(t, t2) < kInf) {
-            joint = true;
-            break;
-          }
-        if (joint) continue;
+        if (joint_c.test(static_cast<std::size_t>(s) * n2 + t2)) continue;
         const std::uint64_t cost = md_of(s, t2) >= kInf ? kInf : md_of(s, t2) + 1;
         all_c = std::max(all_c, cost);
       }
@@ -241,6 +277,7 @@ FindResult find_correspondence(const kripke::Structure& m1, const kripke::Struct
       const std::uint64_t need = std::max({entry, need_b, need_c});
       if (need != entry) {
         entry = need > cap ? kInf : need;
+        if (entry >= kInf) on_death(s, s2);
         changed = true;
       }
     }

@@ -114,6 +114,7 @@ struct FindResult {
   std::optional<CorrespondenceRelation> relation;
   std::size_t candidate_pairs = 0;
   std::size_t surviving_pairs = 0;
+  /// Fixpoint sweep rounds until stabilization.
   std::size_t iterations = 0;
 };
 

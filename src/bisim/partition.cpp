@@ -1,11 +1,22 @@
 #include "bisim/partition.hpp"
 
-#include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "support/error.hpp"
 
 namespace ictl::bisim {
+namespace {
+
+struct SignatureKeyHash {
+  std::size_t operator()(const std::pair<std::uint32_t, Partition::Signature>& k) const {
+    std::size_t h = k.first;
+    for (const std::uint32_t v : k.second) h = h * 1099511628211ULL + v;
+    return h;
+  }
+};
+
+}  // namespace
 
 Partition::Partition(std::size_t num_states) : block_of_(num_states, 0) {
   blocks_.resize(num_states == 0 ? 0 : 1);
@@ -42,8 +53,12 @@ Partition Partition::by_labels(const kripke::Structure& m) {
 }
 
 bool Partition::refine(const std::function<Signature(kripke::StateId)>& signature_of) {
-  // Within each block, group by (signature); assign new dense block ids.
-  std::map<std::pair<std::uint32_t, Signature>, std::uint32_t> groups;
+  // Within each block, group by (signature); assign new dense block ids in
+  // order of first encounter (state order), so ids are deterministic.
+  std::unordered_map<std::pair<std::uint32_t, Signature>, std::uint32_t,
+                     SignatureKeyHash>
+      groups;
+  groups.reserve(blocks_.size() * 2);
   std::vector<std::uint32_t> new_assignment(block_of_.size());
   std::uint32_t next_block = 0;
   for (kripke::StateId s = 0; s < block_of_.size(); ++s) {

@@ -1,6 +1,7 @@
 #include "kripke/structure.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 #include <utility>
 
@@ -9,19 +10,42 @@
 namespace ictl::kripke {
 
 bool Structure::is_total() const noexcept {
-  for (const auto& out : succ_)
-    if (out.empty()) return false;
+  for (std::size_t s = 0; s + 1 < succ_offsets_.size(); ++s)
+    if (succ_offsets_[s] == succ_offsets_[s + 1]) return false;
   return true;
 }
 
 std::vector<PropId> Structure::used_props() const {
-  std::vector<bool> used(registry_->size(), false);
-  for (const auto& lab : labels_)
-    lab.for_each([&](std::size_t p) { used[p] = true; });
   std::vector<PropId> out;
-  for (PropId p = 0; p < used.size(); ++p)
-    if (used[p]) out.push_back(p);
+  for (PropId p = 0; p < columns_.size(); ++p)
+    if (columns_[p].any()) out.push_back(p);
   return out;
+}
+
+void Structure::pre_image(const support::DynamicBitset& set,
+                          support::DynamicBitset& out) const {
+  ICTL_ASSERT(set.size() == num_states());
+  ICTL_ASSERT(out.size() == num_states());
+  ICTL_ASSERT(&set != &out);
+  out.reset_all();
+  set.for_each([&](std::size_t t) {
+    const std::uint32_t begin = pred_offsets_[t];
+    const std::uint32_t end = pred_offsets_[t + 1];
+    for (std::uint32_t i = begin; i != end; ++i) out.set(pred_flat_[i]);
+  });
+}
+
+void Structure::post_image(const support::DynamicBitset& set,
+                           support::DynamicBitset& out) const {
+  ICTL_ASSERT(set.size() == num_states());
+  ICTL_ASSERT(out.size() == num_states());
+  ICTL_ASSERT(&set != &out);
+  out.reset_all();
+  set.for_each([&](std::size_t s) {
+    const std::uint32_t begin = succ_offsets_[s];
+    const std::uint32_t end = succ_offsets_[s + 1];
+    for (std::uint32_t i = begin; i != end; ++i) out.set(succ_flat_[i]);
+  });
 }
 
 StructureBuilder::StructureBuilder(PropRegistryPtr registry)
@@ -40,6 +64,19 @@ StateId StructureBuilder::add_state(std::span<const PropId> props) {
 
 StateId StructureBuilder::add_state(std::initializer_list<PropId> props) {
   return add_state(std::span<const PropId>(props.begin(), props.size()));
+}
+
+StateId StructureBuilder::add_state(std::vector<PropId>&& props) {
+  const StateId id = static_cast<StateId>(states_.size());
+  PendingState st;
+  st.props = std::move(props);
+  states_.push_back(std::move(st));
+  return id;
+}
+
+void StructureBuilder::reserve(std::size_t states, std::size_t transitions) {
+  states_.reserve(states);
+  transitions_.reserve(transitions);
 }
 
 void StructureBuilder::add_transition(StateId from, StateId to) {
@@ -82,31 +119,79 @@ Structure StructureBuilder::build(BuildOptions options) && {
   const std::size_t width = m.registry_->size();
   m.labels_.reserve(n);
   m.names_.reserve(n);
-  for (auto& st : states_) {
+  m.columns_.assign(width, support::DynamicBitset(n));
+  m.empty_column_ = support::DynamicBitset(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto& st = states_[s];
     support::DynamicBitset lab(width);
     for (PropId p : st.props) {
       support::require<ModelError>(p < width, "build: unknown proposition id");
       lab.set(p);
+      m.columns_[p].set(s);
     }
     m.labels_.push_back(std::move(lab));
     m.names_.push_back(std::move(st.name));
   }
 
-  m.succ_.assign(n, {});
-  m.pred_.assign(n, {});
-  std::sort(transitions_.begin(), transitions_.end());
-  transitions_.erase(std::unique(transitions_.begin(), transitions_.end()),
-                     transitions_.end());
-  for (auto [from, to] : transitions_) {
-    m.succ_[from].push_back(to);
-    m.pred_[to].push_back(from);
+  // CSR assembly by counting sort — no global sort, no per-state vectors.
+  // Successor rows are bucketed by source, sorted and deduplicated in place;
+  // the predecessor CSR is then filled from the deduplicated successor rows
+  // in ascending source order, which leaves its rows sorted for free.
+  // Offsets are 32-bit; fail loudly rather than wrap if a construction ever
+  // exceeds them (the r = 24 ring cap is past this line in theory, but such
+  // a build is out of memory reach long before).
+  support::require<ModelError>(
+      transitions_.size() <= std::numeric_limits<std::uint32_t>::max(),
+      "build: more than 2^32 transitions cannot be indexed by the CSR offsets");
+  m.succ_offsets_.assign(n + 1, 0);
+  for (const auto& [from, to] : transitions_) {
+    static_cast<void>(to);
+    ++m.succ_offsets_[from + 1];
   }
-  m.num_transitions_ = transitions_.size();
+  for (std::size_t s = 0; s < n; ++s) m.succ_offsets_[s + 1] += m.succ_offsets_[s];
+  m.succ_flat_.resize(transitions_.size());
+  {
+    std::vector<std::uint32_t> cursor(m.succ_offsets_.begin(),
+                                      m.succ_offsets_.end() - 1);
+    for (const auto& [from, to] : transitions_) m.succ_flat_[cursor[from]++] = to;
+  }
+  // Sort + dedup each row, compacting the flat array left-to-right (the
+  // write cursor never overtakes the read cursor, so this is in place).
+  std::uint32_t write = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::uint32_t begin = m.succ_offsets_[s];
+    const std::uint32_t end = m.succ_offsets_[s + 1];
+    std::sort(m.succ_flat_.begin() + begin, m.succ_flat_.begin() + end);
+    m.succ_offsets_[s] = write;
+    for (std::uint32_t i = begin; i != end; ++i) {
+      if (i != begin && m.succ_flat_[i] == m.succ_flat_[i - 1]) continue;
+      m.succ_flat_[write++] = m.succ_flat_[i];
+    }
+  }
+  m.succ_offsets_[n] = write;
+  m.succ_flat_.resize(write);
+  m.succ_flat_.shrink_to_fit();
+  m.num_transitions_ = write;
+
+  m.pred_offsets_.assign(n + 1, 0);
+  for (const StateId to : m.succ_flat_) ++m.pred_offsets_[to + 1];
+  for (std::size_t s = 0; s < n; ++s) m.pred_offsets_[s + 1] += m.pred_offsets_[s];
+  m.pred_flat_.resize(write);
+  {
+    std::vector<std::uint32_t> cursor(m.pred_offsets_.begin(),
+                                      m.pred_offsets_.end() - 1);
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::uint32_t begin = m.succ_offsets_[s];
+      const std::uint32_t end = m.succ_offsets_[s + 1];
+      for (std::uint32_t i = begin; i != end; ++i)
+        m.pred_flat_[cursor[m.succ_flat_[i]]++] = static_cast<StateId>(s);
+    }
+  }
 
   if (options.require_total) {
     for (StateId s = 0; s < n; ++s)
       support::require<ModelError>(
-          !m.succ_[s].empty(),
+          m.succ_offsets_[s] != m.succ_offsets_[s + 1],
           "build: transition relation is not total (state " + std::to_string(s) +
               (m.names_[s].empty() ? "" : " '" + m.names_[s] + "'") +
               " has no successor); the paper requires R to be total");
@@ -152,6 +237,9 @@ Structure reduce_to_index(const Structure& m, std::uint32_t i) {
   for (StateId s = 0; s < m.num_states(); ++s)
     for (StateId t : m.successors(s)) b.add_transition(s, t);
   b.set_initial(m.initial());
+  // Rebuilding through the builder normalizes label widths to the current
+  // registry size, so the reduction's labels are comparable with reductions
+  // of structures built at a different registry size.
   return std::move(b).build({.require_total = m.is_total()});
 }
 
@@ -193,6 +281,10 @@ Structure restrict_to_reachable(const Structure& m, std::vector<StateId>* old_to
 Structure disjoint_union(const Structure& a, const Structure& b) {
   support::require<ModelError>(a.registry() == b.registry(),
                                "disjoint_union: structures must share a registry");
+  // `a` and `b` may have been built at different registry sizes (labels of
+  // different widths).  Copying labels as prop-id lists and rebuilding
+  // normalizes every label to the current registry size, so the equivalence
+  // algorithms downstream only ever compare equal-width bitsets.
   StructureBuilder builder(a.registry());
   auto copy_states = [&](const Structure& m) {
     for (StateId s = 0; s < m.num_states(); ++s) {
@@ -234,6 +326,8 @@ Structure materialize_theta(const Structure& m, std::string_view base) {
   b.set_initial(m.initial());
   std::vector<std::uint32_t> idx(m.index_set().begin(), m.index_set().end());
   b.set_index_set(std::move(idx));
+  // Like reduce_to_index, the rebuild normalizes label widths to the
+  // current registry size (theta itself may be newly interned here).
   return std::move(b).build({.require_total = m.is_total()});
 }
 

@@ -29,18 +29,34 @@ struct BuildOptions {
 
 class Structure {
  public:
-  [[nodiscard]] std::size_t num_states() const noexcept { return succ_.size(); }
+  [[nodiscard]] std::size_t num_states() const noexcept { return labels_.size(); }
   [[nodiscard]] std::size_t num_transitions() const noexcept { return num_transitions_; }
   [[nodiscard]] StateId initial() const noexcept { return initial_; }
 
+  // The transition relation is stored in compressed-sparse-row form: one
+  // offsets array (n + 1 entries) plus one flat StateId array per direction.
+  // successors(s) / predecessors(s) are contiguous, sorted slices of the
+  // flat arrays — no per-state allocation, cache-friendly scans.
   [[nodiscard]] std::span<const StateId> successors(StateId s) const {
-    ICTL_ASSERT(s < succ_.size());
-    return succ_[s];
+    ICTL_ASSERT(s + 1 < succ_offsets_.size());
+    return {succ_flat_.data() + succ_offsets_[s],
+            succ_offsets_[s + 1] - succ_offsets_[s]};
   }
   [[nodiscard]] std::span<const StateId> predecessors(StateId s) const {
-    ICTL_ASSERT(s < pred_.size());
-    return pred_[s];
+    ICTL_ASSERT(s + 1 < pred_offsets_.size());
+    return {pred_flat_.data() + pred_offsets_[s],
+            pred_offsets_[s + 1] - pred_offsets_[s]};
   }
+
+  /// out := { s | some successor of s is in `set` } — the EX / pre-image
+  /// primitive of the model-checking engine.  `set` and `out` must both be
+  /// sized num_states(); `out` is overwritten (callers reuse it as scratch
+  /// so fixpoint iterations allocate nothing).  Aliasing is not allowed.
+  void pre_image(const support::DynamicBitset& set, support::DynamicBitset& out) const;
+
+  /// out := { t | some predecessor of t is in `set` } — the one-step
+  /// post-image.  Same contract as pre_image.
+  void post_image(const support::DynamicBitset& set, support::DynamicBitset& out) const;
 
   /// True when proposition `p` is in L(s).  Propositions registered after the
   /// structure was built are simply absent from every label.
@@ -53,6 +69,13 @@ class Structure {
   [[nodiscard]] const support::DynamicBitset& label(StateId s) const {
     ICTL_ASSERT(s < labels_.size());
     return labels_[s];
+  }
+
+  /// Column view of the labeling: the set of states whose label contains
+  /// `p`, as a bitset over states (built once at build() time).  For
+  /// propositions registered after the build, returns the empty state set.
+  [[nodiscard]] const support::DynamicBitset& states_with(PropId p) const {
+    return p < columns_.size() ? columns_[p] : empty_column_;
   }
 
   [[nodiscard]] const PropRegistryPtr& registry() const noexcept { return registry_; }
@@ -80,8 +103,14 @@ class Structure {
 
   PropRegistryPtr registry_;
   std::vector<support::DynamicBitset> labels_;
-  std::vector<std::vector<StateId>> succ_;
-  std::vector<std::vector<StateId>> pred_;
+  // CSR transition relation (both directions), rows sorted ascending.
+  std::vector<std::uint32_t> succ_offsets_;  // n + 1 entries
+  std::vector<StateId> succ_flat_;
+  std::vector<std::uint32_t> pred_offsets_;  // n + 1 entries
+  std::vector<StateId> pred_flat_;
+  // Transposed labeling: columns_[p] = bitset over states with p in L(s).
+  std::vector<support::DynamicBitset> columns_;
+  support::DynamicBitset empty_column_;  // all-zero state set, width n
   std::vector<std::string> names_;
   std::vector<std::uint32_t> indices_;
   StateId initial_ = kNoState;
@@ -96,6 +125,12 @@ class StructureBuilder {
   /// Adds a state labeled with `props`; returns its id (dense, from 0).
   StateId add_state(std::span<const PropId> props);
   StateId add_state(std::initializer_list<PropId> props);
+  /// Move-in overload for hot construction loops (no prop-list copy).
+  StateId add_state(std::vector<PropId>&& props);
+
+  /// Capacity hint for large constructions (e.g. the ring exploration):
+  /// pre-sizes the state and transition arrays to avoid growth reallocation.
+  void reserve(std::size_t states, std::size_t transitions);
 
   /// Adds the transition s1 -> s2 (duplicates are merged at build()).
   void add_transition(StateId from, StateId to);

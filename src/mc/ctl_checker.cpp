@@ -16,6 +16,10 @@ CtlChecker::CtlChecker(const kripke::Structure& m, CtlCheckerOptions options)
     : m_(m), options_(options) {
   support::require<ModelError>(m.is_total(),
                                "CtlChecker: transition relation must be total");
+  // Pre-size the scratch arena so the fixpoint primitives never allocate:
+  // the worklist holds each state at most once per eu/eg call.
+  worklist_.reserve(m.num_states());
+  succ_in_count_.reserve(m.num_states());
 }
 
 const SatSet& CtlChecker::sat(const FormulaPtr& f) {
@@ -161,42 +165,64 @@ SatSet CtlChecker::sat_path_quantified(const FormulaPtr& f) {
   }
 }
 
-SatSet CtlChecker::ex(const SatSet& f) const {
+SatSet CtlChecker::ex(const SatSet& f) {
   SatSet s(m_.num_states());
-  f.for_each([&](std::size_t t) {
-    for (const kripke::StateId p : m_.predecessors(static_cast<kripke::StateId>(t)))
-      s.set(p);
-  });
+  m_.pre_image(f, s);
   return s;
 }
 
-SatSet CtlChecker::eu(const SatSet& f, const SatSet& g) const {
-  // Backward reachability from g through f-states.
+SatSet CtlChecker::eu(const SatSet& f, const SatSet& g) {
+  // Frontier-based backward reachability from g through f-states; each
+  // state enters the worklist at most once, each transition is scanned at
+  // most once.  The worklist is the checker's scratch (no allocation).
   SatSet result = g;
-  std::vector<kripke::StateId> stack;
-  g.for_each([&](std::size_t s) { stack.push_back(static_cast<kripke::StateId>(s)); });
-  while (!stack.empty()) {
-    const kripke::StateId s = stack.back();
-    stack.pop_back();
+  worklist_.clear();
+  g.for_each([&](std::size_t s) { worklist_.push_back(static_cast<kripke::StateId>(s)); });
+  std::size_t head = 0;
+  while (head < worklist_.size()) {
+    const kripke::StateId s = worklist_[head++];
     for (const kripke::StateId p : m_.predecessors(s)) {
       if (!result.test(p) && f.test(p)) {
         result.set(p);
-        stack.push_back(p);
+        worklist_.push_back(p);
       }
     }
   }
   return result;
 }
 
-SatSet CtlChecker::eg(const SatSet& f) const {
-  // Greatest fixpoint: X := f; X := f & EX X until stable.
+SatSet CtlChecker::eg(const SatSet& f) {
+  // Greatest fixpoint of X = f & EX X by elimination: start from X = f and
+  // maintain, for every state still in X, the number of its successors
+  // inside X.  States whose count reaches zero leave X, decrementing only
+  // their predecessors' counts — predecessors of states that never leave
+  // are never re-examined, so the whole fixpoint is O(|S| + |R|) instead of
+  // (rounds x EX-of-the-whole-set).
+  const std::size_t n = m_.num_states();
   SatSet x = f;
-  while (true) {
-    SatSet next = ex(x);
-    next &= f;
-    if (next == x) return x;
-    x = std::move(next);
+  succ_in_count_.assign(n, 0);
+  worklist_.clear();
+  x.for_each([&](std::size_t s) {
+    std::uint32_t count = 0;
+    for (const kripke::StateId t : m_.successors(static_cast<kripke::StateId>(s)))
+      count += x.test(t) ? 1 : 0;
+    succ_in_count_[s] = count;
+    if (count == 0) worklist_.push_back(static_cast<kripke::StateId>(s));
+  });
+  // Seed removals after the counting scan so every count is exact w.r.t. f.
+  for (const kripke::StateId s : worklist_) x.reset(s);
+  std::size_t head = 0;
+  while (head < worklist_.size()) {
+    const kripke::StateId s = worklist_[head++];
+    for (const kripke::StateId p : m_.predecessors(s)) {
+      // Invariant: states in x have count > 0, so the decrement is safe.
+      if (x.test(p) && --succ_in_count_[p] == 0) {
+        x.reset(p);
+        worklist_.push_back(p);
+      }
+    }
   }
+  return x;
 }
 
 }  // namespace ictl::mc

@@ -4,10 +4,16 @@
 //
 // Works on the CTL fragment (see logic::is_ctl): booleans and index
 // quantifiers over state formulas with path quantifiers applied directly to
-// F/G/U/R.  Primitive satisfying-set computations: EX by predecessor lookup,
-// E[f U g] by backward reachability, EG f by greatest-fixpoint iteration;
-// every other connective reduces to these through the standard dualities.
-// Linear-time in |S| + |R| per formula node.
+// F/G/U/R.  Primitive satisfying-set computations on the structure's CSR
+// transition engine: EX via Structure::pre_image, E[f U g] by frontier-based
+// backward reachability, EG f by successor-counting elimination (only the
+// predecessors of states that leave the set are re-examined — never EX of
+// the whole set per round).  Every other connective reduces to these through
+// the standard dualities.  Linear-time in |S| + |R| per formula node.
+//
+// The checker owns a scratch arena (worklist + counters, pre-reserved at
+// construction) that the primitives reuse, so sat() performs no heap
+// allocation per fixpoint iteration once the checker is warm.
 #pragma once
 
 #include <unordered_map>
@@ -46,10 +52,11 @@ class CtlChecker {
   SatSet sat_leaf(const logic::FormulaPtr& f);
   SatSet sat_path_quantified(const logic::FormulaPtr& f);  // f = E(g) or A(g)
 
-  // Primitives.
-  [[nodiscard]] SatSet ex(const SatSet& f) const;                    // EX f
-  [[nodiscard]] SatSet eu(const SatSet& f, const SatSet& g) const;   // E[f U g]
-  [[nodiscard]] SatSet eg(const SatSet& f) const;                    // EG f
+  // Primitives.  Results are freshly allocated once per formula node; the
+  // fixpoint loops inside reuse the scratch arena below and allocate nothing.
+  [[nodiscard]] SatSet ex(const SatSet& f);                    // EX f
+  [[nodiscard]] SatSet eu(const SatSet& f, const SatSet& g);   // E[f U g]
+  [[nodiscard]] SatSet eg(const SatSet& f);                    // EG f
 
   const kripke::Structure& m_;
   CtlCheckerOptions options_;
@@ -57,6 +64,10 @@ class CtlChecker {
   // Memo keys are raw pointers into the hash-consing table; retaining the
   // formulas pins their addresses so keys can never be reused.
   std::vector<logic::FormulaPtr> retained_;
+  // Scratch arena, reserved to num_states() at construction and reused by
+  // every eu/eg call.
+  std::vector<kripke::StateId> worklist_;
+  std::vector<std::uint32_t> succ_in_count_;
 };
 
 }  // namespace ictl::mc

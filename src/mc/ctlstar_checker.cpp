@@ -155,23 +155,22 @@ SatSet Checker::sat_exists_path(const FormulaPtr& g) {
   // Leaves are placeholders or genuine literals; resolve both.
   std::unordered_map<const Formula*, SatSet> leaf_cache;
   LeafResolver resolver = [&](const FormulaPtr& leaf) -> const SatSet& {
-    if (auto it = leaf_cache.find(leaf.get()); it != leaf_cache.end())
-      return it->second;
-    SatSet s(m_.num_states());
     if (leaf->kind() == Kind::kAtom) {
       if (auto it = placeholder_target_.find(leaf->name());
           it != placeholder_target_.end()) {
-        // Placeholder: satisfying set was memoized when it was created.
+        // Placeholder: the satisfying set was memoized when it was created;
+        // hand out a reference to the memo entry rather than copying it
+        // (memo_ is not mutated while the product is explored).
         const auto memo_it = memo_.find(it->second);
         ICTL_ASSERT(memo_it != memo_.end());
-        s = memo_it->second;
-      } else {
-        s = leaf_sat_set(m_, leaf, options_.unknown_atoms_are_false);
+        return memo_it->second;
       }
-    } else {
-      s = leaf_sat_set(m_, leaf, options_.unknown_atoms_are_false);
     }
-    return leaf_cache.emplace(leaf.get(), std::move(s)).first->second;
+    if (auto it = leaf_cache.find(leaf.get()); it != leaf_cache.end())
+      return it->second;
+    return leaf_cache
+        .emplace(leaf.get(), leaf_sat_set(m_, leaf, options_.unknown_atoms_are_false))
+        .first->second;
   };
 
   ProductStats pstats;

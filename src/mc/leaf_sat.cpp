@@ -24,16 +24,24 @@ DynamicBitset leaf_sat_set(const kripke::Structure& m, const FormulaPtr& f,
       return s;
     case Kind::kExactlyOne: {
       if (auto theta = reg.find_theta(f->name())) {
-        for (kripke::StateId st = 0; st < n; ++st)
-          if (m.has_prop(st, *theta)) s.set(st);
+        s = m.states_with(*theta);  // empty column when theta postdates the build
         return s;
       }
+      // Word-parallel exactly-one over the member prop columns: `ones`
+      // accumulates states holding >= 1 member, `twos` states holding >= 2;
+      // the answer is ones & ~twos, computed 64 states per word op.
       const auto members = reg.indexed_with_base(f->name());
-      for (kripke::StateId st = 0; st < n; ++st) {
-        std::size_t holders = 0;
-        for (const kripke::PropId p : members) holders += m.has_prop(st, p) ? 1 : 0;
-        if (holders == 1) s.set(st);
+      DynamicBitset twos(n);
+      const auto ones_w = s.mutable_words();
+      const auto twos_w = twos.mutable_words();
+      for (const kripke::PropId p : members) {
+        const auto col_w = m.states_with(p).words();
+        for (std::size_t w = 0; w < ones_w.size(); ++w) {
+          twos_w[w] |= ones_w[w] & col_w[w];
+          ones_w[w] |= col_w[w];
+        }
       }
+      for (std::size_t w = 0; w < ones_w.size(); ++w) ones_w[w] &= ~twos_w[w];
       return s;
     }
     case Kind::kAtom:
@@ -57,8 +65,8 @@ DynamicBitset leaf_sat_set(const kripke::Structure& m, const FormulaPtr& f,
             "leaf_sat_set: unknown atomic proposition: " + logic::to_string(f));
         return s;
       }
-      for (kripke::StateId st = 0; st < n; ++st)
-        if (m.has_prop(st, *prop)) s.set(st);
+      // Atom leaves are a straight copy of the structure's prop column.
+      s = m.states_with(*prop);
       return s;
     }
     default:

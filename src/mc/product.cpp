@@ -12,11 +12,47 @@ namespace {
 using kripke::StateId;
 using support::DynamicBitset;
 
+// Product node = (kripke state, gba node), interned densely.  Edges are
+// accumulated as a flat (from, to) list during exploration and compiled to
+// CSR afterwards — the SCC pass and the backward fair-reachability pass then
+// scan contiguous rows instead of chasing per-node vectors.
 struct ProductGraph {
-  // Product node = (kripke state, gba node), interned densely.
   std::vector<std::pair<StateId, std::uint32_t>> nodes;
-  std::vector<std::vector<std::uint32_t>> succ;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
   std::vector<std::uint32_t> roots;  // product nodes that are initial
+
+  // CSR form of `edges` (and its transpose), built by compile().
+  std::vector<std::uint32_t> succ_offsets, succ_flat;
+  std::vector<std::uint32_t> pred_offsets, pred_flat;
+
+  void compile() {
+    const std::size_t pn = nodes.size();
+    succ_offsets.assign(pn + 1, 0);
+    pred_offsets.assign(pn + 1, 0);
+    for (const auto& [from, to] : edges) {
+      ++succ_offsets[from + 1];
+      ++pred_offsets[to + 1];
+    }
+    for (std::size_t v = 0; v < pn; ++v) {
+      succ_offsets[v + 1] += succ_offsets[v];
+      pred_offsets[v + 1] += pred_offsets[v];
+    }
+    succ_flat.resize(edges.size());
+    pred_flat.resize(edges.size());
+    std::vector<std::uint32_t> scursor(succ_offsets.begin(), succ_offsets.end() - 1);
+    std::vector<std::uint32_t> pcursor(pred_offsets.begin(), pred_offsets.end() - 1);
+    for (const auto& [from, to] : edges) {
+      succ_flat[scursor[from]++] = to;
+      pred_flat[pcursor[to]++] = from;
+    }
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> successors(std::uint32_t v) const {
+    return {succ_flat.data() + succ_offsets[v], succ_offsets[v + 1] - succ_offsets[v]};
+  }
+  [[nodiscard]] std::span<const std::uint32_t> predecessors(std::uint32_t v) const {
+    return {pred_flat.data() + pred_offsets[v], pred_offsets[v + 1] - pred_offsets[v]};
+  }
 };
 
 }  // namespace
@@ -46,10 +82,7 @@ DynamicBitset exists_fair_path(const kripke::Structure& m, const Gba& gba,
   auto intern = [&](StateId s, std::uint32_t q) {
     const auto [it, inserted] = ids.try_emplace(key(s, q),
                                                 static_cast<std::uint32_t>(g.nodes.size()));
-    if (inserted) {
-      g.nodes.emplace_back(s, q);
-      g.succ.emplace_back();
-    }
+    if (inserted) g.nodes.emplace_back(s, q);
     return it->second;
   };
 
@@ -72,15 +105,15 @@ DynamicBitset exists_fair_path(const kripke::Structure& m, const Gba& gba,
         const std::size_t before = g.nodes.size();
         const std::uint32_t target = intern(t, r);
         if (g.nodes.size() > before) worklist.push_back(target);
-        g.succ[id].push_back(target);
+        g.edges.emplace_back(id, target);
       }
     }
   }
+  g.compile();
 
   if (stats != nullptr) {
     stats->product_states = g.nodes.size();
-    stats->product_transitions = 0;
-    for (const auto& out : g.succ) stats->product_transitions += out.size();
+    stats->product_transitions = g.edges.size();
   }
 
   // Tarjan SCC over the product graph (iterative).
@@ -105,8 +138,9 @@ DynamicBitset exists_fair_path(const kripke::Structure& m, const Gba& gba,
     while (!call.empty()) {
       Frame& f = call.back();
       const std::uint32_t v = f.v;
-      if (f.child < g.succ[v].size()) {
-        const std::uint32_t w = g.succ[v][f.child++];
+      const auto succ = g.successors(v);
+      if (f.child < succ.size()) {
+        const std::uint32_t w = succ[f.child++];
         if (index[w] == kUnvisited) {
           index[w] = lowlink[w] = next_index++;
           scc_stack.push_back(w);
@@ -138,7 +172,6 @@ DynamicBitset exists_fair_path(const kripke::Structure& m, const Gba& gba,
 
   // A component is fair when it carries a cycle and intersects every
   // acceptance set.
-  std::vector<bool> gba_node_accepting_in_set;
   std::vector<bool> fair(components.size(), false);
   {
     // Precompute: for each acceptance set, a flag per GBA node.
@@ -152,7 +185,8 @@ DynamicBitset exists_fair_path(const kripke::Structure& m, const Gba& gba,
       bool nontrivial = component.size() > 1;
       if (!nontrivial) {
         const std::uint32_t v = component.front();
-        nontrivial = std::find(g.succ[v].begin(), g.succ[v].end(), v) != g.succ[v].end();
+        const auto succ = g.successors(v);
+        nontrivial = std::find(succ.begin(), succ.end(), v) != succ.end();
       }
       if (!nontrivial) continue;
       bool ok = true;
@@ -172,10 +206,7 @@ DynamicBitset exists_fair_path(const kripke::Structure& m, const Gba& gba,
     stats->fair_sccs = static_cast<std::size_t>(
         std::count(fair.begin(), fair.end(), true));
 
-  // Backward reachability from fair components.
-  std::vector<std::vector<std::uint32_t>> pred(pn);
-  for (std::uint32_t v = 0; v < pn; ++v)
-    for (const std::uint32_t w : g.succ[v]) pred[w].push_back(v);
+  // Backward reachability from fair components over the predecessor CSR.
   std::vector<bool> can_reach_fair(pn, false);
   std::vector<std::uint32_t> stack;
   for (std::uint32_t v = 0; v < pn; ++v) {
@@ -187,7 +218,7 @@ DynamicBitset exists_fair_path(const kripke::Structure& m, const Gba& gba,
   while (!stack.empty()) {
     const std::uint32_t v = stack.back();
     stack.pop_back();
-    for (const std::uint32_t p : pred[v]) {
+    for (const std::uint32_t p : g.predecessors(v)) {
       if (!can_reach_fair[p]) {
         can_reach_fair[p] = true;
         stack.push_back(p);

@@ -2,7 +2,6 @@
 
 #include <queue>
 #include <string>
-#include <unordered_map>
 
 #include "logic/parser.hpp"
 #include "support/error.hpp"
@@ -12,22 +11,23 @@ namespace {
 
 std::uint32_t bit(std::uint32_t i) { return std::uint32_t{1} << (i - 1); }
 
-/// Dense 64-bit encoding for deduplication during exploration.
-std::uint64_t encode(const RingState& s) {
-  // Reachable states have d/n/t/c within 24 bits each; pack d and the token
-  // holder's position and phase (t vs c masks are singletons once reachable,
-  // but we stay general and hash all four masks).
-  std::uint64_t h = s.d;
-  h = h * 0x9e3779b97f4a7c15ULL + s.n;
-  h = h * 0x9e3779b97f4a7c15ULL + s.t;
-  h = h * 0x9e3779b97f4a7c15ULL + s.c;
-  h = h * 0x9e3779b97f4a7c15ULL + s.o;
-  return h;
+/// Every state reachable from s0 has a canonical shape: O is empty, exactly
+/// one process holds the token (a singleton bit in T u C), and D/N partition
+/// the remaining processes.  That makes (holder, phase, D-mask) a perfect
+/// hash — interning is a direct array lookup instead of a hash-map probe,
+/// which dominates the r * 2^r exploration at large r.
+bool canonical_shape(const RingState& s) {
+  const std::uint32_t holder = s.t | s.c;
+  return s.o == 0 && holder != 0 && (holder & (holder - 1)) == 0 &&
+         (s.d & holder) == 0 && (s.t & s.c) == 0;
 }
 
-struct RingStateHash {
-  std::size_t operator()(const RingState& s) const { return encode(s); }
-};
+std::size_t perfect_slot(const RingState& s, std::uint32_t r) {
+  const std::uint32_t holder = s.t | s.c;
+  const auto h = static_cast<std::uint32_t>(__builtin_ctz(holder));
+  const std::uint32_t phase = s.c != 0 ? 1u : 0u;
+  return ((static_cast<std::size_t>(h) * 2 + phase) << r) | s.d;
+}
 
 }  // namespace
 
@@ -72,15 +72,23 @@ RingSystem RingSystem::build(std::uint32_t r, kripke::PropRegistryPtr registry) 
   const kripke::PropId one_t = registry->theta("t");
 
   kripke::StructureBuilder builder(registry);
+  const std::size_t expected_states = ring_state_count(r);
+  builder.reserve(expected_states, expected_states * (r / 2 + 2));
   std::vector<RingState> states;
-  std::unordered_map<RingState, kripke::StateId, RingStateHash> ids;
+  states.reserve(expected_states);
+  // Perfect-hash intern table: (holder, phase, D-mask) -> state id.
+  std::vector<kripke::StateId> ids(static_cast<std::size_t>(2 * r) << r,
+                                   kripke::kNoState);
   std::queue<kripke::StateId> frontier;
 
   auto intern = [&](const RingState& s) {
-    if (auto it = ids.find(s); it != ids.end()) return it->second;
+    ICTL_ASSERT(canonical_shape(s));
+    kripke::StateId& cell = ids[perfect_slot(s, r)];
+    if (cell != kripke::kNoState) return cell;
     // L_r(s) = {d_i | i in D} u {n_i | i in N} u {n_i, t_i | i in T}
     //          u {c_i, t_i | i in C}, plus Theta t when exactly one t_i.
     std::vector<kripke::PropId> props;
+    props.reserve(r + 2);
     std::uint32_t holders = 0;
     for (std::uint32_t i = 1; i <= r; ++i) {
       if ((s.d & bit(i)) != 0) props.push_back(dprop[i]);
@@ -97,9 +105,9 @@ RingSystem RingSystem::build(std::uint32_t r, kripke::PropRegistryPtr registry) 
       }
     }
     if (holders == 1) props.push_back(one_t);
-    const kripke::StateId id = builder.add_state(props);
+    const kripke::StateId id = builder.add_state(std::move(props));
     states.push_back(s);
-    ids.emplace(s, id);
+    cell = id;
     frontier.push(id);
     return id;
   };

@@ -1,5 +1,7 @@
 #include "support/bitset.hpp"
 
+#include <algorithm>
+
 namespace ictl::support {
 
 void DynamicBitset::resize(std::size_t new_size) {
@@ -41,6 +43,18 @@ DynamicBitset& DynamicBitset::and_not(const DynamicBitset& other) {
 void DynamicBitset::flip() {
   for (auto& w : words_) w = ~w;
   trim();
+}
+
+bool DynamicBitset::same_bits(const DynamicBitset& other) const noexcept {
+  const std::size_t common = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < common; ++i)
+    if (words_[i] != other.words_[i]) return false;
+  // The wider operand must be zero past the shorter one; trailing bits past
+  // size_ are already zero by the trim invariant.
+  const auto& longer = words_.size() > other.words_.size() ? words_ : other.words_;
+  for (std::size_t i = common; i < longer.size(); ++i)
+    if (longer[i] != 0) return false;
+  return true;
 }
 
 bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {

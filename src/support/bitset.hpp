@@ -3,10 +3,17 @@
 // std::vector<bool> lacks word-level operations and std::bitset is statically
 // sized; model-checking fixpoints live on fast word-parallel AND/OR/ANDNOT,
 // so we provide our own small implementation.
+//
+// Width contract: every binary operation — including operator== — requires
+// operands of equal size() and asserts otherwise.  Bitsets of different
+// widths arise from label bitsets built at different registry sizes; the one
+// sanctioned way to compare those is same_bits(), which ignores trailing
+// zero bits beyond the shorter width.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "support/error.hpp"
@@ -86,9 +93,17 @@ class DynamicBitset {
     return a;
   }
 
-  [[nodiscard]] bool operator==(const DynamicBitset& other) const noexcept {
-    return size_ == other.size_ && words_ == other.words_;
+  /// Equality under the width contract: both operands must have equal size.
+  /// Use same_bits() to compare bitsets of different widths.
+  [[nodiscard]] bool operator==(const DynamicBitset& other) const {
+    ICTL_ASSERT(size_ == other.size_);
+    return words_ == other.words_;
   }
+
+  /// Width-agnostic comparison: true when both bitsets have the same set of
+  /// set-bit indices (trailing bits beyond the shorter width must be zero in
+  /// the wider operand).
+  [[nodiscard]] bool same_bits(const DynamicBitset& other) const noexcept;
 
   /// True when this is a subset of `other`.
   [[nodiscard]] bool is_subset_of(const DynamicBitset& other) const;
@@ -117,6 +132,15 @@ class DynamicBitset {
 
   /// All set-bit indices in ascending order.
   [[nodiscard]] std::vector<std::size_t> to_indices() const;
+
+  /// Read-only view of the backing 64-bit words; bits beyond size() are
+  /// guaranteed zero (the trim invariant).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  /// Mutable word view for word-parallel kernels (leaf columns, image
+  /// computations).  Callers must preserve the trim invariant: bits beyond
+  /// size() stay zero.
+  [[nodiscard]] std::span<std::uint64_t> mutable_words() noexcept { return words_; }
 
   [[nodiscard]] std::size_t hash() const noexcept;
 

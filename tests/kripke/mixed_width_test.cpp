@@ -1,0 +1,165 @@
+// Regression tests for cross-width label handling: label bitsets are sized
+// to the registry at build() time, so two structures over one shared
+// registry can carry labels of different widths when a proposition was
+// registered between their builds.  disjoint_union / reduce_to_index /
+// materialize_theta must normalize widths to the current registry size, the
+// bisimulation and correspondence algorithms must be width-agnostic, and a
+// raw DynamicBitset comparison across widths must die loudly instead of
+// silently reporting unequal (the pre-engine behavior this file pins down).
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "bisim/correspondence.hpp"
+#include "bisim/strong_bisim.hpp"
+#include "bisim/stuttering.hpp"
+#include "kripke/structure.hpp"
+
+namespace ictl::kripke {
+namespace {
+
+Structure two_cycle(const PropRegistryPtr& reg, PropId p) {
+  StructureBuilder b(reg);
+  const StateId s0 = b.add_state({p});
+  const StateId s1 = b.add_state({});
+  b.add_transition(s0, s1);
+  b.add_transition(s1, s0);
+  b.set_initial(s0);
+  return std::move(b).build();
+}
+
+// A prop registered between building `a` and `b` leaves a's labels narrower
+// than b's.  Raw operator== across those widths dies under the bitset width
+// contract (pre-contract it silently returned false, which is exactly how
+// mixed-width comparisons used to corrupt results unnoticed).
+TEST(MixedRegistryWidthDeathTest, RawLabelComparisonAcrossWidthsDies) {
+  auto reg = make_registry();
+  const PropId p = reg->plain("p");
+  const Structure a = two_cycle(reg, p);
+  reg->plain("q");  // widens the registry between the two builds
+  const Structure b = two_cycle(reg, p);
+
+  ASSERT_NE(a.label(0).size(), b.label(0).size());
+  EXPECT_DEATH(
+      { auto unused = a.label(0) == b.label(0); static_cast<void>(unused); },
+      "ICTL_ASSERT");
+  // same_bits is the sanctioned cross-width comparison.
+  EXPECT_TRUE(a.label(0).same_bits(b.label(0)));
+  EXPECT_TRUE(a.label(1).same_bits(b.label(1)));
+}
+
+TEST(MixedRegistryWidth, DisjointUnionNormalizesLabelWidths) {
+  auto reg = make_registry();
+  const PropId p = reg->plain("p");
+  const Structure a = two_cycle(reg, p);
+  reg->plain("q");
+  const Structure b = two_cycle(reg, p);
+  ASSERT_LT(a.label(0).size(), b.label(0).size());
+
+  const Structure u = disjoint_union(a, b);
+  ASSERT_EQ(u.num_states(), 4u);
+  // Every union label has the current registry width, and the labelings of
+  // the two halves are preserved bit-for-bit.
+  for (StateId s = 0; s < u.num_states(); ++s)
+    EXPECT_EQ(u.label(s).size(), reg->size());
+  EXPECT_TRUE(u.label(0).same_bits(a.label(0)));
+  EXPECT_TRUE(u.label(1).same_bits(a.label(1)));
+  EXPECT_TRUE(u.label(2).same_bits(b.label(0)));
+  EXPECT_TRUE(u.label(3).same_bits(b.label(1)));
+}
+
+TEST(MixedRegistryWidth, BisimulationResultsUnaffectedByRegistryGrowth) {
+  // Baseline: identical twin structures built back-to-back.
+  auto reg0 = make_registry();
+  const PropId p0 = reg0->plain("p");
+  const Structure a0 = two_cycle(reg0, p0);
+  const Structure b0 = two_cycle(reg0, p0);
+  ASSERT_TRUE(bisim::strongly_bisimilar(a0, b0));
+  ASSERT_TRUE(bisim::stuttering_equivalent(a0, b0));
+
+  // Same twins, but the registry grows between the builds.
+  auto reg = make_registry();
+  const PropId p = reg->plain("p");
+  const Structure a = two_cycle(reg, p);
+  reg->plain("q");
+  const Structure b = two_cycle(reg, p);
+
+  EXPECT_TRUE(bisim::strongly_bisimilar(a, b));
+  EXPECT_TRUE(bisim::stuttering_equivalent(a, b));
+
+  // And a genuinely different pair still comes out different.
+  const Structure c = two_cycle(reg, reg->plain("r"));
+  EXPECT_FALSE(bisim::strongly_bisimilar(a, c));
+}
+
+TEST(MixedRegistryWidth, CorrespondenceUnaffectedByRegistryGrowth) {
+  auto reg = make_registry();
+  const PropId pa = reg->plain("a");
+  const PropId pb = reg->plain("b");
+
+  kripke::StructureBuilder builder1(reg);
+  const StateId s0 = builder1.add_state({pa});
+  const StateId s1 = builder1.add_state({pb});
+  builder1.add_transition(s0, s1);
+  builder1.add_transition(s1, s0);
+  builder1.set_initial(s0);
+  const Structure m1 = std::move(builder1).build();
+
+  reg->plain("registered-between-builds");
+
+  // The stuttered variant: a -> a -> a -> b -> repeat.
+  kripke::StructureBuilder builder2(reg);
+  std::vector<StateId> as;
+  for (int i = 0; i < 3; ++i) as.push_back(builder2.add_state({pa}));
+  const StateId sb = builder2.add_state({pb});
+  for (int i = 0; i + 1 < 3; ++i) builder2.add_transition(as[i], as[i + 1]);
+  builder2.add_transition(as.back(), sb);
+  builder2.add_transition(sb, as.front());
+  builder2.set_initial(as.front());
+  const Structure m2 = std::move(builder2).build();
+
+  // Candidate generation compares labels across the two build widths; the
+  // correspondence must be found exactly as if the widths matched.
+  const auto found = bisim::find_correspondence(m1, m2);
+  ASSERT_TRUE(found.relation.has_value());
+  EXPECT_TRUE(bisim::correspond(m1, m2));
+
+  // With the prefilter (which routes through disjoint_union) too.
+  bisim::FindOptions with_prefilter;
+  with_prefilter.use_stuttering_prefilter = true;
+  EXPECT_TRUE(bisim::correspond(m1, m2, with_prefilter));
+}
+
+TEST(MixedRegistryWidth, ReduceAndMaterializeThetaNormalize) {
+  auto reg = make_registry();
+  const PropId c1 = reg->indexed("C", 1);
+  const PropId c2 = reg->indexed("C", 2);
+  StructureBuilder b(reg);
+  const StateId t0 = b.add_state({c1});
+  const StateId t1 = b.add_state({c2});
+  b.add_transition(t0, t1);
+  b.add_transition(t1, t0);
+  b.set_initial(t0);
+  b.set_index_set({1, 2});
+  const Structure m = std::move(b).build();
+
+  reg->plain("registered-after-m");
+
+  const Structure mt = materialize_theta(m, "C");
+  for (StateId s = 0; s < mt.num_states(); ++s)
+    EXPECT_EQ(mt.label(s).size(), reg->size());
+  const auto theta = reg->find_theta("C");
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_TRUE(mt.has_prop(0, *theta));
+  EXPECT_TRUE(mt.has_prop(1, *theta));
+
+  const Structure r1 = reduce_to_index(m, 1);
+  for (StateId s = 0; s < r1.num_states(); ++s)
+    EXPECT_EQ(r1.label(s).size(), reg->size());
+  const auto erased = reg->find_indexed_base("C");
+  ASSERT_TRUE(erased.has_value());
+  EXPECT_TRUE(r1.has_prop(0, *erased));
+  EXPECT_FALSE(r1.has_prop(1, *erased));
+}
+
+}  // namespace
+}  // namespace ictl::kripke

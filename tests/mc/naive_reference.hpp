@@ -1,0 +1,147 @@
+// Reference implementation of the CTL labeling primitives, kept verbatim
+// from the pre-CSR checker: EX materializes a fresh set from predecessor
+// lookups, E[f U g] is stack-based backward reachability, and EG recomputes
+// EX of the whole candidate set every round until it stabilizes.  Slow but
+// obviously correct — the differential tests pit the production engine
+// (frontier worklists over the CSR arrays) against these.
+#pragma once
+
+#include "kripke/structure.hpp"
+#include "logic/formula.hpp"
+#include "support/bitset.hpp"
+#include "support/error.hpp"
+
+namespace ictl::mc::naive {
+
+using SatSet = support::DynamicBitset;
+
+inline SatSet ex(const kripke::Structure& m, const SatSet& f) {
+  SatSet s(m.num_states());
+  f.for_each([&](std::size_t t) {
+    for (const kripke::StateId p : m.predecessors(static_cast<kripke::StateId>(t)))
+      s.set(p);
+  });
+  return s;
+}
+
+inline SatSet eu(const kripke::Structure& m, const SatSet& f, const SatSet& g) {
+  SatSet result = g;
+  std::vector<kripke::StateId> stack;
+  g.for_each([&](std::size_t s) { stack.push_back(static_cast<kripke::StateId>(s)); });
+  while (!stack.empty()) {
+    const kripke::StateId s = stack.back();
+    stack.pop_back();
+    for (const kripke::StateId p : m.predecessors(s)) {
+      if (!result.test(p) && f.test(p)) {
+        result.set(p);
+        stack.push_back(p);
+      }
+    }
+  }
+  return result;
+}
+
+inline SatSet eg(const kripke::Structure& m, const SatSet& f) {
+  // Greatest fixpoint: X := f; X := f & EX X until stable.
+  SatSet x = f;
+  while (true) {
+    SatSet next = ex(m, x);
+    next &= f;
+    if (next == x) return x;
+    x = std::move(next);
+  }
+}
+
+/// Leaf sets via the per-state has_prop scan (independent of the engine's
+/// prop columns).
+inline SatSet leaf(const kripke::Structure& m, const logic::FormulaPtr& f) {
+  using logic::Kind;
+  const std::size_t n = m.num_states();
+  SatSet s(n);
+  switch (f->kind()) {
+    case Kind::kTrue:
+      s.set_all();
+      return s;
+    case Kind::kFalse:
+      return s;
+    case Kind::kAtom: {
+      auto prop = m.registry()->find_plain(f->name());
+      if (!prop.has_value()) prop = m.registry()->find_indexed_base(f->name());
+      if (!prop.has_value()) return s;  // unknown atom: false everywhere
+      for (kripke::StateId st = 0; st < n; ++st)
+        if (m.has_prop(st, *prop)) s.set(st);
+      return s;
+    }
+    default:
+      throw LogicError("naive::leaf: unsupported leaf");
+  }
+}
+
+/// Recursive CTL evaluation over the naive primitives; handles exactly the
+/// grammar the randomized differential test generates.
+inline SatSet sat(const kripke::Structure& m, const logic::FormulaPtr& f) {
+  using logic::Kind;
+  const std::size_t n = m.num_states();
+  auto top = [&] {
+    SatSet s(n);
+    s.set_all();
+    return s;
+  };
+  auto complement = [](SatSet s) {
+    s.flip();
+    return s;
+  };
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+      return leaf(m, f);
+    case Kind::kNot:
+      return complement(sat(m, f->lhs()));
+    case Kind::kAnd:
+      return sat(m, f->lhs()) & sat(m, f->rhs());
+    case Kind::kOr:
+      return sat(m, f->lhs()) | sat(m, f->rhs());
+    case Kind::kImplies:
+      return complement(sat(m, f->lhs())) | sat(m, f->rhs());
+    case Kind::kIff: {
+      SatSet s = sat(m, f->lhs());
+      s ^= sat(m, f->rhs());
+      s.flip();
+      return s;
+    }
+    case Kind::kExistsPath:
+    case Kind::kForallPath: {
+      const bool exists = f->kind() == Kind::kExistsPath;
+      const logic::FormulaPtr& g = f->lhs();
+      switch (g->kind()) {
+        case Kind::kEventually: {
+          const SatSet target = sat(m, g->lhs());
+          if (exists) return eu(m, top(), target);
+          return complement(eg(m, complement(target)));
+        }
+        case Kind::kAlways: {
+          const SatSet body = sat(m, g->lhs());
+          if (exists) return eg(m, body);
+          return complement(eu(m, top(), complement(body)));
+        }
+        case Kind::kUntil: {
+          const SatSet a = sat(m, g->lhs());
+          const SatSet b = sat(m, g->rhs());
+          if (exists) return eu(m, a, b);
+          SatSet na = complement(a);
+          SatSet nb = complement(b);
+          SatSet bad = eu(m, nb, na & nb);
+          bad |= eg(m, nb);
+          return complement(std::move(bad));
+        }
+        default:
+          throw LogicError("naive::sat: unsupported path formula");
+      }
+    }
+    default:
+      throw LogicError("naive::sat: unsupported state formula");
+  }
+}
+
+}  // namespace ictl::mc::naive

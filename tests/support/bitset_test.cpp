@@ -131,9 +131,54 @@ TEST(DynamicBitset, HashDistinguishesContent) {
   EXPECT_EQ(a.hash(), c.hash());
 }
 
-TEST(DynamicBitset, EqualityRequiresSameSize) {
+// Width contract: every binary operation (operator== included) asserts that
+// both operands have the same size.  A silently-false == across widths let
+// mixed-width label comparisons drift in unnoticed; now they die loudly and
+// same_bits() is the one sanctioned cross-width comparison.
+TEST(DynamicBitsetDeathTest, EqualityRequiresSameSize) {
   DynamicBitset a(10), b(11);
-  EXPECT_FALSE(a == b);
+  EXPECT_DEATH({ auto unused = a == b; static_cast<void>(unused); },
+               "ICTL_ASSERT");
+}
+
+TEST(DynamicBitsetDeathTest, BinaryOpsRequireSameSize) {
+  DynamicBitset a(10), b(11);
+  EXPECT_DEATH(a &= b, "ICTL_ASSERT");
+  EXPECT_DEATH(a |= b, "ICTL_ASSERT");
+  EXPECT_DEATH(a ^= b, "ICTL_ASSERT");
+  EXPECT_DEATH(a.and_not(b), "ICTL_ASSERT");
+  EXPECT_DEATH({ auto unused = a.is_subset_of(b); static_cast<void>(unused); },
+               "ICTL_ASSERT");
+  EXPECT_DEATH({ auto unused = a.intersects(b); static_cast<void>(unused); },
+               "ICTL_ASSERT");
+}
+
+TEST(DynamicBitset, SameBitsIsWidthAgnostic) {
+  DynamicBitset narrow(10), wide(200);
+  narrow.set(3);
+  narrow.set(9);
+  wide.set(3);
+  wide.set(9);
+  EXPECT_TRUE(narrow.same_bits(wide));
+  EXPECT_TRUE(wide.same_bits(narrow));
+  EXPECT_TRUE(narrow.same_bits(narrow));
+
+  wide.set(150);  // a bit beyond the narrow width
+  EXPECT_FALSE(narrow.same_bits(wide));
+  EXPECT_FALSE(wide.same_bits(narrow));
+
+  wide.reset(150);
+  wide.reset(9);
+  EXPECT_FALSE(narrow.same_bits(wide));
+}
+
+TEST(DynamicBitset, SameBitsEmptyAndZeroSized) {
+  DynamicBitset zero(0), empty(77), one(77);
+  EXPECT_TRUE(zero.same_bits(empty));
+  EXPECT_TRUE(empty.same_bits(zero));
+  one.set(76);
+  EXPECT_FALSE(zero.same_bits(one));
+  EXPECT_TRUE(zero.same_bits(zero));
 }
 
 TEST(DynamicBitset, ZeroSized) {
