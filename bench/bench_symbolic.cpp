@@ -1,0 +1,116 @@
+// Benchmarks for the symbolic (BDD) engine: relation construction,
+// reachability, and CTL fixpoints on rings at and far beyond the explicit
+// engine's r = 24 cap — the numbers that justify the third engine.  The
+// small sizes overlap BM_BuildRing / BM_CtlLabelingOnRing in
+// bench_state_explosion.cpp and bench_mc_direct_vs_reduced.cpp for a direct
+// explicit-vs-symbolic comparison.
+#include <benchmark/benchmark.h>
+
+#include "ictl.hpp"
+
+namespace {
+
+using namespace ictl;
+
+void BM_SymbolicBuildRing(benchmark::State& state) {
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto ring = symbolic::build_symbolic_ring(r);
+    benchmark::DoNotOptimize(ring.system->transitions());
+  }
+  state.SetComplexityN(r);
+}
+BENCHMARK(BM_SymbolicBuildRing)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(24)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(64)
+    ->Arg(96)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SymbolicReachable(benchmark::State& state) {
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    // Build + least fixpoint + count: the whole "how many states" pipeline.
+    const auto ring = symbolic::build_symbolic_ring(r);
+    benchmark::DoNotOptimize(ring.system->num_reachable());
+  }
+}
+BENCHMARK(BM_SymbolicReachable)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SymbolicCheckCriticalImpliesToken(benchmark::State& state) {
+  // P2 of Section 5, /\i AG(c_i -> t_i): an index-quantified AG checked by
+  // symbolic fixpoint (the property the acceptance criteria pin at r = 32).
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  const auto ring = symbolic::build_symbolic_ring(r);
+  const auto f = ring::property_critical_implies_token();
+  for (auto _ : state) {
+    symbolic::CtlChecker checker(ring.system);
+    benchmark::DoNotOptimize(checker.holds_initially(f));
+  }
+}
+BENCHMARK(BM_SymbolicCheckCriticalImpliesToken)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SymbolicCheckOneToken(benchmark::State& state) {
+  // I3, AG one(t), over the materialized theta function.
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  const auto ring = symbolic::build_symbolic_ring(r);
+  const auto f = ring::invariant_one_token();
+  for (auto _ : state) {
+    symbolic::CtlChecker checker(ring.system);
+    benchmark::DoNotOptimize(checker.holds_initially(f));
+  }
+}
+BENCHMARK(BM_SymbolicCheckOneToken)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SymbolicSectionFiveSuite(benchmark::State& state) {
+  // All six Section 5 specifications on one symbolic instance, sharing one
+  // checker (and so the hash-consed-formula memo) across the suite.
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  const auto ring = symbolic::build_symbolic_ring(r);
+  const auto specs = ring::section5_specifications();
+  for (auto _ : state) {
+    symbolic::CtlChecker checker(ring.system);
+    for (const auto& [name, f] : specs)
+      benchmark::DoNotOptimize(checker.holds_initially(f));
+  }
+}
+BENCHMARK(BM_SymbolicSectionFiveSuite)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FromStructureBridge(benchmark::State& state) {
+  // Cost of lifting an explicit structure into the symbolic engine —
+  // the differential tests' path.
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  const auto sys = ring::RingSystem::build(r);
+  for (auto _ : state) {
+    const auto ts = symbolic::from_structure(sys.structure());
+    benchmark::DoNotOptimize(ts.transitions());
+  }
+}
+BENCHMARK(BM_FromStructureBridge)->Arg(6)->Arg(8)->Arg(10)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

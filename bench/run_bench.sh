@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Runs the Google Benchmark binaries with --benchmark_format=json and merges
-# the per-binary results into one JSON file (default: BENCH_2.json in the
-# repo root), so the perf trajectory accumulates PR over PR.
+# the per-binary results into one JSON file, so the perf trajectory
+# accumulates PR over PR.
 #
 # Usage:
-#   bench/run_bench.sh [OUTPUT.json]
+#   bench/run_bench.sh [PR_NUMBER | OUTPUT.json]
+#
+#   PR_NUMBER    a bare number N writes BENCH_N.json in the repo root (the
+#                committed per-PR convention: BENCH_2.json, BENCH_4.json, ...)
+#   OUTPUT.json  any other argument is taken as the output path verbatim
+#   (no arg)     writes BENCH_dev.json — uncommitted scratch output
 #
 # Environment:
 #   BUILD_DIR         build tree to use (default: build)
@@ -17,7 +22,14 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_2.json}"
+ARG="${1:-}"
+if [ -z "$ARG" ]; then
+  OUT="BENCH_dev.json"
+elif [[ "$ARG" =~ ^[0-9]+$ ]]; then
+  OUT="BENCH_${ARG}.json"
+else
+  OUT="$ARG"
+fi
 BUILD_DIR="${BUILD_DIR:-build}"
 FILTER="${BENCHMARK_FILTER:-}"
 
@@ -60,13 +72,15 @@ merged = {
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
     "results": {},
 }
-# Preserve hand-recorded cross-PR comparisons when regenerating.
+# Preserve hand-recorded cross-PR comparisons (any "headline*" key) when
+# regenerating.
 if os.path.exists(out_path):
     try:
         with open(out_path) as f:
             prev = json.load(f)
-        if "headline_vs_seed" in prev:
-            merged["headline_vs_seed"] = prev["headline_vs_seed"]
+        for key, value in prev.items():
+            if key.startswith("headline"):
+                merged[key] = value
     except (json.JSONDecodeError, OSError):
         pass
 for name in sorted(os.listdir(results_dir)):

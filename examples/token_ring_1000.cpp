@@ -51,6 +51,29 @@ int main() {
                 explicit_cert.in_relation.size());
   }
 
+  std::printf("\nthe symbolic engine: direct checks past the explicit r = 24 wall\n");
+  std::shared_ptr<symbolic::TransitionSystem> sys32;
+  for (const std::uint32_t r : {32u, 48u, 64u}) {
+    const auto sym = symbolic::build_symbolic_ring(r);
+    if (r == 32) sys32 = sym.system;
+    std::printf(
+        "  M_%-3u reachable states: %.0f (= r * 2^r), relation: %zu BDD nodes\n",
+        r, sym.system->num_reachable(),
+        sym.system->manager().dag_size(sym.system->transitions()));
+  }
+  {
+    symbolic::CtlChecker checker(sys32);
+    std::printf("  M_32 |= P2 (AG(c_i -> t_i)):  %s   M_32 |= I3 (AG one t): %s\n",
+                checker.holds_initially(ring::property_critical_implies_token())
+                    ? "holds"
+                    : "FAILS",
+                checker.holds_initially(ring::invariant_one_token()) ? "holds"
+                                                                     : "FAILS");
+    std::printf("  (certificate transfer above concluded these for ALL r; the\n"
+                "   symbolic fixpoints now cross-check sizes no enumeration "
+                "could)\n");
+  }
+
   std::printf("\nthe paper's own base case, mechanically re-examined:\n");
   const auto m2 = ring::RingSystem::build(2, reg);
   const auto m4 = ring::RingSystem::build(4, reg);

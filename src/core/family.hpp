@@ -12,6 +12,10 @@
 #include "bisim/indexed_correspondence.hpp"
 #include "kripke/structure.hpp"
 
+namespace ictl::symbolic {
+class TransitionSystem;
+}
+
 namespace ictl::core {
 
 class ParameterizedFamily {
@@ -46,6 +50,20 @@ class ParameterizedFamily {
     static_cast<void>(r);
     return std::nullopt;
   }
+
+  /// Largest size symbolic_instance() will build; 0 when the family has no
+  /// symbolic (BDD) encoding.  Families with an encoding support sizes well
+  /// past max_explicit_size().
+  [[nodiscard]] virtual std::uint32_t max_symbolic_size() const { return 0; }
+
+  /// A symbolic encoding of instance(r) over the family's shared registry
+  /// (so PropIds line up with the explicit instances); nullptr when the
+  /// family has no symbolic encoding.
+  [[nodiscard]] virtual std::shared_ptr<symbolic::TransitionSystem>
+  symbolic_instance(std::uint32_t r) const {
+    static_cast<void>(r);
+    return nullptr;
+  }
 };
 
 /// The Section 5 token-ring mutual exclusion family.
@@ -54,12 +72,18 @@ class RingMutexFamily final : public ParameterizedFamily {
   RingMutexFamily();
   [[nodiscard]] std::string name() const override { return "token-ring-mutex"; }
   [[nodiscard]] std::uint32_t min_size() const override { return 2; }
-  [[nodiscard]] std::uint32_t max_explicit_size() const override { return 24; }
+  /// ring::RingSystem::kMaxExplicitSize, surfaced here so callers need not
+  /// learn the cap from a thrown error string.
+  [[nodiscard]] std::uint32_t max_explicit_size() const override;
   [[nodiscard]] kripke::Structure instance(std::uint32_t r) const override;
   [[nodiscard]] std::vector<bisim::IndexPair> index_relation(
       std::uint32_t r0, std::uint32_t r) const override;
   [[nodiscard]] std::optional<bisim::Theorem5Certificate> analytic_certificate(
       std::uint32_t r0, std::uint32_t r) const override;
+  /// symbolic::kMaxSymbolicRingSize — the BDD route past the explicit wall.
+  [[nodiscard]] std::uint32_t max_symbolic_size() const override;
+  [[nodiscard]] std::shared_ptr<symbolic::TransitionSystem> symbolic_instance(
+      std::uint32_t r) const override;
 
  private:
   kripke::PropRegistryPtr registry_;

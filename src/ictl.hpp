@@ -45,3 +45,7 @@
 #include "ring/ring.hpp"
 #include "ring/ring_correspondence.hpp"
 #include "ring/symbolic_prover.hpp"
+#include "symbolic/bdd.hpp"
+#include "symbolic/ctl_checker.hpp"
+#include "symbolic/ring_encoding.hpp"
+#include "symbolic/transition_system.hpp"

@@ -12,14 +12,15 @@ struct Formula::MakeKey {};
 
 Formula::Formula(MakeKey, Kind kind, FormulaPtr lhs, FormulaPtr rhs, std::string name,
                  std::string index_var, std::optional<std::uint32_t> index_value,
-                 std::size_t hash)
+                 std::size_t hash, std::uint64_t id)
     : kind_(kind),
       lhs_(std::move(lhs)),
       rhs_(std::move(rhs)),
       name_(std::move(name)),
       index_var_(std::move(index_var)),
       index_value_(index_value),
-      hash_(hash) {}
+      hash_(hash),
+      id_(id) {}
 
 namespace {
 
@@ -60,6 +61,10 @@ std::unordered_map<ConsKey, std::weak_ptr<const Formula>, ConsKeyHash>& cons_tab
   return t;
 }
 
+// Monotone node-id source (guarded by cons_mutex): a reclaimed node's id is
+// never handed out again, so id-keyed memo caches can never alias.
+std::uint64_t next_node_id = 0;
+
 FormulaPtr make(Kind kind, FormulaPtr lhs = nullptr, FormulaPtr rhs = nullptr,
                 std::string name = {}, std::string index_var = {},
                 std::optional<std::uint32_t> index_value = std::nullopt) {
@@ -72,7 +77,8 @@ FormulaPtr make(Kind kind, FormulaPtr lhs = nullptr, FormulaPtr rhs = nullptr,
   const std::size_t hash = ConsKeyHash{}(key);
   auto f = std::make_shared<const Formula>(Formula::MakeKey{}, kind, std::move(lhs),
                                            std::move(rhs), std::move(name),
-                                           std::move(index_var), index_value, hash);
+                                           std::move(index_var), index_value, hash,
+                                           next_node_id++);
   table[key] = f;
   return f;
 }

@@ -75,12 +75,19 @@ class Formula {
 
   [[nodiscard]] std::size_t hash() const noexcept { return hash_; }
 
+  /// Hash-consed node identity: a process-unique, never-reused id assigned
+  /// at construction.  Two live formulas have equal ids iff they are the
+  /// same node, so checkers (explicit and symbolic alike) key their memo
+  /// caches on it — unlike raw pointers, a reclaimed-and-reallocated node
+  /// can never alias a stale cache entry.
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
   // Construction goes through the factory functions below; Formula itself is
   // not publicly constructible.
   struct MakeKey;
   Formula(MakeKey, Kind kind, FormulaPtr lhs, FormulaPtr rhs, std::string name,
           std::string index_var, std::optional<std::uint32_t> index_value,
-          std::size_t hash);
+          std::size_t hash, std::uint64_t id);
 
  private:
   Kind kind_;
@@ -90,6 +97,7 @@ class Formula {
   std::string index_var_;
   std::optional<std::uint32_t> index_value_;
   std::size_t hash_;
+  std::uint64_t id_;
 };
 
 // ---- Factory functions (hash-consed) ---------------------------------------

@@ -24,13 +24,13 @@ CtlChecker::CtlChecker(const kripke::Structure& m, CtlCheckerOptions options)
 
 const SatSet& CtlChecker::sat(const FormulaPtr& f) {
   support::require<LogicError>(f != nullptr, "CtlChecker::sat: null formula");
-  if (auto it = memo_.find(f.get()); it != memo_.end()) return it->second;
+  if (auto it = memo_.find(f->id()); it != memo_.end()) return it->second;
   support::require<LogicError>(
       logic::is_ctl(f), "CtlChecker: formula outside the CTL fragment: " +
                             logic::to_string(f) + " (use the CTL* checker)");
   SatSet result = compute(f);
   retained_.push_back(f);
-  return memo_.emplace(f.get(), std::move(result)).first->second;
+  return memo_.emplace(f->id(), std::move(result)).first->second;
 }
 
 bool CtlChecker::holds_initially(const FormulaPtr& f) {

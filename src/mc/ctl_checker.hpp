@@ -60,9 +60,10 @@ class CtlChecker {
 
   const kripke::Structure& m_;
   CtlCheckerOptions options_;
-  std::unordered_map<const logic::Formula*, SatSet> memo_;
-  // Memo keys are raw pointers into the hash-consing table; retaining the
-  // formulas pins their addresses so keys can never be reused.
+  // Memo keyed on hash-consed node identity (Formula::id — never reused, so
+  // no stale-entry aliasing); retaining the formulas keeps their cons-table
+  // entries alive so structurally equal rebuilds still hit the cache.
+  std::unordered_map<std::uint64_t, SatSet> memo_;
   std::vector<logic::FormulaPtr> retained_;
   // Scratch arena, reserved to num_states() at construction and reused by
   // every eu/eg call.

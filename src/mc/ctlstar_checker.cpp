@@ -24,10 +24,10 @@ const SatSet& Checker::sat(const FormulaPtr& f) {
   support::require<LogicError>(
       logic::is_state_formula(f),
       "Checker::sat: not a state formula: " + logic::to_string(f));
-  if (auto it = memo_.find(f.get()); it != memo_.end()) return it->second;
+  if (auto it = memo_.find(f->id()); it != memo_.end()) return it->second;
   SatSet result = compute(f);
   retained_.push_back(f);
-  return memo_.emplace(f.get(), std::move(result)).first->second;
+  return memo_.emplace(f->id(), std::move(result)).first->second;
 }
 
 bool Checker::holds_initially(const FormulaPtr& f) { return sat(f).test(m_.initial()); }
@@ -108,12 +108,12 @@ FormulaPtr Checker::abstract_state_subformulas(const FormulaPtr& g) {
     // True/false need no placeholder; everything else gets one so the
     // tableau sees a plain literal.
     if (g->kind() == Kind::kTrue || g->kind() == Kind::kFalse) return g;
-    if (auto it = placeholder_of_.find(g.get()); it != placeholder_of_.end())
+    if (auto it = placeholder_of_.find(g->id()); it != placeholder_of_.end())
       return it->second;
     const std::string name = "@" + std::to_string(next_placeholder_++);
     FormulaPtr ph = logic::atom(name);
-    placeholder_of_.emplace(g.get(), ph);
-    placeholder_target_.emplace(name, g.get());
+    placeholder_of_.emplace(g->id(), ph);
+    placeholder_target_.emplace(name, g);
     // Keep the original alive: memoize its sat set now (also primes the
     // resolver).
     static_cast<void>(sat(g));
@@ -153,7 +153,7 @@ SatSet Checker::sat_exists_path(const FormulaPtr& g) {
   stats_.gba_nodes += gba.nodes.size();
 
   // Leaves are placeholders or genuine literals; resolve both.
-  std::unordered_map<const Formula*, SatSet> leaf_cache;
+  std::unordered_map<std::uint64_t, SatSet> leaf_cache;
   LeafResolver resolver = [&](const FormulaPtr& leaf) -> const SatSet& {
     if (leaf->kind() == Kind::kAtom) {
       if (auto it = placeholder_target_.find(leaf->name());
@@ -161,15 +161,15 @@ SatSet Checker::sat_exists_path(const FormulaPtr& g) {
         // Placeholder: the satisfying set was memoized when it was created;
         // hand out a reference to the memo entry rather than copying it
         // (memo_ is not mutated while the product is explored).
-        const auto memo_it = memo_.find(it->second);
+        const auto memo_it = memo_.find(it->second->id());
         ICTL_ASSERT(memo_it != memo_.end());
         return memo_it->second;
       }
     }
-    if (auto it = leaf_cache.find(leaf.get()); it != leaf_cache.end())
+    if (auto it = leaf_cache.find(leaf->id()); it != leaf_cache.end())
       return it->second;
     return leaf_cache
-        .emplace(leaf.get(), leaf_sat_set(m_, leaf, options_.unknown_atoms_are_false))
+        .emplace(leaf->id(), leaf_sat_set(m_, leaf, options_.unknown_atoms_are_false))
         .first->second;
   };
 

@@ -65,12 +65,13 @@ class Checker {
   CheckerOptions options_;
   CheckerStats stats_;
   std::unique_ptr<CtlChecker> ctl_;  // lazily created fast path
-  std::unordered_map<const logic::Formula*, SatSet> memo_;
-  // Memo keys are raw pointers into the hash-consing table; retaining the
-  // formulas pins their addresses so keys can never be reused.
+  // Memo keyed on hash-consed node identity (Formula::id — never reused, so
+  // no stale-entry aliasing); retaining the formulas keeps their cons-table
+  // entries alive so structurally equal rebuilds still hit the cache.
+  std::unordered_map<std::uint64_t, SatSet> memo_;
   std::vector<logic::FormulaPtr> retained_;
-  std::unordered_map<const logic::Formula*, logic::FormulaPtr> placeholder_of_;
-  std::unordered_map<std::string, const logic::Formula*> placeholder_target_;
+  std::unordered_map<std::uint64_t, logic::FormulaPtr> placeholder_of_;
+  std::unordered_map<std::string, logic::FormulaPtr> placeholder_target_;
   std::size_t next_placeholder_ = 0;
 };
 

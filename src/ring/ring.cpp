@@ -55,10 +55,13 @@ RingSystem RingSystem::build(std::uint32_t r, kripke::PropRegistryPtr registry) 
   support::require<ModelError>(r >= 2,
                                "RingSystem: need at least two processes (the paper "
                                "notes no correspondence exists with one process)");
-  support::require<ModelError>(r <= 24,
-                               "RingSystem: explicit construction capped at r = 24 "
-                               "(r * 2^r states); use the analytic certificate for "
-                               "larger rings");
+  support::require<ModelError>(
+      r <= kMaxExplicitSize,
+      "RingSystem: explicit construction capped at r = " +
+          std::to_string(kMaxExplicitSize) +
+          " (r * 2^r states); larger rings go through the symbolic engine "
+          "(symbolic::build_symbolic_ring, which never enumerates states) or "
+          "the analytic certificate (ring::analytic_ring_certificate)");
   if (registry == nullptr) registry = kripke::make_registry();
 
   // Pre-register every proposition so label widths are final.

@@ -56,9 +56,14 @@ struct RingState {
 
 class RingSystem {
  public:
+  /// Largest r build() accepts: the explicit r * 2^r construction hits a
+  /// memory wall past this.  Larger rings go through the symbolic engine
+  /// (symbolic::build_symbolic_ring) or the analytic certificate.
+  static constexpr std::uint32_t kMaxExplicitSize = 24;
+
   /// Builds M_r (reachable restriction of G_r) for r >= 2 processes over a
   /// fresh or shared registry.  Explicit construction is exponential
-  /// (r * 2^r states); r is capped at 24.
+  /// (r * 2^r states); r is capped at kMaxExplicitSize.
   [[nodiscard]] static RingSystem build(std::uint32_t r,
                                         kripke::PropRegistryPtr registry = nullptr);
 

@@ -1,0 +1,364 @@
+#include "symbolic/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ictl::symbolic {
+
+namespace {
+
+constexpr Bdd kNoNode = 0xffffffffu;
+
+std::uint64_t mix(std::uint64_t x) {
+  // splitmix64 finalizer — cheap, well-distributed for small integer keys.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t triple_hash(std::uint32_t var, Bdd low, Bdd high) {
+  return mix((static_cast<std::uint64_t>(var) << 40) ^
+             (static_cast<std::uint64_t>(low) << 20) ^ high);
+}
+
+}  // namespace
+
+BddManager::BddManager(std::uint32_t num_vars, std::uint32_t cache_log2)
+    : num_vars_(num_vars) {
+  support::require<Error>(cache_log2 >= 4 && cache_log2 <= 28,
+                          "BddManager: cache_log2 out of [4, 28]");
+  nodes_.push_back({kTerminalLevel, kBddFalse, kBddFalse});  // 0 = false
+  nodes_.push_back({kTerminalLevel, kBddTrue, kBddTrue});    // 1 = true
+  unique_table_.assign(1024, kNoNode);
+  cache_.assign(std::size_t{1} << cache_log2, CacheEntry{});
+  cache_mask_ = (std::uint32_t{1} << cache_log2) - 1;
+}
+
+std::uint32_t BddManager::new_var() { return num_vars_++; }
+
+Bdd BddManager::var(std::uint32_t v) {
+  ICTL_ASSERT(v < num_vars_);
+  const Bdd result = mk(v, kBddFalse, kBddTrue);
+  fire_pending_reorder_hook();
+  return result;
+}
+
+Bdd BddManager::nvar(std::uint32_t v) {
+  ICTL_ASSERT(v < num_vars_);
+  const Bdd result = mk(v, kBddTrue, kBddFalse);
+  fire_pending_reorder_hook();
+  return result;
+}
+
+Bdd BddManager::mk(std::uint32_t var, Bdd low, Bdd high) {
+  if (low == high) return low;  // reduction rule
+  ICTL_ASSERT(var < level(low) && var < level(high));  // order invariant
+  std::size_t slot = static_cast<std::size_t>(triple_hash(var, low, high)) &
+                     (unique_table_.size() - 1);
+  while (true) {
+    const Bdd cand = unique_table_[slot];
+    if (cand == kNoNode) break;
+    const Node& n = nodes_[cand];
+    if (n.var == var && n.low == low && n.high == high) {
+      ++stats_.unique_hits;
+      return cand;
+    }
+    slot = (slot + 1) & (unique_table_.size() - 1);
+  }
+  ++stats_.unique_misses;
+  const Bdd id = static_cast<Bdd>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_table_[slot] = id;
+  if (++unique_count_ * 10 >= unique_table_.size() * 7) grow_unique_table();
+  // Only flag the threshold crossing here — mk() runs deep inside the
+  // operator recursions, where a hook that restructures the DAG would
+  // corrupt in-flight cofactors.  The public entry points fire it.
+  if (reorder_hook_ != nullptr && nodes_.size() >= reorder_threshold_)
+    reorder_pending_ = true;
+  return id;
+}
+
+void BddManager::grow_unique_table() {
+  std::vector<Bdd> bigger(unique_table_.size() * 2, kNoNode);
+  for (const Bdd id : unique_table_) {
+    if (id == kNoNode) continue;
+    const Node& n = nodes_[id];
+    std::size_t slot = static_cast<std::size_t>(triple_hash(n.var, n.low, n.high)) &
+                       (bigger.size() - 1);
+    while (bigger[slot] != kNoNode) slot = (slot + 1) & (bigger.size() - 1);
+    bigger[slot] = id;
+  }
+  unique_table_ = std::move(bigger);
+}
+
+void BddManager::fire_pending_reorder_hook() {
+  if (!reorder_pending_ || reorder_hook_ == nullptr) return;
+  reorder_pending_ = false;
+  ++stats_.reorder_hook_calls;
+  const std::size_t live = nodes_.size();
+  // Double the threshold before invoking: ops the hook itself performs may
+  // re-flag, but re-fire only after genuine further growth.
+  while (reorder_threshold_ <= live) reorder_threshold_ *= 2;
+  reorder_hook_(*this, live);
+}
+
+void BddManager::set_reorder_hook(std::function<void(BddManager&, std::size_t)> hook,
+                                  std::size_t threshold) {
+  reorder_hook_ = std::move(hook);
+  reorder_threshold_ = threshold == 0 ? 1 : threshold;
+  reorder_pending_ = false;
+}
+
+// ---- Computed table ---------------------------------------------------------
+
+std::size_t BddManager::cache_slot(Op op, Bdd a, Bdd b, Bdd c) const {
+  const std::uint64_t h =
+      mix((static_cast<std::uint64_t>(a) << 32) ^ (static_cast<std::uint64_t>(b) << 8) ^
+          (static_cast<std::uint64_t>(c) << 2) ^ static_cast<std::uint64_t>(op));
+  return static_cast<std::size_t>(h) & cache_mask_;
+}
+
+bool BddManager::cache_lookup(Op op, Bdd a, Bdd b, Bdd c, Bdd& out) {
+  const CacheEntry& e = cache_[cache_slot(op, a, b, c)];
+  if (e.op == op && e.a == a && e.b == b && e.c == c) {
+    ++stats_.cache_hits;
+    out = e.result;
+    return true;
+  }
+  ++stats_.cache_misses;
+  return false;
+}
+
+void BddManager::cache_store(Op op, Bdd a, Bdd b, Bdd c, Bdd result) {
+  cache_[cache_slot(op, a, b, c)] = CacheEntry{op, a, b, c, result};
+}
+
+// ---- ITE and the boolean operators -----------------------------------------
+
+Bdd BddManager::ite(Bdd f, Bdd g, Bdd h) {
+  ICTL_ASSERT(f < nodes_.size() && g < nodes_.size() && h < nodes_.size());
+  const Bdd result = ite_rec(f, g, h);
+  fire_pending_reorder_hook();
+  return result;
+}
+
+Bdd BddManager::ite_rec(Bdd f, Bdd g, Bdd h) {
+  if (f == kBddTrue) return g;
+  if (f == kBddFalse) return h;
+  if (g == h) return g;
+  if (g == kBddTrue && h == kBddFalse) return f;
+
+  Bdd cached;
+  if (cache_lookup(Op::kIte, f, g, h, cached)) return cached;
+
+  const std::uint32_t top = std::min({level(f), level(g), level(h)});
+  const auto cofactor = [&](Bdd x, bool hi) {
+    return level(x) == top ? (hi ? nodes_[x].high : nodes_[x].low) : x;
+  };
+  const Bdd lo = ite_rec(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const Bdd hi = ite_rec(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const Bdd result = mk(top, lo, hi);
+  cache_store(Op::kIte, f, g, h, result);
+  return result;
+}
+
+Bdd BddManager::bdd_not(Bdd f) { return ite(f, kBddFalse, kBddTrue); }
+Bdd BddManager::bdd_and(Bdd f, Bdd g) { return ite(f, g, kBddFalse); }
+Bdd BddManager::bdd_or(Bdd f, Bdd g) { return ite(f, kBddTrue, g); }
+Bdd BddManager::bdd_xor(Bdd f, Bdd g) { return ite(f, bdd_not(g), g); }
+Bdd BddManager::bdd_implies(Bdd f, Bdd g) { return ite(f, g, kBddTrue); }
+Bdd BddManager::bdd_iff(Bdd f, Bdd g) { return ite(f, g, bdd_not(g)); }
+Bdd BddManager::bdd_diff(Bdd f, Bdd g) { return ite(g, kBddFalse, f); }
+
+// ---- Quantification ---------------------------------------------------------
+
+Bdd BddManager::cube(const std::vector<std::uint32_t>& vars) {
+  std::vector<std::uint32_t> sorted = vars;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  Bdd acc = kBddTrue;
+  for (const std::uint32_t v : sorted) acc = mk(v, kBddFalse, acc);
+  fire_pending_reorder_hook();
+  return acc;
+}
+
+Bdd BddManager::exists(Bdd f, Bdd cube) {
+  ICTL_ASSERT(f < nodes_.size() && cube < nodes_.size());
+  const Bdd result = exists_rec(f, cube);
+  fire_pending_reorder_hook();
+  return result;
+}
+
+Bdd BddManager::forall(Bdd f, Bdd cube) {
+  return bdd_not(exists(bdd_not(f), cube));
+}
+
+Bdd BddManager::exists_rec(Bdd f, Bdd cube) {
+  if (is_terminal(f) || cube == kBddTrue) return f;
+  // Quantified variables above f's top are vacuous.
+  while (cube != kBddTrue && level(cube) < level(f)) cube = nodes_[cube].high;
+  if (cube == kBddTrue) return f;
+
+  Bdd cached;
+  if (cache_lookup(Op::kExists, f, cube, 0, cached)) return cached;
+
+  const Node n = nodes_[f];  // copy: mk() below may reallocate nodes_
+  Bdd result;
+  if (level(cube) == n.var) {
+    const Bdd rest = nodes_[cube].high;
+    const Bdd lo = exists_rec(n.low, rest);
+    // ite_rec, not the public bdd_or: the reorder hook must not fire while
+    // this frame holds node handles.
+    result = lo == kBddTrue ? kBddTrue
+                            : ite_rec(lo, kBddTrue, exists_rec(n.high, rest));
+  } else {
+    result = mk(n.var, exists_rec(n.low, cube), exists_rec(n.high, cube));
+  }
+  cache_store(Op::kExists, f, cube, 0, result);
+  return result;
+}
+
+Bdd BddManager::and_exists(Bdd f, Bdd g, Bdd cube) {
+  ICTL_ASSERT(f < nodes_.size() && g < nodes_.size() && cube < nodes_.size());
+  const Bdd result = and_exists_rec(f, g, cube);
+  fire_pending_reorder_hook();
+  return result;
+}
+
+Bdd BddManager::and_exists_rec(Bdd f, Bdd g, Bdd cube) {
+  if (f == kBddFalse || g == kBddFalse) return kBddFalse;
+  if (f == kBddTrue) return exists_rec(g, cube);
+  if (g == kBddTrue || f == g) return exists_rec(f, cube);
+  if (f > g) std::swap(f, g);  // conjunction is commutative: canonical key
+
+  const std::uint32_t top = std::min(level(f), level(g));
+  while (cube != kBddTrue && level(cube) < top) cube = nodes_[cube].high;
+
+  Bdd cached;
+  if (cache_lookup(Op::kAndExists, f, g, cube, cached)) return cached;
+
+  const auto cofactor = [&](Bdd x, bool hi) {
+    return level(x) == top ? (hi ? nodes_[x].high : nodes_[x].low) : x;
+  };
+  Bdd result;
+  if (cube != kBddTrue && level(cube) == top) {
+    const Bdd rest = nodes_[cube].high;
+    const Bdd lo = and_exists_rec(cofactor(f, false), cofactor(g, false), rest);
+    // ite_rec, not the public bdd_or — same mid-recursion hook hazard.
+    result = lo == kBddTrue
+                 ? kBddTrue
+                 : ite_rec(lo, kBddTrue,
+                           and_exists_rec(cofactor(f, true), cofactor(g, true), rest));
+  } else {
+    result = mk(top, and_exists_rec(cofactor(f, false), cofactor(g, false), cube),
+                and_exists_rec(cofactor(f, true), cofactor(g, true), cube));
+  }
+  cache_store(Op::kAndExists, f, g, cube, result);
+  return result;
+}
+
+// ---- Rename -----------------------------------------------------------------
+
+Bdd BddManager::rename(Bdd f, const std::vector<std::uint32_t>& map) {
+  ICTL_ASSERT(f < nodes_.size());
+  // Epoch-stamped memo: bumping the epoch invalidates every entry in O(1),
+  // so each call pays only for the nodes it actually visits — rename sits
+  // on every image computation of every fixpoint iteration, where a
+  // freshly zero-filled O(total nodes) vector per call would dominate.
+  ++rename_epoch_;
+  if (rename_stamp_.size() < nodes_.size()) {
+    rename_stamp_.resize(nodes_.size(), 0);
+    rename_val_.resize(nodes_.size(), kBddFalse);
+  }
+  const Bdd result = rename_rec(f, map);
+  fire_pending_reorder_hook();
+  return result;
+}
+
+Bdd BddManager::rename_rec(Bdd f, const std::vector<std::uint32_t>& map) {
+  if (is_terminal(f)) return f;
+  if (rename_stamp_[f] == rename_epoch_) return rename_val_[f];
+  const Node n = nodes_[f];  // copy: mk() below may reallocate nodes_
+  // The map need only cover f's support (a system built before its shared
+  // manager grew still renames its own sets).
+  ICTL_ASSERT(n.var < map.size());
+  const Bdd lo = rename_rec(n.low, map);
+  const Bdd hi = rename_rec(n.high, map);
+  // mk asserts the order invariant, catching non-order-preserving maps.
+  const Bdd result = mk(map[n.var], lo, hi);
+  rename_stamp_[f] = rename_epoch_;
+  rename_val_[f] = result;
+  return result;
+}
+
+// ---- Inspection -------------------------------------------------------------
+
+bool BddManager::eval(Bdd f, const std::vector<bool>& assignment) const {
+  ICTL_ASSERT(f < nodes_.size());
+  while (!is_terminal(f)) {
+    const Node& n = nodes_[f];
+    ICTL_ASSERT(n.var < assignment.size());
+    f = assignment[n.var] ? n.high : n.low;
+  }
+  return f == kBddTrue;
+}
+
+double BddManager::sat_count(Bdd f) const {
+  ICTL_ASSERT(f < nodes_.size());
+  std::vector<double> memo(nodes_.size(), -1.0);
+  // sat_count_rec counts over the variables below a node's level; scale by
+  // the free variables above the root.
+  const double below = sat_count_rec(f, memo);
+  const std::uint32_t root_level = is_terminal(f) ? num_vars_ : nodes_[f].var;
+  return std::ldexp(below, static_cast<int>(root_level));
+}
+
+double BddManager::sat_count_rec(Bdd f, std::vector<double>& memo) const {
+  if (f == kBddFalse) return 0.0;
+  if (f == kBddTrue) return 1.0;
+  if (memo[f] >= 0.0) return memo[f];
+  const Node& n = nodes_[f];
+  const auto gap = [&](Bdd child) {
+    const std::uint32_t child_level = is_terminal(child) ? num_vars_ : nodes_[child].var;
+    return static_cast<int>(child_level - n.var - 1);
+  };
+  const double result = std::ldexp(sat_count_rec(n.low, memo), gap(n.low)) +
+                        std::ldexp(sat_count_rec(n.high, memo), gap(n.high));
+  memo[f] = result;
+  return result;
+}
+
+std::size_t BddManager::dag_size(Bdd f) const {
+  ICTL_ASSERT(f < nodes_.size());
+  if (is_terminal(f)) return 0;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<Bdd> stack{f};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const Bdd x = stack.back();
+    stack.pop_back();
+    if (is_terminal(x) || seen[x]) continue;
+    seen[x] = true;
+    ++count;
+    stack.push_back(nodes_[x].low);
+    stack.push_back(nodes_[x].high);
+  }
+  return count;
+}
+
+std::uint32_t BddManager::node_var(Bdd f) const {
+  ICTL_ASSERT(f < nodes_.size() && !is_terminal(f));
+  return nodes_[f].var;
+}
+
+Bdd BddManager::node_low(Bdd f) const {
+  ICTL_ASSERT(f < nodes_.size() && !is_terminal(f));
+  return nodes_[f].low;
+}
+
+Bdd BddManager::node_high(Bdd f) const {
+  ICTL_ASSERT(f < nodes_.size() && !is_terminal(f));
+  return nodes_[f].high;
+}
+
+}  // namespace ictl::symbolic

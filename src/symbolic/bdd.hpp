@@ -1,0 +1,175 @@
+// A small self-contained BDD (reduced ordered binary decision diagram)
+// manager — the third engine's substrate.  No external dependencies, in the
+// spirit of the interner in src/support/: nodes are hash-consed through a
+// unique table so structural equality is pointer (index) equality, and the
+// Shannon-expansion operators run through a lossy computed-table cache.
+//
+// Design notes:
+//   * Node handles are dense 32-bit indices (`Bdd`); 0 and 1 are the
+//     terminals.  Nodes are never freed (the workloads here build one
+//     transition relation and a few fixpoints per manager), so handles need
+//     no reference counting and the computed cache never needs invalidation.
+//   * The variable order is the identity (var == level).  Dynamic
+//     reordering is not implemented, but the manager exposes the hook where
+//     sifting would attach: a callback fired when the node table crosses a
+//     growth threshold (see set_reorder_hook).
+//   * Quantification takes a positive cube (conjunction of variables) so
+//     `exists`/`forall` and the fused relational product `and_exists` — the
+//     workhorse of pre/post image computation — share one recursion shape.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ictl::symbolic {
+
+/// Handle to a BDD node owned by a BddManager.
+using Bdd = std::uint32_t;
+
+constexpr Bdd kBddFalse = 0;
+constexpr Bdd kBddTrue = 1;
+
+class BddManager {
+ public:
+  /// A manager over `num_vars` boolean variables (more may be appended with
+  /// new_var).  `cache_log2` sizes the computed-table cache at 2^cache_log2
+  /// entries (direct-mapped, lossy — bounded memory however long a run).
+  explicit BddManager(std::uint32_t num_vars = 0, std::uint32_t cache_log2 = 18);
+
+  /// Appends a variable at the bottom of the order; returns its index.
+  std::uint32_t new_var();
+
+  [[nodiscard]] std::uint32_t num_vars() const noexcept { return num_vars_; }
+
+  /// The BDD of variable `v` / its negation.
+  [[nodiscard]] Bdd var(std::uint32_t v);
+  [[nodiscard]] Bdd nvar(std::uint32_t v);
+
+  // ---- Boolean operators (all reduce to ITE) -------------------------------
+  [[nodiscard]] Bdd ite(Bdd f, Bdd g, Bdd h);
+  [[nodiscard]] Bdd bdd_not(Bdd f);
+  [[nodiscard]] Bdd bdd_and(Bdd f, Bdd g);
+  [[nodiscard]] Bdd bdd_or(Bdd f, Bdd g);
+  [[nodiscard]] Bdd bdd_xor(Bdd f, Bdd g);
+  [[nodiscard]] Bdd bdd_implies(Bdd f, Bdd g);
+  [[nodiscard]] Bdd bdd_iff(Bdd f, Bdd g);
+  /// f & !g.
+  [[nodiscard]] Bdd bdd_diff(Bdd f, Bdd g);
+
+  // ---- Quantification ------------------------------------------------------
+
+  /// The positive cube v_0 & v_1 & ... for a set of variables (any order).
+  [[nodiscard]] Bdd cube(const std::vector<std::uint32_t>& vars);
+
+  /// Existential / universal quantification over the variables of `cube`.
+  [[nodiscard]] Bdd exists(Bdd f, Bdd cube);
+  [[nodiscard]] Bdd forall(Bdd f, Bdd cube);
+
+  /// The relational product  exists cube. f & g  computed in one recursion
+  /// (never materializing f & g) — the image primitive.
+  [[nodiscard]] Bdd and_exists(Bdd f, Bdd g, Bdd cube);
+
+  /// Renames variable v to `map[v]` for every v in the support of f.  The
+  /// map must be order-preserving on the support (our primed/unprimed
+  /// interleaving is); violating maps trip the node-order assertion.
+  [[nodiscard]] Bdd rename(Bdd f, const std::vector<std::uint32_t>& map);
+
+  // ---- Inspection ----------------------------------------------------------
+
+  /// Evaluates f under a total assignment (indexed by variable).
+  [[nodiscard]] bool eval(Bdd f, const std::vector<bool>& assignment) const;
+
+  /// Number of satisfying assignments over all num_vars() variables, as a
+  /// double (exact for the power-of-two-times-small-integer counts the state
+  /// sets here produce; 2^53-limited in general).
+  [[nodiscard]] double sat_count(Bdd f) const;
+
+  /// Nodes reachable from f (terminals excluded).
+  [[nodiscard]] std::size_t dag_size(Bdd f) const;
+
+  /// Total nodes ever created (terminals included).
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+
+  struct Stats {
+    std::size_t unique_hits = 0;    ///< mk() found an existing node
+    std::size_t unique_misses = 0;  ///< mk() created a node
+    std::size_t cache_hits = 0;     ///< computed-table hit
+    std::size_t cache_misses = 0;   ///< computed-table miss
+    std::size_t reorder_hook_calls = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Attachment point for dynamic variable reordering: `hook` fires whenever
+  /// the node count first crosses `threshold`, which then doubles, so a
+  /// future sifting pass has a place to run.  The crossing is detected
+  /// during node creation but the hook is invoked only when the triggering
+  /// public operation returns — never mid-recursion, so a hook that
+  /// restructures the DAG cannot corrupt an in-flight ITE.  Pass nullptr to
+  /// detach.
+  void set_reorder_hook(std::function<void(BddManager&, std::size_t)> hook,
+                        std::size_t threshold = 1u << 16);
+
+  [[nodiscard]] std::uint32_t node_var(Bdd f) const;
+  [[nodiscard]] Bdd node_low(Bdd f) const;
+  [[nodiscard]] Bdd node_high(Bdd f) const;
+  [[nodiscard]] static bool is_terminal(Bdd f) noexcept { return f <= kBddTrue; }
+
+ private:
+  struct Node {
+    std::uint32_t var;  // kTerminalLevel for the two terminals
+    Bdd low;
+    Bdd high;
+  };
+
+  static constexpr std::uint32_t kTerminalLevel = 0xffffffffu;
+
+  [[nodiscard]] std::uint32_t level(Bdd f) const { return nodes_[f].var; }
+
+  /// Hash-consing constructor: the unique node (var, low, high), reduced.
+  Bdd mk(std::uint32_t var, Bdd low, Bdd high);
+
+  void grow_unique_table();
+  /// Invoked at the end of every public operation: runs the reorder hook if
+  /// mk() flagged a threshold crossing during the recursion.
+  void fire_pending_reorder_hook();
+
+  Bdd ite_rec(Bdd f, Bdd g, Bdd h);
+  Bdd exists_rec(Bdd f, Bdd cube);
+  Bdd and_exists_rec(Bdd f, Bdd g, Bdd cube);
+  Bdd rename_rec(Bdd f, const std::vector<std::uint32_t>& map);
+  double sat_count_rec(Bdd f, std::vector<double>& memo) const;
+
+  // Computed-table cache: direct-mapped, keyed (op, a, b, c).
+  enum class Op : std::uint32_t { kNone = 0, kIte, kExists, kAndExists };
+  struct CacheEntry {
+    Op op = Op::kNone;
+    Bdd a = 0, b = 0, c = 0;
+    Bdd result = 0;
+  };
+  [[nodiscard]] std::size_t cache_slot(Op op, Bdd a, Bdd b, Bdd c) const;
+  bool cache_lookup(Op op, Bdd a, Bdd b, Bdd c, Bdd& out);
+  void cache_store(Op op, Bdd a, Bdd b, Bdd c, Bdd result);
+
+  std::uint32_t num_vars_;
+  std::vector<Node> nodes_;
+  // Open-addressing unique table over node indices (power-of-two capacity).
+  std::vector<Bdd> unique_table_;
+  std::size_t unique_count_ = 0;
+  std::vector<CacheEntry> cache_;
+  std::uint32_t cache_mask_;
+  Stats stats_;
+  std::function<void(BddManager&, std::size_t)> reorder_hook_;
+  std::size_t reorder_threshold_ = 0;
+  bool reorder_pending_ = false;
+  // Epoch-stamped rename memo (per-manager, grown lazily): avoids the
+  // O(total nodes) zero-fill a per-call memo vector would cost on every
+  // image computation.
+  std::uint64_t rename_epoch_ = 0;
+  std::vector<std::uint64_t> rename_stamp_;
+  std::vector<Bdd> rename_val_;
+};
+
+}  // namespace ictl::symbolic

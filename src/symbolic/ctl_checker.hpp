@@ -1,0 +1,71 @@
+// CTL model checking by symbolic fixpoints (McMillan-style) over a
+// symbolic::TransitionSystem — the BDD twin of mc::CtlChecker, behind the
+// same hash-consed formula AST and the same CTL fragment.
+//
+// Satisfying sets are BDDs over the system's unprimed state variables,
+// always intersected with the reachable set: the explicit engine works on
+// M_r's reachable restriction, so complement, EX, EU and EG here are taken
+// relative to reachable() and the two engines agree state-for-state.
+// EX is one pre_image; E[f U g] the least fixpoint of  Z = g | (f & EX Z);
+// EG f the greatest fixpoint of  Z = f & EX Z.  Every other connective
+// reduces through the same dualities as the explicit checker.
+//
+// Memoization is keyed on hash-consed node identity (logic::Formula::id),
+// exactly like the explicit checkers, so a formula DAG shared across
+// engines costs each sub-DAG once per engine.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "logic/formula.hpp"
+#include "symbolic/transition_system.hpp"
+
+namespace ictl::symbolic {
+
+struct CtlCheckerOptions {
+  /// When false, an atom without a characteristic function raises
+  /// LogicError; when true it is treated as false in every state.
+  bool unknown_atoms_are_false = false;
+};
+
+class CtlChecker {
+ public:
+  explicit CtlChecker(std::shared_ptr<const TransitionSystem> system,
+                      CtlCheckerOptions options = {});
+
+  /// Satisfying set (as a BDD over unprimed state variables, within the
+  /// reachable states) of a CTL state formula.  Index quantifiers are
+  /// expanded over the system's index set.  Throws LogicError outside the
+  /// CTL fragment or on free index variables.
+  [[nodiscard]] Bdd sat(const logic::FormulaPtr& f);
+
+  /// True when every initial state satisfies `f`.
+  [[nodiscard]] bool holds_initially(const logic::FormulaPtr& f);
+
+  /// Number of reachable states satisfying `f`.
+  [[nodiscard]] double count_sat(const logic::FormulaPtr& f);
+
+  [[nodiscard]] const TransitionSystem& system() const noexcept { return *system_; }
+
+ private:
+  Bdd compute(const logic::FormulaPtr& f);
+  Bdd sat_leaf(const logic::FormulaPtr& f);
+  Bdd sat_path_quantified(const logic::FormulaPtr& f);  // f = E(g) or A(g)
+
+  /// reach & !f — complement within the reachable universe.
+  [[nodiscard]] Bdd complement(Bdd f) const;
+  [[nodiscard]] Bdd ex(Bdd f) const;                    // EX f
+  [[nodiscard]] Bdd eu(Bdd f, Bdd g) const;             // E[f U g]
+  [[nodiscard]] Bdd eg(Bdd f) const;                    // EG f
+
+  std::shared_ptr<const TransitionSystem> system_;
+  CtlCheckerOptions options_;
+  Bdd reach_;
+  // Memo keyed on hash-consed node identity; retaining the formulas keeps
+  // the cons-table entries alive so re-built formulas keep hitting.
+  std::unordered_map<std::uint64_t, Bdd> memo_;
+  std::vector<logic::FormulaPtr> retained_;
+};
+
+}  // namespace ictl::symbolic

@@ -1,0 +1,176 @@
+#include "symbolic/ring_encoding.hpp"
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace ictl::symbolic {
+
+namespace {
+
+/// One transition rule: guard (over unprimed variables) plus the updated
+/// state variables; every other state variable is framed (x' <-> x).  The
+/// biconditional chain is built bottom-up (highest variable first) so the
+/// frame stays linear-sized.
+struct Update {
+  std::uint32_t state_var;
+  Bdd value;  // BDD over unprimed variables (usually a constant)
+};
+
+Bdd make_rule(BddManager& mgr, std::uint32_t num_state_vars, Bdd guard,
+              const std::vector<Update>& updates) {
+  Bdd acc = kBddTrue;
+  for (std::uint32_t v = num_state_vars; v-- > 0;) {
+    const Bdd xp = mgr.var(TransitionSystem::primed(v));
+    Bdd value = mgr.var(TransitionSystem::unprimed(v));  // frame: x' <-> x
+    for (const Update& u : updates)
+      if (u.state_var == v) value = u.value;
+    acc = mgr.bdd_and(mgr.bdd_iff(xp, value), acc);
+  }
+  return mgr.bdd_and(guard, acc);
+}
+
+/// Balanced OR (mirrors the helper in transition_system.cpp; small enough
+/// to duplicate rather than export).
+Bdd or_all(BddManager& mgr, std::vector<Bdd> terms) {
+  if (terms.empty()) return kBddFalse;
+  while (terms.size() > 1) {
+    std::vector<Bdd> next;
+    next.reserve(terms.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2)
+      next.push_back(mgr.bdd_or(terms[i], terms[i + 1]));
+    if (terms.size() % 2 != 0) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms.front();
+}
+
+}  // namespace
+
+SymbolicRing build_symbolic_ring(std::uint32_t r, std::shared_ptr<BddManager> mgr,
+                                 kripke::PropRegistryPtr registry) {
+  support::require<ModelError>(
+      r >= 2,
+      "build_symbolic_ring: need at least two processes (the paper notes no "
+      "correspondence exists with one process)");
+  support::require<ModelError>(
+      r <= kMaxSymbolicRingSize,
+      "build_symbolic_ring: capped at r = " + std::to_string(kMaxSymbolicRingSize) +
+          " (the rule-2 relation build is cubic in r)");
+
+  const std::uint32_t num_state_vars = 2 * r + 1;
+  if (mgr == nullptr) mgr = std::make_shared<BddManager>(2 * num_state_vars);
+  while (mgr->num_vars() < 2 * num_state_vars) mgr->new_var();
+  if (registry == nullptr) registry = kripke::make_registry();
+
+  // Same registration order as RingSystem::build: d/n/t/c per process, then
+  // the materialized theta — shared registries line the PropIds up.
+  std::vector<kripke::PropId> dprop(r + 1), nprop(r + 1), tprop(r + 1), cprop(r + 1);
+  for (std::uint32_t i = 1; i <= r; ++i) {
+    dprop[i] = registry->indexed("d", i);
+    nprop[i] = registry->indexed("n", i);
+    tprop[i] = registry->indexed("t", i);
+    cprop[i] = registry->indexed("c", i);
+  }
+  const kripke::PropId one_t = registry->theta("t");
+
+  BddManager& m = *mgr;
+  const auto d = [&](std::uint32_t i) {
+    return m.var(TransitionSystem::unprimed(SymbolicRing::delayed_var(i)));
+  };
+  const auto h = [&](std::uint32_t i) {
+    return m.var(TransitionSystem::unprimed(SymbolicRing::holder_var(i)));
+  };
+  const Bdd c = m.var(TransitionSystem::unprimed(2 * r));
+
+  // ---- Transition relation: the four Section 5 rules ------------------------
+  std::vector<Bdd> rules;
+
+  // Rule 1: a neutral process becomes delayed.
+  for (std::uint32_t i = 1; i <= r; ++i) {
+    const Bdd guard = m.bdd_and(m.bdd_not(d(i)), m.bdd_not(h(i)));
+    rules.push_back(make_rule(m, num_state_vars, guard,
+                              {{SymbolicRing::delayed_var(i), kBddTrue}}));
+  }
+
+  // Rule 2: holder j hands the token to i = cln(j) — the closest delayed
+  // process to j's left; i enters its critical section, j goes neutral.
+  // Per (j, i) pair the guard is h_j & d_i & (no delayed strictly between
+  // i and j, walking left from j).
+  for (std::uint32_t j = 1; j <= r; ++j) {
+    Bdd between_clear = kBddTrue;  // grows one !d_k per step leftwards
+    for (std::uint32_t step = 1; step < r; ++step) {
+      const std::uint32_t i = ((j - 1 + r - (step % r)) % r) + 1;
+      const Bdd guard =
+          m.bdd_and(h(j), m.bdd_and(d(i), between_clear));
+      rules.push_back(make_rule(m, num_state_vars, guard,
+                                {{SymbolicRing::holder_var(j), kBddFalse},
+                                 {SymbolicRing::holder_var(i), kBddTrue},
+                                 {SymbolicRing::delayed_var(i), kBddFalse},
+                                 {2 * r, kBddTrue}}));
+      between_clear = m.bdd_and(between_clear, m.bdd_not(d(i)));
+    }
+  }
+
+  // Rule 3: the holder moves from T to C (phase bit set).
+  rules.push_back(make_rule(m, num_state_vars, m.bdd_not(c), {{2 * r, kBddTrue}}));
+
+  // Rule 4: with no process delayed, the holder returns from C to T.
+  Bdd none_delayed = kBddTrue;
+  for (std::uint32_t i = r; i >= 1; --i)
+    none_delayed = m.bdd_and(m.bdd_not(d(i)), none_delayed);
+  rules.push_back(make_rule(m, num_state_vars, m.bdd_and(c, none_delayed),
+                            {{2 * r, kBddFalse}}));
+
+  const Bdd transitions = or_all(m, std::move(rules));
+
+  // ---- Initial state: s0 = (D = {}, N = {2..r}, T = {1}) --------------------
+  Bdd initial = m.bdd_not(c);
+  for (std::uint32_t i = r; i >= 1; --i) {
+    initial = m.bdd_and(i == 1 ? h(i) : m.bdd_not(h(i)), initial);
+    initial = m.bdd_and(m.bdd_not(d(i)), initial);
+  }
+
+  // ---- Labels ---------------------------------------------------------------
+  std::vector<std::pair<kripke::PropId, Bdd>> props;
+  props.reserve(static_cast<std::size_t>(4) * r + 1);
+  Bdd exactly_one_h = kBddFalse;
+  Bdd no_h = kBddTrue;
+  for (std::uint32_t i = 1; i <= r; ++i) {
+    props.emplace_back(dprop[i], d(i));
+    props.emplace_back(
+        nprop[i], m.bdd_or(m.bdd_and(m.bdd_not(d(i)), m.bdd_not(h(i))),
+                           m.bdd_and(h(i), m.bdd_not(c))));
+    props.emplace_back(tprop[i], h(i));
+    props.emplace_back(cprop[i], m.bdd_and(h(i), c));
+    // Running exactly-one scan over the holder bits.
+    exactly_one_h = m.bdd_or(m.bdd_and(exactly_one_h, m.bdd_not(h(i))),
+                             m.bdd_and(no_h, h(i)));
+    no_h = m.bdd_and(no_h, m.bdd_not(h(i)));
+  }
+  props.emplace_back(one_t, exactly_one_h);
+
+  std::vector<std::uint32_t> indices(r);
+  for (std::uint32_t i = 0; i < r; ++i) indices[i] = i + 1;
+
+  SymbolicRing ring;
+  ring.r = r;
+  ring.system = std::make_shared<TransitionSystem>(
+      std::move(mgr), num_state_vars, initial, transitions, std::move(registry),
+      std::move(props), std::move(indices));
+  return ring;
+}
+
+std::vector<bool> SymbolicRing::assignment(const ring::RingState& s) const {
+  std::vector<bool> a(system->manager().num_vars(), false);
+  const std::uint32_t holders = s.t | s.c;
+  for (std::uint32_t i = 1; i <= r; ++i) {
+    const std::uint32_t bit = std::uint32_t{1} << (i - 1);
+    a[TransitionSystem::unprimed(delayed_var(i))] = (s.d & bit) != 0;
+    a[TransitionSystem::unprimed(holder_var(i))] = (holders & bit) != 0;
+  }
+  a[TransitionSystem::unprimed(critical_var())] = s.c != 0;
+  return a;
+}
+
+}  // namespace ictl::symbolic

@@ -1,0 +1,65 @@
+// Direct boolean encoding of the Section 5 token ring — M_r without ever
+// enumerating its r * 2^r states, which is what carries the library past
+// the explicit engine's r = 24 memory wall.
+//
+// State variables (0-based state-var indices; BDD variables through
+// TransitionSystem::unprimed/primed):
+//   * per process i in 1..r: d_i ("delayed", state var 2(i-1)) and h_i
+//     ("holds the token", state var 2(i-1)+1) — interleaved per process so
+//     the rule-2 guards (holder j, receiver i, no delayed process between)
+//     stay local in the variable order;
+//   * one phase bit c (state var 2r): the holder is critical (C) when set,
+//     token-neutral (T) when clear.
+// A process is neutral exactly when !d_i & !h_i; reachable states keep h
+// one-hot and d_holder clear, so (holder, phase, D-mask) matches the
+// explicit engine's canonical shape and |reachable| = r * 2^r.
+//
+// The four transition rules become four relation BDDs (rule 2 is a
+// disjunction over holder/receiver pairs with a no-delayed-between chain),
+// OR-ed into one monolithic T(x, x').  Labels: d_i = d_i; n_i = neutral or
+// holder-in-T; t_i = h_i; c_i = h_i & c; Theta t = exactly-one h.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kripke/prop_registry.hpp"
+#include "ring/ring.hpp"
+#include "symbolic/transition_system.hpp"
+
+namespace ictl::symbolic {
+
+/// Cap for the symbolic construction: rule 2 has r(r-1) guard terms of
+/// O(r) literals each, so the build is cubic in r — minutes, not memory,
+/// bound it.  Well past the explicit engine's r = 24.
+constexpr std::uint32_t kMaxSymbolicRingSize = 128;
+
+struct SymbolicRing {
+  std::shared_ptr<TransitionSystem> system;
+  std::uint32_t r = 0;
+
+  /// State-var index of d_i / h_i for process i (1-based).
+  [[nodiscard]] static constexpr std::uint32_t delayed_var(std::uint32_t i) {
+    return 2 * (i - 1);
+  }
+  [[nodiscard]] static constexpr std::uint32_t holder_var(std::uint32_t i) {
+    return 2 * (i - 1) + 1;
+  }
+  /// State-var index of the critical phase bit.
+  [[nodiscard]] constexpr std::uint32_t critical_var() const { return 2 * r; }
+
+  /// Full BDD-variable assignment (primed variables false) for an explicit
+  /// ring tuple — the differential tests' explicit-to-symbolic state map.
+  [[nodiscard]] std::vector<bool> assignment(const ring::RingState& s) const;
+};
+
+/// Builds the symbolic M_r for 2 <= r <= kMaxSymbolicRingSize over a fresh
+/// or shared manager/registry.  Registers the same propositions in the same
+/// order as RingSystem::build, so a shared registry yields identical
+/// PropIds across the explicit and symbolic engines.
+[[nodiscard]] SymbolicRing build_symbolic_ring(
+    std::uint32_t r, std::shared_ptr<BddManager> mgr = nullptr,
+    kripke::PropRegistryPtr registry = nullptr);
+
+}  // namespace ictl::symbolic

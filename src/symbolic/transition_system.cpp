@@ -1,0 +1,169 @@
+#include "symbolic/transition_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ictl::symbolic {
+
+TransitionSystem::TransitionSystem(std::shared_ptr<BddManager> mgr,
+                                   std::uint32_t num_state_vars, Bdd initial,
+                                   Bdd transitions, kripke::PropRegistryPtr registry,
+                                   std::vector<std::pair<kripke::PropId, Bdd>> props,
+                                   std::vector<std::uint32_t> index_set)
+    : mgr_(std::move(mgr)),
+      num_state_vars_(num_state_vars),
+      initial_(initial),
+      transitions_(transitions),
+      registry_(std::move(registry)),
+      props_(std::move(props)),
+      index_set_(std::move(index_set)) {
+  support::require<ModelError>(mgr_ != nullptr, "TransitionSystem: null manager");
+  support::require<ModelError>(num_state_vars_ > 0,
+                               "TransitionSystem: need at least one state variable");
+  support::require<ModelError>(mgr_->num_vars() >= 2 * num_state_vars_,
+                               "TransitionSystem: manager owns fewer than "
+                               "2 * num_state_vars BDD variables");
+  std::sort(props_.begin(), props_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<std::uint32_t> uvars(num_state_vars_), pvars(num_state_vars_);
+  for (std::uint32_t v = 0; v < num_state_vars_; ++v) {
+    uvars[v] = unprimed(v);
+    pvars[v] = primed(v);
+  }
+  unprimed_cube_ = mgr_->cube(uvars);
+  primed_cube_ = mgr_->cube(pvars);
+  to_primed_.resize(mgr_->num_vars());
+  to_unprimed_.resize(mgr_->num_vars());
+  for (std::uint32_t v = 0; v < mgr_->num_vars(); ++v)
+    to_primed_[v] = to_unprimed_[v] = v;
+  for (std::uint32_t v = 0; v < num_state_vars_; ++v) {
+    to_primed_[unprimed(v)] = primed(v);
+    to_unprimed_[primed(v)] = unprimed(v);
+  }
+}
+
+Bdd TransitionSystem::pre_image(Bdd states) const {
+  const Bdd primed_states = mgr_->rename(states, to_primed_);
+  return mgr_->and_exists(transitions_, primed_states, primed_cube_);
+}
+
+Bdd TransitionSystem::post_image(Bdd states) const {
+  const Bdd next = mgr_->and_exists(transitions_, states, unprimed_cube_);
+  return mgr_->rename(next, to_unprimed_);
+}
+
+Bdd TransitionSystem::reachable() const {
+  if (reachable_.has_value()) return *reachable_;
+  Bdd reach = initial_;
+  while (true) {
+    const Bdd next = mgr_->bdd_or(reach, post_image(reach));
+    if (next == reach) break;
+    reach = next;
+  }
+  reachable_ = reach;
+  return reach;
+}
+
+double TransitionSystem::count_states(Bdd set) const {
+  // sat_count ranges over every manager variable; each of the
+  // num_state_vars primed variables (absent from a state set's support)
+  // doubles the count, as does any extra variable the manager owns.
+  const double over_all = mgr_->sat_count(set);
+  const int extra = static_cast<int>(mgr_->num_vars()) -
+                    static_cast<int>(num_state_vars_);
+  return std::ldexp(over_all, -extra);
+}
+
+std::optional<Bdd> TransitionSystem::prop_states(kripke::PropId p) const {
+  const auto it = std::lower_bound(
+      props_.begin(), props_.end(), p,
+      [](const auto& entry, kripke::PropId key) { return entry.first < key; });
+  if (it == props_.end() || it->first != p) return std::nullopt;
+  return it->second;
+}
+
+// ---- Generic explicit-to-symbolic bridge ------------------------------------
+
+Bdd state_minterm(BddManager& mgr, std::uint32_t num_state_vars, kripke::StateId s,
+                  bool primed) {
+  // Build bottom-up (highest variable first) so every mk() call is already
+  // in order: one fresh node per bit.
+  Bdd acc = kBddTrue;
+  for (std::uint32_t v = num_state_vars; v-- > 0;) {
+    const std::uint32_t bdd_var = primed ? TransitionSystem::primed(v)
+                                         : TransitionSystem::unprimed(v);
+    const bool bit = ((s >> v) & 1u) != 0;
+    acc = mgr.ite(mgr.var(bdd_var), bit ? acc : kBddFalse, bit ? kBddFalse : acc);
+  }
+  return acc;
+}
+
+namespace {
+
+/// Balanced OR over a list — keeps intermediate BDDs small compared to a
+/// left fold when the disjuncts are minterm-like.
+Bdd or_all(BddManager& mgr, std::vector<Bdd> terms) {
+  if (terms.empty()) return kBddFalse;
+  while (terms.size() > 1) {
+    std::vector<Bdd> next;
+    next.reserve(terms.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2)
+      next.push_back(mgr.bdd_or(terms[i], terms[i + 1]));
+    if (terms.size() % 2 != 0) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms.front();
+}
+
+}  // namespace
+
+TransitionSystem from_structure(const kripke::Structure& m,
+                                std::shared_ptr<BddManager> mgr) {
+  const std::size_t n = m.num_states();
+  support::require<ModelError>(n > 0, "from_structure: empty structure");
+  support::require<ModelError>(m.initial() != kripke::kNoState,
+                               "from_structure: structure has no initial state");
+  std::uint32_t bits = 1;
+  while ((std::size_t{1} << bits) < n) ++bits;
+
+  if (mgr == nullptr) mgr = std::make_shared<BddManager>(2 * bits);
+  support::require<ModelError>(mgr->num_vars() >= 2 * bits,
+                               "from_structure: manager owns too few variables");
+
+  // Transition relation: per source state, one minterm AND the balanced OR
+  // of its successors' primed minterms.
+  std::vector<Bdd> rows;
+  rows.reserve(n);
+  for (kripke::StateId s = 0; s < n; ++s) {
+    const auto succs = m.successors(s);
+    if (succs.empty()) continue;
+    std::vector<Bdd> targets;
+    targets.reserve(succs.size());
+    for (const kripke::StateId t : succs)
+      targets.push_back(state_minterm(*mgr, bits, t, /*primed=*/true));
+    rows.push_back(mgr->bdd_and(state_minterm(*mgr, bits, s, /*primed=*/false),
+                                or_all(*mgr, std::move(targets))));
+  }
+  const Bdd transitions = or_all(*mgr, std::move(rows));
+
+  // Per-prop characteristic functions from the label columns.
+  std::vector<std::pair<kripke::PropId, Bdd>> props;
+  for (const kripke::PropId p : m.used_props()) {
+    std::vector<Bdd> holders;
+    m.states_with(p).for_each([&](std::size_t s) {
+      holders.push_back(
+          state_minterm(*mgr, bits, static_cast<kripke::StateId>(s), false));
+    });
+    props.emplace_back(p, or_all(*mgr, std::move(holders)));
+  }
+
+  const Bdd initial = state_minterm(*mgr, bits, m.initial(), /*primed=*/false);
+  std::vector<std::uint32_t> indices(m.index_set().begin(), m.index_set().end());
+  return TransitionSystem(std::move(mgr), bits, initial, transitions, m.registry(),
+                          std::move(props), std::move(indices));
+}
+
+}  // namespace ictl::symbolic

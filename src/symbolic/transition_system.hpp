@@ -1,0 +1,108 @@
+// A Kripke structure encoded symbolically: state variables as BDD
+// variables, the transition relation as one BDD T(x, x'), per-proposition
+// characteristic functions, and pre_image/post_image primitives mirroring
+// the CSR primitives of kripke::Structure — but over sets-as-BDDs, so the
+// state space is never enumerated.
+//
+// Variable convention: state variable v (0-based, v < num_state_vars) owns
+// the BDD variable pair (2v, 2v+1) — unprimed interleaved with primed, so
+// the prime/unprime renames are order-preserving and structure-preserving.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "kripke/prop_registry.hpp"
+#include "kripke/structure.hpp"
+#include "symbolic/bdd.hpp"
+
+namespace ictl::symbolic {
+
+class TransitionSystem {
+ public:
+  /// Assembles a system over `mgr` (which must already own the 2 *
+  /// num_state_vars BDD variables).  `initial` and every prop function are
+  /// over unprimed variables; `transitions` relates unprimed to primed.
+  /// `props` maps registry ids to characteristic functions; `index_set`
+  /// mirrors kripke::Structure::index_set for the index quantifiers.
+  TransitionSystem(std::shared_ptr<BddManager> mgr, std::uint32_t num_state_vars,
+                   Bdd initial, Bdd transitions, kripke::PropRegistryPtr registry,
+                   std::vector<std::pair<kripke::PropId, Bdd>> props,
+                   std::vector<std::uint32_t> index_set);
+
+  [[nodiscard]] static constexpr std::uint32_t unprimed(std::uint32_t v) {
+    return 2 * v;
+  }
+  [[nodiscard]] static constexpr std::uint32_t primed(std::uint32_t v) {
+    return 2 * v + 1;
+  }
+
+  [[nodiscard]] BddManager& manager() const noexcept { return *mgr_; }
+  [[nodiscard]] const std::shared_ptr<BddManager>& manager_ptr() const noexcept {
+    return mgr_;
+  }
+  [[nodiscard]] std::uint32_t num_state_vars() const noexcept { return num_state_vars_; }
+  [[nodiscard]] Bdd initial() const noexcept { return initial_; }
+  [[nodiscard]] Bdd transitions() const noexcept { return transitions_; }
+
+  /// { x | exists x'. T(x, x') & S(x') } — states with some successor in S.
+  [[nodiscard]] Bdd pre_image(Bdd states) const;
+
+  /// { x' | exists x. S(x) & T(x, x') } — states with some predecessor in S,
+  /// renamed back to unprimed variables.
+  [[nodiscard]] Bdd post_image(Bdd states) const;
+
+  /// Least fixpoint of I | post_image(.), computed once and cached.
+  [[nodiscard]] Bdd reachable() const;
+
+  /// Number of states in a set-BDD over unprimed variables (primed
+  /// variables must not occur in its support).
+  [[nodiscard]] double count_states(Bdd set) const;
+
+  [[nodiscard]] double num_reachable() const { return count_states(reachable()); }
+
+  /// Characteristic function of a proposition; nullopt when the system
+  /// carries no function for it.
+  [[nodiscard]] std::optional<Bdd> prop_states(kripke::PropId p) const;
+
+  [[nodiscard]] const kripke::PropRegistryPtr& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> index_set() const noexcept {
+    return index_set_;
+  }
+
+ private:
+  std::shared_ptr<BddManager> mgr_;
+  std::uint32_t num_state_vars_;
+  Bdd initial_;
+  Bdd transitions_;
+  kripke::PropRegistryPtr registry_;
+  std::vector<std::pair<kripke::PropId, Bdd>> props_;  // sorted by PropId
+  std::vector<std::uint32_t> index_set_;
+  Bdd unprimed_cube_;
+  Bdd primed_cube_;
+  std::vector<std::uint32_t> to_primed_;    // rename map: 2v -> 2v+1
+  std::vector<std::uint32_t> to_unprimed_;  // rename map: 2v+1 -> 2v
+  mutable std::optional<Bdd> reachable_;
+};
+
+/// Generic bridge from the explicit engine: encodes an explicit structure
+/// with ceil(log2 n) binary state variables (state s = the bits of its
+/// StateId), the transition relation as a disjunction of transition
+/// minterms, and every used proposition from its label column.  This makes
+/// ANY explicit structure (stars, free products, random graphs) checkable
+/// by the symbolic engine — the differential-testing workhorse.
+[[nodiscard]] TransitionSystem from_structure(const kripke::Structure& m,
+                                              std::shared_ptr<BddManager> mgr = nullptr);
+
+/// The state-id minterm used by from_structure (exposed for tests): the
+/// conjunction over all k state vars of x_v or !x_v per the bits of `s`.
+[[nodiscard]] Bdd state_minterm(BddManager& mgr, std::uint32_t num_state_vars,
+                                kripke::StateId s, bool primed);
+
+}  // namespace ictl::symbolic

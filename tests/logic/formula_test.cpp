@@ -83,5 +83,31 @@ TEST(Formula, SizeCountsTreeNodes) {
   EXPECT_EQ(formula_size(make_until(atom("a"), atom("b"))), 3u);
 }
 
+TEST(Formula, NodeIdentityFollowsHashConsing) {
+  // Structurally equal formulas are one node with one id; distinct nodes
+  // have distinct ids.  Checkers key memo caches on id (never reused), so
+  // these invariants are what makes cross-engine cache sharing sound.
+  const FormulaPtr a1 = make_and(atom("idp"), atom("idq"));
+  const FormulaPtr a2 = make_and(atom("idp"), atom("idq"));
+  EXPECT_EQ(a1.get(), a2.get());
+  EXPECT_EQ(a1->id(), a2->id());
+  const FormulaPtr b = make_or(atom("idp"), atom("idq"));
+  EXPECT_NE(a1->id(), b->id());
+  EXPECT_NE(a1->id(), a1->lhs()->id());
+}
+
+TEST(Formula, NodeIdsAreNeverReused) {
+  // Let a formula die, rebuild it: the cons table may hand back a new node
+  // (the weak entry expired), but its id must be fresh — stale memo entries
+  // keyed by the dead id can then never alias the rebuilt formula.
+  std::uint64_t dead_id;
+  {
+    const FormulaPtr f = make_until(atom("id_dead_a"), atom("id_dead_b"));
+    dead_id = f->id();
+  }
+  const FormulaPtr rebuilt = make_until(atom("id_dead_a"), atom("id_dead_b"));
+  EXPECT_GT(rebuilt->id(), dead_id);
+}
+
 }  // namespace
 }  // namespace ictl::logic

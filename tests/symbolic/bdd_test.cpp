@@ -1,0 +1,234 @@
+// Unit tests for the BDD manager: canonicity (hash-consing), the ITE
+// identities, quantification, renaming, counting, and the computed-table /
+// reorder-hook plumbing.  Operators are validated against brute-force
+// truth-table evaluation over small variable counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "symbolic/bdd.hpp"
+
+namespace ictl::symbolic {
+namespace {
+
+/// Evaluates f on every assignment of `n` variables and packs the results
+/// into a truth-table bitmask (assignment bits = variable values).
+std::uint64_t truth_table(BddManager& mgr, Bdd f, std::uint32_t n) {
+  EXPECT_LE(n, 6u);
+  std::uint64_t table = 0;
+  for (std::uint32_t a = 0; a < (1u << n); ++a) {
+    std::vector<bool> assignment(mgr.num_vars(), false);
+    for (std::uint32_t v = 0; v < n; ++v) assignment[v] = ((a >> v) & 1u) != 0;
+    if (mgr.eval(f, assignment)) table |= std::uint64_t{1} << a;
+  }
+  return table;
+}
+
+TEST(BddManager, TerminalsAndVars) {
+  BddManager mgr(4);
+  EXPECT_EQ(mgr.num_vars(), 4u);
+  EXPECT_NE(kBddFalse, kBddTrue);
+  EXPECT_TRUE(BddManager::is_terminal(kBddFalse));
+  EXPECT_TRUE(BddManager::is_terminal(kBddTrue));
+  const Bdd x0 = mgr.var(0);
+  EXPECT_FALSE(BddManager::is_terminal(x0));
+  EXPECT_EQ(mgr.node_var(x0), 0u);
+  EXPECT_EQ(mgr.node_low(x0), kBddFalse);
+  EXPECT_EQ(mgr.node_high(x0), kBddTrue);
+}
+
+TEST(BddManager, CanonicityHashConsing) {
+  BddManager mgr(4);
+  // The same function built twice is the same node.
+  EXPECT_EQ(mgr.var(2), mgr.var(2));
+  const Bdd a = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  const Bdd b = mgr.bdd_and(mgr.var(1), mgr.var(0));
+  EXPECT_EQ(a, b);
+  // De Morgan, structurally: !(x | y) == !x & !y as node identity.
+  const Bdd lhs = mgr.bdd_not(mgr.bdd_or(mgr.var(0), mgr.var(1)));
+  const Bdd rhs = mgr.bdd_and(mgr.bdd_not(mgr.var(0)), mgr.bdd_not(mgr.var(1)));
+  EXPECT_EQ(lhs, rhs);
+  // Double negation restores the original node.
+  EXPECT_EQ(mgr.bdd_not(mgr.bdd_not(a)), a);
+  // Tautology and contradiction collapse to the terminals.
+  EXPECT_EQ(mgr.bdd_or(mgr.var(3), mgr.bdd_not(mgr.var(3))), kBddTrue);
+  EXPECT_EQ(mgr.bdd_and(mgr.var(3), mgr.bdd_not(mgr.var(3))), kBddFalse);
+}
+
+TEST(BddManager, IteIdentities) {
+  BddManager mgr(3);
+  const Bdd f = mgr.bdd_xor(mgr.var(0), mgr.var(1));
+  const Bdd g = mgr.var(2);
+  EXPECT_EQ(mgr.ite(kBddTrue, f, g), f);
+  EXPECT_EQ(mgr.ite(kBddFalse, f, g), g);
+  EXPECT_EQ(mgr.ite(f, g, g), g);
+  EXPECT_EQ(mgr.ite(f, kBddTrue, kBddFalse), f);
+  EXPECT_EQ(mgr.ite(f, kBddFalse, kBddTrue), mgr.bdd_not(f));
+  // ite(f, g, h) == (f & g) | (!f & h) on truth tables.
+  const Bdd h = mgr.bdd_and(mgr.var(1), mgr.var(2));
+  const Bdd via_ite = mgr.ite(f, g, h);
+  const Bdd expanded =
+      mgr.bdd_or(mgr.bdd_and(f, g), mgr.bdd_and(mgr.bdd_not(f), h));
+  EXPECT_EQ(via_ite, expanded);
+}
+
+TEST(BddManager, OperatorsMatchTruthTables) {
+  // Exhaustive: every pair of 4-var functions drawn from a pool, each
+  // operator cross-checked against the packed truth tables.
+  BddManager mgr(4);
+  std::vector<Bdd> pool = {kBddFalse, kBddTrue, mgr.var(0), mgr.var(3),
+                           mgr.bdd_xor(mgr.var(0), mgr.var(2)),
+                           mgr.bdd_and(mgr.var(1), mgr.bdd_not(mgr.var(2))),
+                           mgr.bdd_or(mgr.var(0), mgr.bdd_and(mgr.var(1), mgr.var(3)))};
+  for (const Bdd f : pool) {
+    const std::uint64_t tf = truth_table(mgr, f, 4);
+    EXPECT_EQ(truth_table(mgr, mgr.bdd_not(f), 4), ~tf & 0xffffu);
+    for (const Bdd g : pool) {
+      const std::uint64_t tg = truth_table(mgr, g, 4);
+      EXPECT_EQ(truth_table(mgr, mgr.bdd_and(f, g), 4), tf & tg);
+      EXPECT_EQ(truth_table(mgr, mgr.bdd_or(f, g), 4), tf | tg);
+      EXPECT_EQ(truth_table(mgr, mgr.bdd_xor(f, g), 4), (tf ^ tg) & 0xffffu);
+      EXPECT_EQ(truth_table(mgr, mgr.bdd_implies(f, g), 4), (~tf | tg) & 0xffffu);
+      EXPECT_EQ(truth_table(mgr, mgr.bdd_iff(f, g), 4), ~(tf ^ tg) & 0xffffu);
+      EXPECT_EQ(truth_table(mgr, mgr.bdd_diff(f, g), 4), tf & ~tg);
+    }
+  }
+}
+
+TEST(BddManager, Quantification) {
+  BddManager mgr(4);
+  const Bdd f = mgr.bdd_or(mgr.bdd_and(mgr.var(0), mgr.var(1)),
+                           mgr.bdd_and(mgr.var(2), mgr.var(3)));
+  // exists x0 x1. f  =  true when (x2 & x3) | anything-for-x0x1: x0=x1=1
+  // satisfies the first disjunct, so the quantified result is constant true.
+  EXPECT_EQ(mgr.exists(f, mgr.cube({0, 1})), kBddTrue);
+  // forall x0 x1. f  =  x2 & x3 (the first disjunct fails at x0=0).
+  EXPECT_EQ(mgr.forall(f, mgr.cube({0, 1})), mgr.bdd_and(mgr.var(2), mgr.var(3)));
+  // exists over an absent variable is the identity.
+  const Bdd g = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  EXPECT_EQ(mgr.exists(g, mgr.cube({3})), g);
+  // exists distributes as or of cofactors: directly compare against
+  // f[x2:=0] | f[x2:=1] computed by hand.
+  const Bdd f0 = mgr.bdd_and(mgr.var(0), mgr.var(1));            // f with x2=0
+  const Bdd f1 = mgr.bdd_or(f0, mgr.var(3));                     // f with x2=1
+  EXPECT_EQ(mgr.exists(f, mgr.cube({2})), mgr.bdd_or(f0, f1));
+}
+
+TEST(BddManager, AndExistsMatchesComposition) {
+  BddManager mgr(6);
+  // Random-ish pairs: and_exists(f, g, cube) == exists(f & g, cube).
+  std::vector<Bdd> pool = {
+      mgr.bdd_xor(mgr.var(0), mgr.var(3)),
+      mgr.bdd_or(mgr.var(1), mgr.bdd_and(mgr.var(2), mgr.var(5))),
+      mgr.bdd_and(mgr.bdd_not(mgr.var(4)), mgr.var(0)),
+      mgr.bdd_iff(mgr.var(2), mgr.var(3))};
+  const Bdd cube = mgr.cube({1, 3, 5});
+  for (const Bdd f : pool)
+    for (const Bdd g : pool)
+      EXPECT_EQ(mgr.and_exists(f, g, cube), mgr.exists(mgr.bdd_and(f, g), cube));
+}
+
+TEST(BddManager, RenameShiftsVariables) {
+  BddManager mgr(6);
+  // Order-preserving shift 0->1, 2->3, 4->5 (the unprimed->primed pattern).
+  std::vector<std::uint32_t> map = {1, 1, 3, 3, 5, 5};
+  const Bdd f = mgr.bdd_or(mgr.bdd_and(mgr.var(0), mgr.var(2)), mgr.var(4));
+  const Bdd renamed = mgr.rename(f, map);
+  const Bdd expected =
+      mgr.bdd_or(mgr.bdd_and(mgr.var(1), mgr.var(3)), mgr.var(5));
+  EXPECT_EQ(renamed, expected);
+  // Renaming back round-trips.
+  std::vector<std::uint32_t> back = {0, 0, 2, 2, 4, 4};
+  EXPECT_EQ(mgr.rename(renamed, back), f);
+}
+
+TEST(BddManager, SatCount) {
+  BddManager mgr(4);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(kBddFalse), 0.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(kBddTrue), 16.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.var(0)), 8.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.var(3)), 8.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_and(mgr.var(0), mgr.var(1))), 4.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_or(mgr.var(0), mgr.var(1))), 12.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_xor(mgr.var(2), mgr.var(3))), 8.0);
+  // Counting is consistent under variable growth: a fresh manager with more
+  // variables doubles per variable.
+  BddManager wide(10);
+  EXPECT_DOUBLE_EQ(wide.sat_count(wide.var(0)), 512.0);
+}
+
+TEST(BddManager, DagSizeAndEval) {
+  BddManager mgr(3);
+  EXPECT_EQ(mgr.dag_size(kBddTrue), 0u);
+  EXPECT_EQ(mgr.dag_size(mgr.var(1)), 1u);
+  const Bdd f = mgr.bdd_xor(mgr.bdd_xor(mgr.var(0), mgr.var(1)), mgr.var(2));
+  // Parity of 3 variables: canonical BDD has 2 nodes per level above the
+  // bottom and 1 at the top: 1 + 2 + 2 = 5.
+  EXPECT_EQ(mgr.dag_size(f), 5u);
+  EXPECT_TRUE(mgr.eval(f, {true, false, false}));
+  EXPECT_FALSE(mgr.eval(f, {true, true, false}));
+  EXPECT_TRUE(mgr.eval(f, {true, true, true}));
+}
+
+TEST(BddManager, ComputedCacheHits) {
+  BddManager mgr(8);
+  Bdd f = kBddTrue;
+  for (std::uint32_t v = 0; v < 8; ++v)
+    f = mgr.bdd_and(f, v % 2 == 0 ? mgr.var(v) : mgr.bdd_not(mgr.var(v)));
+  const auto before = mgr.stats();
+  // Recomputing the same conjunction must be served from the computed table
+  // and the unique table — same node, more hits, no new nodes.
+  const std::size_t nodes_before = mgr.num_nodes();
+  Bdd g = kBddTrue;
+  for (std::uint32_t v = 0; v < 8; ++v)
+    g = mgr.bdd_and(g, v % 2 == 0 ? mgr.var(v) : mgr.bdd_not(mgr.var(v)));
+  EXPECT_EQ(f, g);
+  EXPECT_EQ(mgr.num_nodes(), nodes_before);
+  EXPECT_GT(mgr.stats().cache_hits + mgr.stats().unique_hits,
+            before.cache_hits + before.unique_hits);
+}
+
+TEST(BddManager, ReorderHookFiresOnGrowth) {
+  BddManager mgr(16);
+  std::vector<std::size_t> observed;
+  mgr.set_reorder_hook(
+      [&](BddManager&, std::size_t live) { observed.push_back(live); },
+      /*threshold=*/64);
+  // Build something with plenty of distinct nodes: a parity chain plus
+  // scattered conjunctions.
+  Bdd parity = kBddFalse;
+  for (std::uint32_t v = 0; v < 16; ++v) parity = mgr.bdd_xor(parity, mgr.var(v));
+  Bdd mixed = kBddTrue;
+  for (std::uint32_t v = 0; v + 1 < 16; ++v)
+    mixed = mgr.bdd_and(mixed, mgr.bdd_or(mgr.var(v), mgr.bdd_not(mgr.var(v + 1))));
+  EXPECT_FALSE(observed.empty());
+  EXPECT_GE(observed.front(), 64u);
+  EXPECT_EQ(mgr.stats().reorder_hook_calls, observed.size());
+  // Threshold doubling: consecutive firings see strictly growing counts.
+  for (std::size_t i = 1; i < observed.size(); ++i)
+    EXPECT_GT(observed[i], observed[i - 1]);
+  // Detaching stops further firings.
+  mgr.set_reorder_hook(nullptr);
+  const std::size_t calls = mgr.stats().reorder_hook_calls;
+  Bdd more = kBddFalse;
+  for (std::uint32_t v = 0; v < 16; ++v)
+    more = mgr.bdd_or(more, mgr.bdd_and(mgr.var(v), parity));
+  EXPECT_EQ(mgr.stats().reorder_hook_calls, calls);
+}
+
+TEST(BddManager, NewVarExtendsUniverse) {
+  BddManager mgr(2);
+  const Bdd f = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  EXPECT_DOUBLE_EQ(mgr.sat_count(f), 1.0);
+  const std::uint32_t v = mgr.new_var();
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(mgr.num_vars(), 3u);
+  // The old function now has a free variable: count doubles.
+  EXPECT_DOUBLE_EQ(mgr.sat_count(f), 2.0);
+  EXPECT_EQ(mgr.bdd_and(f, mgr.var(2)),
+            mgr.bdd_and(mgr.var(0), mgr.bdd_and(mgr.var(1), mgr.var(2))));
+}
+
+}  // namespace
+}  // namespace ictl::symbolic

@@ -1,0 +1,181 @@
+// Tests for the direct boolean ring encoding: the symbolic M_r must have
+// exactly the explicit engine's reachable states (r * 2^r, matched
+// state-for-state through SymbolicRing::assignment), identical label
+// functions, and image primitives that agree with the explicit CSR arrays.
+// Plus the headline: it builds at r = 32, beyond RingSystem's r = 24 cap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../helpers.hpp"
+#include "symbolic/ctl_checker.hpp"
+#include "symbolic/ring_encoding.hpp"
+
+namespace ictl::symbolic {
+namespace {
+
+TEST(SymbolicRing, ReachableCountIsRTimesTwoToTheR) {
+  for (const std::uint32_t r : {2u, 3u, 4u, 5u, 6u, 8u, 10u}) {
+    const SymbolicRing ring = build_symbolic_ring(r);
+    EXPECT_DOUBLE_EQ(ring.system->num_reachable(),
+                     static_cast<double>(ring::ring_state_count(r)))
+        << "r = " << r;
+  }
+}
+
+TEST(SymbolicRing, EveryExplicitStateIsReachableAndViceVersa) {
+  for (const std::uint32_t r : {2u, 3u, 4u, 6u}) {
+    auto reg = kripke::make_registry();
+    const auto explicit_sys = testing::ring_of(r, reg);
+    const SymbolicRing sym = build_symbolic_ring(r, nullptr, reg);
+    const Bdd reach = sym.system->reachable();
+
+    // Each explicit state maps into the reachable BDD...
+    const std::size_t n = explicit_sys.structure().num_states();
+    for (kripke::StateId s = 0; s < n; ++s)
+      EXPECT_TRUE(sym.system->manager().eval(reach, sym.assignment(explicit_sys.state(s))))
+          << "r = " << r << " state " << s;
+    // ...and the counts agree, so the map is onto.
+    EXPECT_DOUBLE_EQ(sym.system->num_reachable(), static_cast<double>(n));
+  }
+}
+
+TEST(SymbolicRing, InitialStateMatchesS0) {
+  const std::uint32_t r = 5;
+  auto reg = kripke::make_registry();
+  const auto explicit_sys = testing::ring_of(r, reg);
+  const SymbolicRing sym = build_symbolic_ring(r, nullptr, reg);
+  EXPECT_DOUBLE_EQ(sym.system->count_states(sym.system->initial()), 1.0);
+  const kripke::StateId s0 = explicit_sys.structure().initial();
+  EXPECT_TRUE(sym.system->manager().eval(sym.system->initial(),
+                                         sym.assignment(explicit_sys.state(s0))));
+}
+
+TEST(SymbolicRing, LabelsMatchExplicitColumns) {
+  for (const std::uint32_t r : {3u, 5u}) {
+    auto reg = kripke::make_registry();
+    const auto explicit_sys = testing::ring_of(r, reg);
+    const auto& m = explicit_sys.structure();
+    const SymbolicRing sym = build_symbolic_ring(r, nullptr, reg);
+    BddManager& mgr = sym.system->manager();
+    const Bdd reach = sym.system->reachable();
+
+    for (const kripke::PropId p : m.used_props()) {
+      const auto states = sym.system->prop_states(p);
+      ASSERT_TRUE(states.has_value()) << reg->display(p);
+      const Bdd within_reach = mgr.bdd_and(reach, *states);
+      // Same count and same per-state membership as the explicit column.
+      EXPECT_DOUBLE_EQ(sym.system->count_states(within_reach),
+                       static_cast<double>(m.states_with(p).count()))
+          << "r = " << r << " " << reg->display(p);
+      for (kripke::StateId s = 0; s < m.num_states(); ++s)
+        EXPECT_EQ(mgr.eval(*states, sym.assignment(explicit_sys.state(s))),
+                  m.has_prop(s, p))
+            << "r = " << r << " " << reg->display(p) << " state " << s;
+    }
+  }
+}
+
+TEST(SymbolicRing, ImagesAgreeWithExplicitTransitions) {
+  const std::uint32_t r = 4;
+  auto reg = kripke::make_registry();
+  const auto explicit_sys = testing::ring_of(r, reg);
+  const auto& m = explicit_sys.structure();
+  const SymbolicRing sym = build_symbolic_ring(r, nullptr, reg);
+  BddManager& mgr = sym.system->manager();
+
+  // For a handful of singleton sets {s}: symbolic pre/post membership must
+  // equal the explicit predecessor/successor lists.
+  for (kripke::StateId s = 0; s < m.num_states(); s += 7) {
+    // Build the singleton BDD from the state's variable assignment.
+    Bdd singleton = sym.system->reachable();
+    const auto bits = sym.assignment(explicit_sys.state(s));
+    for (std::uint32_t v = 0; v < sym.system->num_state_vars(); ++v) {
+      const Bdd x = mgr.var(TransitionSystem::unprimed(v));
+      singleton = mgr.bdd_and(singleton,
+                              bits[TransitionSystem::unprimed(v)] ? x : mgr.bdd_not(x));
+    }
+    ASSERT_DOUBLE_EQ(sym.system->count_states(singleton), 1.0);
+
+    const Bdd pre = sym.system->pre_image(singleton);
+    const Bdd post = sym.system->post_image(singleton);
+    for (kripke::StateId t = 0; t < m.num_states(); ++t) {
+      const auto a = sym.assignment(explicit_sys.state(t));
+      const auto succs = m.successors(t);
+      const auto preds = m.predecessors(t);
+      const bool t_to_s = std::find(succs.begin(), succs.end(), s) != succs.end();
+      const bool s_to_t = std::find(preds.begin(), preds.end(), s) != preds.end();
+      EXPECT_EQ(mgr.eval(pre, a), t_to_s) << "pre, s=" << s << " t=" << t;
+      EXPECT_EQ(mgr.eval(post, a), s_to_t) << "post, s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(SymbolicRing, BuildsPastTheExplicitWall) {
+  // r = 32 > RingSystem::kMaxExplicitSize: the explicit engine refuses...
+  EXPECT_THROW(static_cast<void>(ring::RingSystem::build(32)), ModelError);
+  // ...the symbolic engine builds it and counts 32 * 2^32 reachable states.
+  const SymbolicRing ring = build_symbolic_ring(32);
+  EXPECT_DOUBLE_EQ(ring.system->num_reachable(),
+                   static_cast<double>(ring::ring_state_count(32)));
+}
+
+TEST(SymbolicRing, ChecksSectionFiveAgPropertiesAtThirtyTwo) {
+  // The acceptance pin: a Section 5 AG property settled by symbolic
+  // fixpoint at a size no enumeration could reach.  P2 (/\i AG(c_i -> t_i))
+  // expands over 32 indices; I3 (AG one t) runs over the theta function.
+  const SymbolicRing ring = build_symbolic_ring(32);
+  CtlChecker checker(ring.system);
+  EXPECT_TRUE(checker.holds_initially(ring::property_critical_implies_token()));
+  EXPECT_TRUE(checker.holds_initially(ring::invariant_one_token()));
+  // And the sat sets are exactly the reachable states: every one of the
+  // 32 * 2^32 states satisfies both.
+  EXPECT_DOUBLE_EQ(checker.count_sat(ring::property_critical_implies_token()),
+                   static_cast<double>(ring::ring_state_count(32)));
+}
+
+TEST(SymbolicRing, SharedRegistryAlignsPropIds) {
+  auto reg = kripke::make_registry();
+  const auto explicit_sys = testing::ring_of(4, reg);
+  const SymbolicRing sym = build_symbolic_ring(4, nullptr, reg);
+  // Both engines registered the same propositions: ids resolve both ways.
+  for (std::uint32_t i = 1; i <= 4; ++i)
+    for (const char* base : {"d", "n", "t", "c"}) {
+      const auto id = reg->find_indexed(base, i);
+      ASSERT_TRUE(id.has_value());
+      EXPECT_TRUE(sym.system->prop_states(*id).has_value())
+          << base << "[" << i << "]";
+    }
+  ASSERT_TRUE(reg->find_theta("t").has_value());
+  EXPECT_TRUE(sym.system->prop_states(*reg->find_theta("t")).has_value());
+}
+
+TEST(SymbolicRing, SharedManagerAcrossSizes) {
+  // Two ring sizes on one manager: the second build grows the variable
+  // universe, and the first system's images/counts must keep working
+  // (its rename maps cover only its own support — by design).
+  auto mgr = std::make_shared<BddManager>(0);
+  auto reg = kripke::make_registry();
+  const SymbolicRing small = build_symbolic_ring(3, mgr, reg);
+  const SymbolicRing big = build_symbolic_ring(5, mgr, reg);
+  EXPECT_DOUBLE_EQ(big.system->num_reachable(),
+                   static_cast<double>(ring::ring_state_count(5)));
+  EXPECT_DOUBLE_EQ(small.system->num_reachable(),
+                   static_cast<double>(ring::ring_state_count(3)));
+  // Image primitives of the small system still work after the growth:
+  // every reachable state has a successor inside the reachable set (the
+  // paper's totality argument), i.e. reach is a subset of its own pre-image.
+  const Bdd reach3 = small.system->reachable();
+  const Bdd pre = small.system->pre_image(reach3);
+  EXPECT_EQ(small.system->manager().bdd_diff(reach3, pre), kBddFalse);
+}
+
+TEST(SymbolicRing, RejectsDegenerateSizes) {
+  EXPECT_THROW(static_cast<void>(build_symbolic_ring(0)), ModelError);
+  EXPECT_THROW(static_cast<void>(build_symbolic_ring(1)), ModelError);
+  EXPECT_THROW(static_cast<void>(build_symbolic_ring(kMaxSymbolicRingSize + 1)),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace ictl::symbolic
