@@ -1,9 +1,11 @@
-// Benchmarks for the symbolic (BDD) engine: relation construction,
-// reachability, and CTL fixpoints on rings at and far beyond the explicit
-// engine's r = 24 cap — the numbers that justify the third engine.  The
-// small sizes overlap BM_BuildRing / BM_CtlLabelingOnRing in
-// bench_state_explosion.cpp and bench_mc_direct_vs_reduced.cpp for a direct
-// explicit-vs-symbolic comparison.
+// Benchmarks for the symbolic (BDD) engine: partitioned relation
+// construction, rule-wise reachability, CTL fixpoints, and sifting-based
+// reordering on rings at and far beyond the explicit engine's r = 24 cap —
+// the numbers that justify the third engine.  The small sizes overlap
+// BM_BuildRing / BM_CtlLabelingOnRing in bench_state_explosion.cpp and
+// bench_mc_direct_vs_reduced.cpp for a direct explicit-vs-symbolic
+// comparison.  Per-run counters surface the BddManager::Stats block:
+// computed-cache hit rate, peak node count, sift passes/swaps.
 #include <benchmark/benchmark.h>
 
 #include "ictl.hpp"
@@ -12,12 +14,28 @@ namespace {
 
 using namespace ictl;
 
+void report_manager_counters(benchmark::State& state,
+                             const symbolic::BddManager& mgr) {
+  const auto& s = mgr.stats();
+  state.counters["peak_nodes"] = static_cast<double>(s.peak_nodes);
+  state.counters["live_nodes"] = static_cast<double>(mgr.live_nodes());
+  const double lookups = static_cast<double>(s.cache_hits + s.cache_misses);
+  state.counters["cache_hit_pct"] =
+      lookups > 0 ? 100.0 * static_cast<double>(s.cache_hits) / lookups : 0.0;
+  state.counters["cache_evictions"] = static_cast<double>(s.cache_evictions);
+  state.counters["sift_passes"] = static_cast<double>(s.sift_passes);
+  state.counters["sift_swaps"] = static_cast<double>(s.sift_swaps);
+}
+
 void BM_SymbolicBuildRing(benchmark::State& state) {
   const auto r = static_cast<std::uint32_t>(state.range(0));
+  std::size_t relation_nodes = 0;
   for (auto _ : state) {
     const auto ring = symbolic::build_symbolic_ring(r);
-    benchmark::DoNotOptimize(ring.system->transitions());
+    relation_nodes = ring.system->relation_node_count();
+    benchmark::DoNotOptimize(relation_nodes);
   }
+  state.counters["relation_nodes"] = static_cast<double>(relation_nodes);
   state.SetComplexityN(r);
 }
 BENCHMARK(BM_SymbolicBuildRing)
@@ -29,22 +47,40 @@ BENCHMARK(BM_SymbolicBuildRing)
     ->Arg(64)
     ->Arg(96)
     ->Arg(128)
+    ->Arg(192)
+    ->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 void BM_SymbolicReachable(benchmark::State& state) {
   const auto r = static_cast<std::uint32_t>(state.range(0));
+  std::shared_ptr<symbolic::TransitionSystem> last;
   for (auto _ : state) {
-    // Build + least fixpoint + count: the whole "how many states" pipeline.
+    // Build + chained-saturation least fixpoint + count: the whole "how
+    // many states" pipeline.
     const auto ring = symbolic::build_symbolic_ring(r);
     benchmark::DoNotOptimize(ring.system->num_reachable());
+    last = ring.system;
   }
+  if (last != nullptr) report_manager_counters(state, last->manager());
 }
 BENCHMARK(BM_SymbolicReachable)
     ->Arg(16)
     ->Arg(32)
     ->Arg(48)
     ->Arg(64)
+    ->Arg(96)
+    ->Arg(128)
     ->Unit(benchmark::kMillisecond);
+
+void BM_SymbolicReachable256(benchmark::State& state) {
+  // The raised cap, measured separately so its multi-second runs don't
+  // crowd the sweep above.
+  for (auto _ : state) {
+    const auto ring = symbolic::build_symbolic_ring(256);
+    benchmark::DoNotOptimize(ring.system->num_reachable());
+  }
+}
+BENCHMARK(BM_SymbolicReachable256)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void BM_SymbolicCheckCriticalImpliesToken(benchmark::State& state) {
   // P2 of Section 5, /\i AG(c_i -> t_i): an index-quantified AG checked by
@@ -56,6 +92,7 @@ void BM_SymbolicCheckCriticalImpliesToken(benchmark::State& state) {
     symbolic::CtlChecker checker(ring.system);
     benchmark::DoNotOptimize(checker.holds_initially(f));
   }
+  report_manager_counters(state, ring.system->manager());
 }
 BENCHMARK(BM_SymbolicCheckCriticalImpliesToken)
     ->Arg(8)
@@ -93,6 +130,49 @@ void BM_SymbolicSectionFiveSuite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SymbolicSectionFiveSuite)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SymbolicSiftScrambledRing(benchmark::State& state) {
+  // Dynamic reordering at work: the ring built under a scrambled pair-block
+  // order, reachability computed, then one full sifting pass.  The counters
+  // report how much of the damage sifting undoes.
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t num_vars = 2 * (2 * r + 1);
+  std::size_t live_before = 0, live_after = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Inline copy of testing::scrambled_pair_order (tests/helpers.hpp) —
+    // bench binaries do not include the test tree.
+    std::vector<std::uint32_t> order;
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL + r;
+    std::vector<std::uint32_t> blocks(num_vars / 2);
+    for (std::uint32_t b = 0; b < blocks.size(); ++b) blocks[b] = b;
+    for (std::size_t i = blocks.size(); i > 1; --i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      std::swap(blocks[i - 1], blocks[x % i]);
+    }
+    for (const std::uint32_t b : blocks) {
+      order.push_back(2 * b);
+      order.push_back(2 * b + 1);
+    }
+    auto mgr = std::make_shared<symbolic::BddManager>(num_vars);
+    mgr->set_initial_order(order);
+    const auto ring = symbolic::build_symbolic_ring(r, mgr);
+    benchmark::DoNotOptimize(ring.system->num_reachable());
+    live_before = mgr->live_nodes();
+    state.ResumeTiming();
+    live_after = mgr->reorder_now();
+    benchmark::DoNotOptimize(live_after);
+  }
+  state.counters["live_before"] = static_cast<double>(live_before);
+  state.counters["live_after"] = static_cast<double>(live_after);
+}
+BENCHMARK(BM_SymbolicSiftScrambledRing)
     ->Arg(8)
     ->Arg(12)
     ->Arg(16)

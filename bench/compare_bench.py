@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Diffs two ictl benchmark snapshots (the BENCH_N.json files produced by
+bench/run_bench.sh) and prints a per-benchmark speedup/regression table.
+
+Usage:
+    bench/compare_bench.py OLD.json NEW.json [--format=text|md] [--threshold=X]
+
+Benchmarks are matched by (binary, benchmark name); entries present in only
+one snapshot are listed separately.  `--threshold` (default 1.10) is the
+ratio beyond which a change is flagged as a speedup/regression rather than
+noise.  Exit status is always 0 — perf deltas inform, they do not gate
+(hosted runners are too noisy to fail a build on).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    """Returns {(binary, name): real_time_ms} plus the time units seen."""
+    with open(path) as f:
+        snapshot = json.load(f)
+    table = {}
+    for binary, payload in snapshot.get("results", {}).items():
+        for bench in payload.get("benchmarks", []):
+            if bench.get("run_type", "iteration") != "iteration":
+                continue
+            unit = bench.get("time_unit", "ns")
+            scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+            table[(binary, bench["name"])] = bench["real_time"] * scale
+    return table
+
+
+def fmt_ms(ms):
+    if ms >= 1000:
+        return f"{ms / 1000:.2f} s"
+    if ms >= 1:
+        return f"{ms:.2f} ms"
+    return f"{ms * 1000:.1f} us"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--format", choices=("text", "md"), default="text")
+    parser.add_argument("--threshold", type=float, default=1.10)
+    args = parser.parse_args()
+
+    old = load_results(args.old)
+    new = load_results(args.new)
+    common = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    rows = []
+    speedups = regressions = 0
+    for key in common:
+        ratio = old[key] / new[key] if new[key] > 0 else float("inf")
+        if ratio >= args.threshold:
+            marker, verdict = "+", f"{ratio:.2f}x faster"
+            speedups += 1
+        elif ratio <= 1 / args.threshold:
+            marker, verdict = "-", f"{1 / ratio:.2f}x SLOWER"
+            regressions += 1
+        else:
+            marker, verdict = " ", "~"
+        rows.append((marker, key, old[key], new[key], verdict))
+
+    md = args.format == "md"
+    if md:
+        print(f"### Benchmark comparison: `{args.old}` → `{args.new}`")
+        print()
+        print("| benchmark | old | new | change |")
+        print("| --- | ---: | ---: | --- |")
+    else:
+        print(f"benchmark comparison: {args.old} -> {args.new}")
+    for marker, (binary, name), old_ms, new_ms, verdict in rows:
+        label = f"{binary}:{name}"
+        if md:
+            print(f"| `{label}` | {fmt_ms(old_ms)} | {fmt_ms(new_ms)} | {verdict} |")
+        else:
+            print(f" {marker} {label:<60} {fmt_ms(old_ms):>12} -> {fmt_ms(new_ms):>12}  {verdict}")
+    summary = (
+        f"{len(common)} compared: {speedups} faster, {regressions} slower, "
+        f"{len(common) - speedups - regressions} within {args.threshold:.2f}x; "
+        f"{len(only_new)} new, {len(only_old)} removed"
+    )
+    print()
+    print(f"**{summary}**" if md else summary)
+    if only_new:
+        names = ", ".join(f"{b}:{n}" for b, n in only_new[:8])
+        more = f" (+{len(only_new) - 8} more)" if len(only_new) > 8 else ""
+        print(("new: " if not md else "\nNew benchmarks: ") + names + more)
+    if only_old:
+        names = ", ".join(f"{b}:{n}" for b, n in only_old[:8])
+        more = f" (+{len(only_old) - 8} more)" if len(only_old) > 8 else ""
+        print(("removed: " if not md else "\nRemoved benchmarks: ") + names + more)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@
 #   BENCHES           space-separated binary names (default: every bench_*
 #                     binary found in $BUILD_DIR/bench)
 #   BENCHMARK_FILTER  regex forwarded as --benchmark_filter (default: all)
+#   BENCH_BASELINE    snapshot to diff against with bench/compare_bench.py
+#                     (default: the highest-numbered committed BENCH_N.json
+#                     other than the output; set empty to skip)
 #
 # The script configures the build tree with ICTL_BUILD_BENCH=ON if needed;
 # binaries are skipped with a notice when Google Benchmark is unavailable.
@@ -72,8 +75,9 @@ merged = {
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
     "results": {},
 }
-# Preserve hand-recorded cross-PR comparisons (any "headline*" key) when
-# regenerating.
+# Preserve hand-recorded cross-PR comparisons (any "headline*" key) and the
+# results of binaries NOT re-run this time (so a BENCHES=bench_foo refresh
+# of one flaky section keeps the rest of the snapshot) when regenerating.
 if os.path.exists(out_path):
     try:
         with open(out_path) as f:
@@ -81,6 +85,7 @@ if os.path.exists(out_path):
         for key, value in prev.items():
             if key.startswith("headline"):
                 merged[key] = value
+        merged["results"].update(prev.get("results", {}))
     except (json.JSONDecodeError, OSError):
         pass
 for name in sorted(os.listdir(results_dir)):
@@ -93,3 +98,13 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"run_bench: wrote {out_path}")
 EOF
+
+# When a previous committed snapshot exists, print the speedup/regression
+# table against it (informational; never fails the run).
+if [ -z "${BENCH_BASELINE+x}" ]; then
+  BENCH_BASELINE="$(ls BENCH_[0-9]*.json 2>/dev/null | grep -v -F "$OUT" | sort -V | tail -1 || true)"
+fi
+if [ -n "$BENCH_BASELINE" ] && [ -f "$BENCH_BASELINE" ]; then
+  echo "run_bench: comparing against $BENCH_BASELINE" >&2
+  python3 bench/compare_bench.py "$BENCH_BASELINE" "$OUT" || true
+fi

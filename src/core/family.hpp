@@ -52,8 +52,9 @@ class ParameterizedFamily {
   }
 
   /// Largest size symbolic_instance() will build; 0 when the family has no
-  /// symbolic (BDD) encoding.  Families with an encoding support sizes well
-  /// past max_explicit_size().
+  /// symbolic (BDD) encoding.  Families with an encoding support sizes far
+  /// past max_explicit_size() — the ring reaches r = 256 through its
+  /// partitioned relation.
   [[nodiscard]] virtual std::uint32_t max_symbolic_size() const { return 0; }
 
   /// A symbolic encoding of instance(r) over the family's shared registry
@@ -80,7 +81,8 @@ class RingMutexFamily final : public ParameterizedFamily {
       std::uint32_t r0, std::uint32_t r) const override;
   [[nodiscard]] std::optional<bisim::Theorem5Certificate> analytic_certificate(
       std::uint32_t r0, std::uint32_t r) const override;
-  /// symbolic::kMaxSymbolicRingSize — the BDD route past the explicit wall.
+  /// symbolic::kMaxSymbolicRingSize (256) — the BDD route past the
+  /// explicit wall, as a rule-wise partitioned relation.
   [[nodiscard]] std::uint32_t max_symbolic_size() const override;
   [[nodiscard]] std::shared_ptr<symbolic::TransitionSystem> symbolic_instance(
       std::uint32_t r) const override;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <numeric>
+#include <tuple>
 
 namespace ictl::symbolic {
 
@@ -17,9 +20,8 @@ std::uint64_t mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-std::uint64_t triple_hash(std::uint32_t var, Bdd low, Bdd high) {
-  return mix((static_cast<std::uint64_t>(var) << 40) ^
-             (static_cast<std::uint64_t>(low) << 20) ^ high);
+std::uint64_t pair_hash(Bdd low, Bdd high) {
+  return mix((static_cast<std::uint64_t>(low) << 32) ^ high);
 }
 
 }  // namespace
@@ -28,18 +30,106 @@ BddManager::BddManager(std::uint32_t num_vars, std::uint32_t cache_log2)
     : num_vars_(num_vars) {
   support::require<Error>(cache_log2 >= 4 && cache_log2 <= 28,
                           "BddManager: cache_log2 out of [4, 28]");
-  nodes_.push_back({kTerminalLevel, kBddFalse, kBddFalse});  // 0 = false
-  nodes_.push_back({kTerminalLevel, kBddTrue, kBddTrue});    // 1 = true
-  unique_table_.assign(1024, kNoNode);
+  nodes_.push_back({kTerminalVar, kBddFalse, kBddFalse, kNoNode});  // 0 = false
+  nodes_.push_back({kTerminalVar, kBddTrue, kBddTrue, kNoNode});    // 1 = true
+  ref_.assign(2, 0);
+  protected_.assign(2, 0);
+  retired_.assign(2, 0);
+  stats_.peak_nodes = nodes_.size();
+  subtables_.resize(num_vars_);
+  for (SubTable& t : subtables_) t.buckets.assign(16, kNoNode);
+  var2level_.resize(num_vars_);
+  level2var_.resize(num_vars_);
+  std::iota(var2level_.begin(), var2level_.end(), 0u);
+  std::iota(level2var_.begin(), level2var_.end(), 0u);
+  var_live_count_.assign(num_vars_, 0);
   cache_.assign(std::size_t{1} << cache_log2, CacheEntry{});
-  cache_mask_ = (std::uint32_t{1} << cache_log2) - 1;
+  cache_set_mask_ = (std::uint32_t{1} << (cache_log2 - 1)) - 1;
 }
 
-std::uint32_t BddManager::new_var() { return num_vars_++; }
+std::uint32_t BddManager::new_var() {
+  const std::uint32_t v = num_vars_++;
+  subtables_.emplace_back();
+  subtables_.back().buckets.assign(16, kNoNode);
+  var2level_.push_back(v);  // appended at the bottom of the order
+  level2var_.push_back(v);
+  var_live_count_.push_back(0);
+  return v;
+}
+
+std::uint32_t BddManager::level_of_var(std::uint32_t v) const {
+  ICTL_ASSERT(v < num_vars_);
+  return var2level_[v];
+}
+
+std::uint32_t BddManager::var_at_level(std::uint32_t l) const {
+  ICTL_ASSERT(l < num_vars_);
+  return level2var_[l];
+}
+
+void BddManager::set_initial_order(const std::vector<std::uint32_t>& level2var) {
+  support::require<Error>(nodes_.size() == 2,
+                          "BddManager::set_initial_order: manager already holds nodes; "
+                          "use swap_adjacent_levels / reorder_now instead");
+  support::require<Error>(level2var.size() == num_vars_,
+                          "BddManager::set_initial_order: order size != num_vars");
+  std::vector<bool> seen(num_vars_, false);
+  for (const std::uint32_t v : level2var) {
+    support::require<Error>(v < num_vars_ && !seen[v],
+                            "BddManager::set_initial_order: not a permutation");
+    seen[v] = true;
+  }
+  level2var_ = level2var;
+  for (std::uint32_t l = 0; l < num_vars_; ++l) var2level_[level2var_[l]] = l;
+}
+
+// ---- Liveness ---------------------------------------------------------------
+
+void BddManager::make_live_ref(Bdd f) {
+  if (is_terminal(f)) return;
+  const bool was_dead = ref_[f] == 0 && protected_[f] == 0;
+  ++ref_[f];
+  if (was_dead) {
+    ++var_live_count_[nodes_[f].var];
+    ++live_nodes_;
+    make_live_ref(nodes_[f].low);
+    make_live_ref(nodes_[f].high);
+  }
+}
+
+void BddManager::drop_ref(Bdd f) {
+  if (is_terminal(f)) return;
+  ICTL_ASSERT(ref_[f] > 0);
+  --ref_[f];
+  if (ref_[f] == 0 && protected_[f] == 0) {
+    --var_live_count_[nodes_[f].var];
+    --live_nodes_;
+    drop_ref(nodes_[f].low);
+    drop_ref(nodes_[f].high);
+  }
+}
+
+void BddManager::protect(Bdd f) {
+  if (is_terminal(f)) return;
+  ICTL_ASSERT(f < nodes_.size());
+  ICTL_ASSERT(retired_[f] == 0);  // protect roots BEFORE any reorder runs
+  if (protected_[f] != 0) return;
+  const bool was_dead = ref_[f] == 0;
+  protected_[f] = 1;
+  if (was_dead) {
+    ++var_live_count_[nodes_[f].var];
+    ++live_nodes_;
+    make_live_ref(nodes_[f].low);
+    make_live_ref(nodes_[f].high);
+  }
+}
+
+// ---- Node construction ------------------------------------------------------
 
 Bdd BddManager::var(std::uint32_t v) {
   ICTL_ASSERT(v < num_vars_);
   const Bdd result = mk(v, kBddFalse, kBddTrue);
+  protect(result);
   fire_pending_reorder_hook();
   return result;
 }
@@ -47,60 +137,83 @@ Bdd BddManager::var(std::uint32_t v) {
 Bdd BddManager::nvar(std::uint32_t v) {
   ICTL_ASSERT(v < num_vars_);
   const Bdd result = mk(v, kBddTrue, kBddFalse);
+  protect(result);
   fire_pending_reorder_hook();
   return result;
 }
 
-Bdd BddManager::mk(std::uint32_t var, Bdd low, Bdd high) {
+Bdd BddManager::make_node(std::uint32_t v, Bdd low, Bdd high) {
+  ICTL_ASSERT(low < nodes_.size() && high < nodes_.size());
+  return mk(v, low, high);
+}
+
+Bdd BddManager::mk(std::uint32_t v, Bdd low, Bdd high) {
   if (low == high) return low;  // reduction rule
-  ICTL_ASSERT(var < level(low) && var < level(high));  // order invariant
-  std::size_t slot = static_cast<std::size_t>(triple_hash(var, low, high)) &
-                     (unique_table_.size() - 1);
-  while (true) {
-    const Bdd cand = unique_table_[slot];
-    if (cand == kNoNode) break;
-    const Node& n = nodes_[cand];
-    if (n.var == var && n.low == low && n.high == high) {
+  ICTL_ASSERT(v < num_vars_);
+  ICTL_ASSERT(var2level_[v] < level(low) && var2level_[v] < level(high));
+  SubTable& t = subtables_[v];
+  const std::size_t slot =
+      static_cast<std::size_t>(pair_hash(low, high)) & (t.buckets.size() - 1);
+  for (Bdd id = t.buckets[slot]; id != kNoNode; id = nodes_[id].next) {
+    const Node& n = nodes_[id];
+    if (n.low == low && n.high == high) {
       ++stats_.unique_hits;
-      return cand;
+      return id;
     }
-    slot = (slot + 1) & (unique_table_.size() - 1);
   }
   ++stats_.unique_misses;
   const Bdd id = static_cast<Bdd>(nodes_.size());
-  nodes_.push_back({var, low, high});
-  unique_table_[slot] = id;
-  if (++unique_count_ * 10 >= unique_table_.size() * 7) grow_unique_table();
+  nodes_.push_back({v, low, high, t.buckets[slot]});
+  ref_.push_back(0);       // born dead; protect()/make_live_ref revive it
+  protected_.push_back(0);
+  retired_.push_back(0);
+  t.buckets[slot] = id;
+  if (++t.count > t.buckets.size()) grow_subtable(t);
+  if (nodes_.size() > stats_.peak_nodes) stats_.peak_nodes = nodes_.size();
   // Only flag the threshold crossing here — mk() runs deep inside the
-  // operator recursions, where a hook that restructures the DAG would
-  // corrupt in-flight cofactors.  The public entry points fire it.
-  if (reorder_hook_ != nullptr && nodes_.size() >= reorder_threshold_)
+  // operator recursions, where reordering would corrupt in-flight
+  // cofactors.  The public entry points fire it.
+  if (reorder_hook_ != nullptr && !in_reorder_ && nodes_.size() >= reorder_threshold_)
     reorder_pending_ = true;
   return id;
 }
 
-void BddManager::grow_unique_table() {
-  std::vector<Bdd> bigger(unique_table_.size() * 2, kNoNode);
-  for (const Bdd id : unique_table_) {
-    if (id == kNoNode) continue;
+void BddManager::insert_unique(std::uint32_t v, Bdd id) {
+  SubTable& t = subtables_[v];
+  const Node& n = nodes_[id];
+  const std::size_t slot =
+      static_cast<std::size_t>(pair_hash(n.low, n.high)) & (t.buckets.size() - 1);
+  nodes_[id].next = t.buckets[slot];
+  t.buckets[slot] = id;
+  if (++t.count > t.buckets.size()) grow_subtable(t);
+}
+
+void BddManager::grow_subtable(SubTable& t) {
+  std::vector<Bdd> ids;
+  ids.reserve(t.count);
+  for (const Bdd head : t.buckets)
+    for (Bdd id = head; id != kNoNode; id = nodes_[id].next) ids.push_back(id);
+  t.buckets.assign(t.buckets.size() * 2, kNoNode);
+  for (const Bdd id : ids) {
     const Node& n = nodes_[id];
-    std::size_t slot = static_cast<std::size_t>(triple_hash(n.var, n.low, n.high)) &
-                       (bigger.size() - 1);
-    while (bigger[slot] != kNoNode) slot = (slot + 1) & (bigger.size() - 1);
-    bigger[slot] = id;
+    const std::size_t slot =
+        static_cast<std::size_t>(pair_hash(n.low, n.high)) & (t.buckets.size() - 1);
+    nodes_[id].next = t.buckets[slot];
+    t.buckets[slot] = id;
   }
-  unique_table_ = std::move(bigger);
 }
 
 void BddManager::fire_pending_reorder_hook() {
-  if (!reorder_pending_ || reorder_hook_ == nullptr) return;
+  if (!reorder_pending_ || reorder_hook_ == nullptr || in_reorder_ ||
+      reorder_pause_depth_ > 0)
+    return;
   reorder_pending_ = false;
   ++stats_.reorder_hook_calls;
-  const std::size_t live = nodes_.size();
+  const std::size_t grown_to = nodes_.size();
   // Double the threshold before invoking: ops the hook itself performs may
   // re-flag, but re-fire only after genuine further growth.
-  while (reorder_threshold_ <= live) reorder_threshold_ *= 2;
-  reorder_hook_(*this, live);
+  while (reorder_threshold_ <= grown_to) reorder_threshold_ *= 2;
+  reorder_hook_(*this, grown_to);
 }
 
 void BddManager::set_reorder_hook(std::function<void(BddManager&, std::size_t)> hook,
@@ -110,28 +223,75 @@ void BddManager::set_reorder_hook(std::function<void(BddManager&, std::size_t)> 
   reorder_pending_ = false;
 }
 
+void BddManager::enable_dynamic_reordering(std::size_t threshold,
+                                           const ReorderOptions& options) {
+  // Fail fast at the misconfigured call: without this, the pair-grouping
+  // requirements would only surface as a throw from whichever unrelated
+  // public operation happens to cross the growth threshold later.
+  if (options.group_pairs) {
+    support::require<Error>(num_vars_ % 2 == 0,
+                            "BddManager::enable_dynamic_reordering: pair grouping "
+                            "needs an even variable count");
+    for (std::uint32_t v = 0; v < num_vars_; v += 2)
+      support::require<Error>(
+          var2level_[v + 1] == var2level_[v] + 1,
+          "BddManager::enable_dynamic_reordering: pair grouping needs each "
+          "(2k, 2k+1) pair on adjacent levels (unprimed above primed)");
+  }
+  set_reorder_hook(
+      [options](BddManager& mgr, std::size_t) { mgr.reorder_now(options); },
+      threshold);
+}
+
 // ---- Computed table ---------------------------------------------------------
 
-std::size_t BddManager::cache_slot(Op op, Bdd a, Bdd b, Bdd c) const {
+std::size_t BddManager::cache_set(Op op, Bdd a, Bdd b, Bdd c) const {
   const std::uint64_t h =
       mix((static_cast<std::uint64_t>(a) << 32) ^ (static_cast<std::uint64_t>(b) << 8) ^
           (static_cast<std::uint64_t>(c) << 2) ^ static_cast<std::uint64_t>(op));
-  return static_cast<std::size_t>(h) & cache_mask_;
+  return (static_cast<std::size_t>(h) & cache_set_mask_) * 2;
 }
 
 bool BddManager::cache_lookup(Op op, Bdd a, Bdd b, Bdd c, Bdd& out) {
-  const CacheEntry& e = cache_[cache_slot(op, a, b, c)];
-  if (e.op == op && e.a == a && e.b == b && e.c == c) {
-    ++stats_.cache_hits;
-    out = e.result;
-    return true;
+  const std::size_t base = cache_set(op, a, b, c);
+  for (std::size_t i = base; i < base + 2; ++i) {
+    CacheEntry& e = cache_[i];
+    if (e.epoch == cache_epoch_ && e.op == op && e.a == a && e.b == b && e.c == c) {
+      ++stats_.cache_hits;
+      e.used = ++cache_tick_;
+      out = e.result;
+      return true;
+    }
   }
   ++stats_.cache_misses;
   return false;
 }
 
 void BddManager::cache_store(Op op, Bdd a, Bdd b, Bdd c, Bdd result) {
-  cache_[cache_slot(op, a, b, c)] = CacheEntry{op, a, b, c, result};
+  const std::size_t base = cache_set(op, a, b, c);
+  // 2-way with aging: fill an invalid way first, else evict the one whose
+  // last use is older.
+  std::size_t victim = base;
+  if (cache_[base].epoch == cache_epoch_) {
+    if (cache_[base + 1].epoch != cache_epoch_ ||
+        cache_[base + 1].used < cache_[base].used)
+      victim = base + 1;
+  }
+  if (cache_[victim].epoch == cache_epoch_ && cache_[victim].op != Op::kNone)
+    ++stats_.cache_evictions;
+  cache_[victim] = CacheEntry{op, a, b, c, result, cache_epoch_, ++cache_tick_};
+}
+
+void BddManager::invalidate_operation_caches() {
+  // The one choke point for cache invalidation: everything keyed on node
+  // identity across calls — the computed table and the rename memo — is
+  // epoch-invalidated here, and every order-changing path calls this.
+  // (An in-place swap preserves each handle's function, so entries would
+  // still be semantically right today; the epoch bump is the contract any
+  // future node reclamation depends on, and tests pin it.)
+  ++cache_epoch_;
+  ++rename_epoch_;
+  ++stats_.cache_invalidations;
 }
 
 // ---- ITE and the boolean operators -----------------------------------------
@@ -139,6 +299,7 @@ void BddManager::cache_store(Op op, Bdd a, Bdd b, Bdd c, Bdd result) {
 Bdd BddManager::ite(Bdd f, Bdd g, Bdd h) {
   ICTL_ASSERT(f < nodes_.size() && g < nodes_.size() && h < nodes_.size());
   const Bdd result = ite_rec(f, g, h);
+  protect(result);
   fire_pending_reorder_hook();
   return result;
 }
@@ -158,7 +319,7 @@ Bdd BddManager::ite_rec(Bdd f, Bdd g, Bdd h) {
   };
   const Bdd lo = ite_rec(cofactor(f, false), cofactor(g, false), cofactor(h, false));
   const Bdd hi = ite_rec(cofactor(f, true), cofactor(g, true), cofactor(h, true));
-  const Bdd result = mk(top, lo, hi);
+  const Bdd result = mk(level2var_[top], lo, hi);
   cache_store(Op::kIte, f, g, h, result);
   return result;
 }
@@ -175,9 +336,13 @@ Bdd BddManager::bdd_diff(Bdd f, Bdd g) { return ite(g, kBddFalse, f); }
 
 Bdd BddManager::cube(const std::vector<std::uint32_t>& vars) {
   std::vector<std::uint32_t> sorted = vars;
-  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  // Bottom-up by the CURRENT order: deepest level first.
+  std::sort(sorted.begin(), sorted.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return var2level_[a] > var2level_[b];
+  });
   Bdd acc = kBddTrue;
   for (const std::uint32_t v : sorted) acc = mk(v, kBddFalse, acc);
+  protect(acc);
   fire_pending_reorder_hook();
   return acc;
 }
@@ -185,6 +350,7 @@ Bdd BddManager::cube(const std::vector<std::uint32_t>& vars) {
 Bdd BddManager::exists(Bdd f, Bdd cube) {
   ICTL_ASSERT(f < nodes_.size() && cube < nodes_.size());
   const Bdd result = exists_rec(f, cube);
+  protect(result);
   fire_pending_reorder_hook();
   return result;
 }
@@ -204,7 +370,7 @@ Bdd BddManager::exists_rec(Bdd f, Bdd cube) {
 
   const Node n = nodes_[f];  // copy: mk() below may reallocate nodes_
   Bdd result;
-  if (level(cube) == n.var) {
+  if (level(cube) == var2level_[n.var]) {
     const Bdd rest = nodes_[cube].high;
     const Bdd lo = exists_rec(n.low, rest);
     // ite_rec, not the public bdd_or: the reorder hook must not fire while
@@ -221,6 +387,7 @@ Bdd BddManager::exists_rec(Bdd f, Bdd cube) {
 Bdd BddManager::and_exists(Bdd f, Bdd g, Bdd cube) {
   ICTL_ASSERT(f < nodes_.size() && g < nodes_.size() && cube < nodes_.size());
   const Bdd result = and_exists_rec(f, g, cube);
+  protect(result);
   fire_pending_reorder_hook();
   return result;
 }
@@ -250,7 +417,8 @@ Bdd BddManager::and_exists_rec(Bdd f, Bdd g, Bdd cube) {
                  : ite_rec(lo, kBddTrue,
                            and_exists_rec(cofactor(f, true), cofactor(g, true), rest));
   } else {
-    result = mk(top, and_exists_rec(cofactor(f, false), cofactor(g, false), cube),
+    result = mk(level2var_[top],
+                and_exists_rec(cofactor(f, false), cofactor(g, false), cube),
                 and_exists_rec(cofactor(f, true), cofactor(g, true), cube));
   }
   cache_store(Op::kAndExists, f, g, cube, result);
@@ -265,12 +433,14 @@ Bdd BddManager::rename(Bdd f, const std::vector<std::uint32_t>& map) {
   // so each call pays only for the nodes it actually visits — rename sits
   // on every image computation of every fixpoint iteration, where a
   // freshly zero-filled O(total nodes) vector per call would dominate.
+  // (invalidate_operation_caches also bumps this epoch on reorders.)
   ++rename_epoch_;
   if (rename_stamp_.size() < nodes_.size()) {
     rename_stamp_.resize(nodes_.size(), 0);
     rename_val_.resize(nodes_.size(), kBddFalse);
   }
   const Bdd result = rename_rec(f, map);
+  protect(result);
   fire_pending_reorder_hook();
   return result;
 }
@@ -291,6 +461,222 @@ Bdd BddManager::rename_rec(Bdd f, const std::vector<std::uint32_t>& map) {
   return result;
 }
 
+// ---- Reordering -------------------------------------------------------------
+
+void BddManager::swap_adjacent_levels(std::uint32_t lvl) {
+  support::require<Error>(lvl + 1 < num_vars_,
+                          "BddManager::swap_adjacent_levels: level out of range");
+  swap_levels_internal(lvl);
+  ++reorder_count_;
+  invalidate_operation_caches();
+}
+
+void BddManager::swap_levels_internal(std::uint32_t lvl) {
+  const std::uint32_t x = level2var_[lvl];      // moves down to lvl + 1
+  const std::uint32_t y = level2var_[lvl + 1];  // moves up to lvl
+  ++stats_.sift_swaps;
+  // Flip the maps first: the mk() calls below must already see the
+  // post-swap order for their invariant checks.
+  level2var_[lvl] = y;
+  level2var_[lvl + 1] = x;
+  var2level_[x] = lvl + 1;
+  var2level_[y] = lvl;
+
+  // Split x's nodes: those depending on y must be rewritten in place (their
+  // handles must keep their functions); the rest just sink one level.
+  SubTable& tx = subtables_[x];
+  swap_movers_.clear();
+  swap_keepers_.clear();
+  for (const Bdd head : tx.buckets)
+    for (Bdd id = head; id != kNoNode; id = nodes_[id].next) {
+      const Node& n = nodes_[id];
+      if (nodes_[n.low].var == y || nodes_[n.high].var == y)
+        swap_movers_.push_back(id);
+      else
+        swap_keepers_.push_back(id);
+    }
+  if (swap_movers_.empty()) return;
+  stats_.sift_rewrites += swap_movers_.size();
+
+  std::fill(tx.buckets.begin(), tx.buckets.end(), kNoNode);
+  tx.count = 0;
+  for (const Bdd id : swap_keepers_) insert_unique(x, id);
+
+  for (const Bdd f : swap_movers_) {
+    const Node n = nodes_[f];  // copy: mk() below may reallocate nodes_
+    const bool low_is_y = nodes_[n.low].var == y;
+    const bool high_is_y = nodes_[n.high].var == y;
+    // f = x ? f1 : f0 = y ? (x ? f11 : f01) : (x ? f10 : f00).
+    const Bdd f00 = low_is_y ? nodes_[n.low].low : n.low;
+    const Bdd f01 = low_is_y ? nodes_[n.low].high : n.low;
+    const Bdd f10 = high_is_y ? nodes_[n.high].low : n.high;
+    const Bdd f11 = high_is_y ? nodes_[n.high].high : n.high;
+    const Bdd a = mk(x, f00, f10);  // the y = 0 cofactor
+    const Bdd b = mk(x, f01, f11);  // the y = 1 cofactor
+    // f depended on y (it had a y child and was reduced), so its cofactors
+    // differ and the rewritten node cannot collide with a pre-existing
+    // y-node: canonicity would have merged them before the swap.
+    ICTL_ASSERT(a != b);
+    const bool live = is_live(f);
+    if (live) {
+      make_live_ref(a);
+      make_live_ref(b);
+    }
+    Node& slot = nodes_[f];  // re-take: mk() may have reallocated nodes_
+    slot.var = y;
+    slot.low = a;
+    slot.high = b;
+    insert_unique(y, f);
+    if (live) {
+      drop_ref(n.low);
+      drop_ref(n.high);
+      --var_live_count_[x];
+      ++var_live_count_[y];
+    }
+  }
+}
+
+std::size_t BddManager::collect_dead_nodes() {
+  std::size_t retired = 0;
+  for (std::uint32_t v = 0; v < num_vars_; ++v) {
+    SubTable& t = subtables_[v];
+    for (Bdd& head : t.buckets) {
+      Bdd id = head;
+      head = kNoNode;
+      Bdd* tail = &head;
+      while (id != kNoNode) {
+        const Bdd next = nodes_[id].next;
+        if (is_live(id)) {
+          *tail = id;
+          nodes_[id].next = kNoNode;
+          tail = &nodes_[id].next;
+        } else {
+          retired_[id] = 1;
+          ++retired;
+          --t.count;
+        }
+        id = next;
+      }
+    }
+  }
+  nodes_at_last_collect_ = nodes_.size();
+  return retired;
+}
+
+void BddManager::exchange_blocks(std::uint32_t pos, std::uint32_t block_size) {
+  // Exchanges the adjacent uniform blocks at positions pos and pos + 1:
+  // bubble each variable of the upper block, bottom-most first, down past
+  // the lower block.
+  const std::uint32_t l = pos * block_size;
+  for (std::uint32_t i = block_size; i >= 1; --i)
+    for (std::uint32_t k = 0; k < block_size; ++k)
+      swap_levels_internal(l + i - 1 + k);
+}
+
+void BddManager::sift_block(std::uint32_t top_var, std::uint32_t block_size,
+                            std::uint32_t num_blocks, double max_growth) {
+  ICTL_ASSERT(var2level_[top_var] % block_size == 0);
+  std::uint32_t pos = var2level_[top_var] / block_size;
+  const std::size_t start_size = live_nodes_;
+  const std::size_t bound =
+      static_cast<std::size_t>(static_cast<double>(start_size) * max_growth) + 8;
+  std::size_t best_size = start_size;
+  std::uint32_t best_pos = pos;
+  const std::uint32_t last = num_blocks - 1;
+
+  // One block journey can mint zombies at every level it crosses (the old
+  // position's rewrites die as the block moves on); reap them mid-journey
+  // once they outnumber the live table or transient memory compounds.
+  const auto maybe_collect = [&] {
+    if (nodes_.size() - nodes_at_last_collect_ > live_nodes_ + 4096)
+      collect_dead_nodes();
+  };
+  // Walk to the nearer end first (fewer swaps wasted if that direction is
+  // bad), then sweep across to the other end, recording the minimum.
+  const bool down_first = (last - pos) <= pos;
+  for (int leg = 0; leg < 2; ++leg) {
+    const bool down = (leg == 0) == down_first;
+    if (down) {
+      while (pos < last && live_nodes_ <= bound) {
+        exchange_blocks(pos, block_size);
+        ++pos;
+        maybe_collect();
+        if (live_nodes_ < best_size) {
+          best_size = live_nodes_;
+          best_pos = pos;
+        }
+      }
+    } else {
+      while (pos > 0 && live_nodes_ <= bound) {
+        exchange_blocks(pos - 1, block_size);
+        --pos;
+        maybe_collect();
+        if (live_nodes_ < best_size) {
+          best_size = live_nodes_;
+          best_pos = pos;
+        }
+      }
+    }
+  }
+  while (pos < best_pos) {
+    exchange_blocks(pos, block_size);
+    ++pos;
+  }
+  while (pos > best_pos) {
+    exchange_blocks(pos - 1, block_size);
+    --pos;
+  }
+}
+
+std::size_t BddManager::reorder_now(const ReorderOptions& options) {
+  if (in_reorder_ || reorder_pause_depth_ > 0 || num_vars_ < 2) return live_nodes_;
+  const std::uint32_t block_size = options.group_pairs ? 2u : 1u;
+  if (block_size == 2) {
+    support::require<Error>(
+        num_vars_ % 2 == 0,
+        "BddManager::reorder_now: pair grouping needs an even variable count");
+    for (std::uint32_t v = 0; v < num_vars_; v += 2)
+      support::require<Error>(
+          var2level_[v + 1] == var2level_[v] + 1,
+          "BddManager::reorder_now: pair grouping needs each (2k, 2k+1) pair on "
+          "adjacent levels (unprimed above primed)");
+  }
+  in_reorder_ = true;
+  ++stats_.sift_passes;
+  const std::uint32_t num_blocks = num_vars_ / block_size;
+  std::vector<std::uint32_t> ranking(num_blocks);
+  std::iota(ranking.begin(), ranking.end(), 0u);
+  const auto block_population = [&](std::uint32_t b) {
+    std::size_t total = 0;
+    for (std::uint32_t i = 0; i < block_size; ++i)
+      total += var_live_count_[b * block_size + i];
+    return total;
+  };
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return block_population(a) > block_population(b);
+                   });
+  collect_dead_nodes();
+  const std::size_t budget =
+      options.rewrite_budget != 0 ? options.rewrite_budget
+                                  : 16 * live_nodes_ + 4096;
+  const std::size_t rewrites_at_start = stats_.sift_rewrites;
+  for (const std::uint32_t b : ranking) {
+    sift_block(b * block_size, block_size, num_blocks, options.max_growth);
+    // Swaps rewrite dead nodes alongside live ones (handles must keep
+    // their functions), so every block journey grows the zombie pile;
+    // retire it before it compounds into the next block's journey.
+    if (nodes_.size() - nodes_at_last_collect_ > live_nodes_ + 4096)
+      collect_dead_nodes();
+    if (stats_.sift_rewrites - rewrites_at_start > budget) break;
+  }
+  in_reorder_ = false;
+  reorder_pending_ = false;  // growth during the sift is not a new trigger
+  ++reorder_count_;
+  invalidate_operation_caches();
+  return live_nodes_;
+}
+
 // ---- Inspection -------------------------------------------------------------
 
 bool BddManager::eval(Bdd f, const std::vector<bool>& assignment) const {
@@ -309,7 +695,8 @@ double BddManager::sat_count(Bdd f) const {
   // sat_count_rec counts over the variables below a node's level; scale by
   // the free variables above the root.
   const double below = sat_count_rec(f, memo);
-  const std::uint32_t root_level = is_terminal(f) ? num_vars_ : nodes_[f].var;
+  const std::uint32_t root_level =
+      is_terminal(f) ? num_vars_ : var2level_[nodes_[f].var];
   return std::ldexp(below, static_cast<int>(root_level));
 }
 
@@ -318,9 +705,11 @@ double BddManager::sat_count_rec(Bdd f, std::vector<double>& memo) const {
   if (f == kBddTrue) return 1.0;
   if (memo[f] >= 0.0) return memo[f];
   const Node& n = nodes_[f];
+  const std::uint32_t my_level = var2level_[n.var];
   const auto gap = [&](Bdd child) {
-    const std::uint32_t child_level = is_terminal(child) ? num_vars_ : nodes_[child].var;
-    return static_cast<int>(child_level - n.var - 1);
+    const std::uint32_t child_level =
+        is_terminal(child) ? num_vars_ : var2level_[nodes_[child].var];
+    return static_cast<int>(child_level - my_level - 1);
   };
   const double result = std::ldexp(sat_count_rec(n.low, memo), gap(n.low)) +
                         std::ldexp(sat_count_rec(n.high, memo), gap(n.high));
@@ -328,12 +717,16 @@ double BddManager::sat_count_rec(Bdd f, std::vector<double>& memo) const {
   return result;
 }
 
-std::size_t BddManager::dag_size(Bdd f) const {
-  ICTL_ASSERT(f < nodes_.size());
-  if (is_terminal(f)) return 0;
+std::size_t BddManager::dag_size(Bdd f) const { return dag_size(std::vector<Bdd>{f}); }
+
+std::size_t BddManager::dag_size(const std::vector<Bdd>& roots) const {
   std::vector<bool> seen(nodes_.size(), false);
-  std::vector<Bdd> stack{f};
+  std::vector<Bdd> stack;
   std::size_t count = 0;
+  for (const Bdd root : roots) {
+    ICTL_ASSERT(root < nodes_.size());
+    stack.push_back(root);
+  }
   while (!stack.empty()) {
     const Bdd x = stack.back();
     stack.pop_back();
@@ -344,6 +737,26 @@ std::size_t BddManager::dag_size(Bdd f) const {
     stack.push_back(nodes_[x].high);
   }
   return count;
+}
+
+std::vector<std::uint32_t> BddManager::support_vars(Bdd f) const {
+  ICTL_ASSERT(f < nodes_.size());
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<bool> in_support(num_vars_, false);
+  std::vector<Bdd> stack{f};
+  while (!stack.empty()) {
+    const Bdd x = stack.back();
+    stack.pop_back();
+    if (is_terminal(x) || seen[x]) continue;
+    seen[x] = true;
+    in_support[nodes_[x].var] = true;
+    stack.push_back(nodes_[x].low);
+    stack.push_back(nodes_[x].high);
+  }
+  std::vector<std::uint32_t> result;
+  for (std::uint32_t v = 0; v < num_vars_; ++v)
+    if (in_support[v]) result.push_back(v);
+  return result;
 }
 
 std::uint32_t BddManager::node_var(Bdd f) const {
@@ -359,6 +772,79 @@ Bdd BddManager::node_low(Bdd f) const {
 Bdd BddManager::node_high(Bdd f) const {
   ICTL_ASSERT(f < nodes_.size() && !is_terminal(f));
   return nodes_[f].high;
+}
+
+bool BddManager::check_invariants() const {
+  // Structure: order invariant, reducedness, global canonicity.  Retired
+  // zombies are exempt from the structural checks (they are unlinked and
+  // skipped by swaps, so their triples may be stale) but must be dead.
+  std::map<std::tuple<std::uint32_t, Bdd, Bdd>, Bdd> triples;
+  for (Bdd id = 2; id < nodes_.size(); ++id) {
+    if (retired_[id] != 0) {
+      if (ref_[id] != 0 || protected_[id] != 0) return false;
+      continue;
+    }
+    const Node& n = nodes_[id];
+    if (n.var >= num_vars_) return false;
+    if (n.low >= nodes_.size() || n.high >= nodes_.size()) return false;
+    if (n.low == n.high) return false;
+    if (level(id) >= level(n.low) || level(id) >= level(n.high)) return false;
+    if (!triples.emplace(std::make_tuple(n.var, n.low, n.high), id).second)
+      return false;  // duplicate triple: canonicity broken
+  }
+  // Unique-subtable membership: every (non-retired) node on exactly its own
+  // var's chain.
+  std::vector<bool> chained(nodes_.size(), false);
+  for (std::uint32_t v = 0; v < num_vars_; ++v) {
+    std::size_t seen = 0;
+    for (const Bdd head : subtables_[v].buckets)
+      for (Bdd id = head; id != kNoNode; id = nodes_[id].next) {
+        if (nodes_[id].var != v || chained[id] || retired_[id] != 0) return false;
+        chained[id] = true;
+        ++seen;
+      }
+    if (seen != subtables_[v].count) return false;
+  }
+  for (Bdd id = 2; id < nodes_.size(); ++id)
+    if (!chained[id] && retired_[id] == 0) return false;
+  // Liveness: recompute the live set from the protected roots and compare
+  // reference counts and per-var totals.
+  std::vector<std::uint32_t> expected_ref(nodes_.size(), 0);
+  std::vector<bool> live(nodes_.size(), false);
+  std::vector<Bdd> stack;
+  for (Bdd id = 2; id < nodes_.size(); ++id)
+    if (protected_[id] != 0 && !live[id]) {
+      live[id] = true;
+      stack.push_back(id);
+    }
+  while (!stack.empty()) {
+    const Bdd x = stack.back();
+    stack.pop_back();
+    for (const Bdd child : {nodes_[x].low, nodes_[x].high}) {
+      if (is_terminal(child)) continue;
+      ++expected_ref[child];
+      if (!live[child]) {
+        live[child] = true;
+        stack.push_back(child);
+      }
+    }
+  }
+  std::vector<std::size_t> expected_var_count(num_vars_, 0);
+  std::size_t expected_live = 0;
+  for (Bdd id = 2; id < nodes_.size(); ++id) {
+    if (ref_[id] != expected_ref[id]) return false;
+    if (live[id]) {
+      ++expected_live;
+      ++expected_var_count[nodes_[id].var];
+    }
+  }
+  if (expected_live != live_nodes_) return false;
+  for (std::uint32_t v = 0; v < num_vars_; ++v)
+    if (expected_var_count[v] != var_live_count_[v]) return false;
+  // The order maps are mutually inverse permutations.
+  for (std::uint32_t l = 0; l < num_vars_; ++l)
+    if (var2level_[level2var_[l]] != l) return false;
+  return true;
 }
 
 }  // namespace ictl::symbolic

@@ -1,18 +1,39 @@
 // A small self-contained BDD (reduced ordered binary decision diagram)
 // manager — the third engine's substrate.  No external dependencies, in the
-// spirit of the interner in src/support/: nodes are hash-consed through a
-// unique table so structural equality is pointer (index) equality, and the
-// Shannon-expansion operators run through a lossy computed-table cache.
+// spirit of the interner in src/support/: nodes are hash-consed through
+// per-variable unique subtables so structural equality is pointer (index)
+// equality, and the Shannon-expansion operators run through a lossy 2-way
+// set-associative computed-table cache with aging.
 //
 // Design notes:
 //   * Node handles are dense 32-bit indices (`Bdd`); 0 and 1 are the
-//     terminals.  Nodes are never freed (the workloads here build one
-//     transition relation and a few fixpoints per manager), so handles need
-//     no reference counting and the computed cache never needs invalidation.
-//   * The variable order is the identity (var == level).  Dynamic
-//     reordering is not implemented, but the manager exposes the hook where
-//     sifting would attach: a callback fired when the node table crosses a
-//     growth threshold (see set_reorder_hook).
+//     terminals.  Nodes are never freed, so a handle, once returned, stays
+//     valid for the life of the manager.
+//   * The variable order is DYNAMIC: a var <-> level indirection
+//     (level_of_var / var_at_level) separates a variable's identity from
+//     its position, and Rudell-style sifting (reorder_now, or automatically
+//     through enable_dynamic_reordering once the node table crosses a
+//     growth threshold) moves variables to locally optimal levels under a
+//     max-growth bound.  Reordering works by in-place adjacent-level swaps
+//     on the unique subtables: a swapped node is REWRITTEN in place, so
+//     every outstanding handle keeps denoting the same boolean function
+//     across any reorder — clients never re-translate.  The unprimed/primed
+//     interleaving used by symbolic::TransitionSystem survives because
+//     sifting moves (2k, 2k+1) variable pairs as atomic groups
+//     (ReorderOptions::group_pairs).
+//   * Liveness is tracked by internal reference counts plus a sticky
+//     protected bit on every node returned from a public operation; the
+//     per-level live counts drive the sifting objective.  Dead nodes stay
+//     allocated (handles are dense, never reused) and are revived
+//     transparently on a unique-table hit; reordering additionally retires
+//     them from the unique tables so swap rewrites cannot compound the
+//     dead pile — across a reorder, only protected roots and their
+//     cofactors are guaranteed to remain findable.
+//   * The computed cache and the rename memo are invalidated epoch-style in
+//     one centralized helper whenever the order changes; a swap preserves
+//     every handle's function, so this is defense-in-depth (and the policy
+//     any future node reclamation would rely on), pinned by regression
+//     tests rather than left to luck.
 //   * Quantification takes a positive cube (conjunction of variables) so
 //     `exists`/`forall` and the fused relational product `and_exists` — the
 //     workhorse of pre/post image computation — share one recursion shape.
@@ -36,7 +57,8 @@ class BddManager {
  public:
   /// A manager over `num_vars` boolean variables (more may be appended with
   /// new_var).  `cache_log2` sizes the computed-table cache at 2^cache_log2
-  /// entries (direct-mapped, lossy — bounded memory however long a run).
+  /// entries (2-way set-associative with aging, lossy — bounded memory
+  /// however long a run).
   explicit BddManager(std::uint32_t num_vars = 0, std::uint32_t cache_log2 = 18);
 
   /// Appends a variable at the bottom of the order; returns its index.
@@ -44,9 +66,33 @@ class BddManager {
 
   [[nodiscard]] std::uint32_t num_vars() const noexcept { return num_vars_; }
 
+  // ---- Variable order ------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t level_of_var(std::uint32_t v) const;
+  [[nodiscard]] std::uint32_t var_at_level(std::uint32_t l) const;
+  /// The current order, top level first (a copy of level -> var).
+  [[nodiscard]] std::vector<std::uint32_t> current_order() const { return level2var_; }
+
+  /// Installs an initial order (level -> var permutation) on a pristine
+  /// manager (no nodes built yet).  For orders on a populated manager, use
+  /// swap_adjacent_levels / reorder_now instead.
+  void set_initial_order(const std::vector<std::uint32_t>& level2var);
+
+  // ---- Construction --------------------------------------------------------
+
   /// The BDD of variable `v` / its negation.
   [[nodiscard]] Bdd var(std::uint32_t v);
   [[nodiscard]] Bdd nvar(std::uint32_t v);
+
+  /// Low-level hash-consed node constructor: the unique reduced node
+  /// testing `v` with the given cofactors.  `v`'s level must lie above both
+  /// children's levels (asserted) — callers building constraint chains
+  /// bottom-up in level order (see ring_encoding.cpp) get linear-time
+  /// construction with no ITE recursion and no cache pressure.  The result
+  /// is NOT protected; protect() the final root of a chain before any
+  /// reorder may run — reordering retires unprotected, unreferenced nodes
+  /// from the unique tables (their handles become inert zombies).
+  [[nodiscard]] Bdd make_node(std::uint32_t v, Bdd low, Bdd high);
 
   // ---- Boolean operators (all reduce to ITE) -------------------------------
   [[nodiscard]] Bdd ite(Bdd f, Bdd g, Bdd h);
@@ -73,9 +119,21 @@ class BddManager {
   [[nodiscard]] Bdd and_exists(Bdd f, Bdd g, Bdd cube);
 
   /// Renames variable v to `map[v]` for every v in the support of f.  The
-  /// map must be order-preserving on the support (our primed/unprimed
-  /// interleaving is); violating maps trip the node-order assertion.
+  /// map must be order-preserving on the support under the CURRENT level
+  /// assignment (the primed/unprimed interleaving is, and group-sifted
+  /// reorders keep it so); violating maps trip the node-order assertion.
   [[nodiscard]] Bdd rename(Bdd f, const std::vector<std::uint32_t>& map);
+
+  // ---- Liveness ------------------------------------------------------------
+
+  /// Marks f (and transitively its cofactors) permanently live for the
+  /// reordering size metric.  Every public operation protects its result;
+  /// only make_node chains need explicit protection.
+  void protect(Bdd f);
+
+  /// Nodes currently live: reachable from protected roots.  The quantity
+  /// sifting minimizes.
+  [[nodiscard]] std::size_t live_nodes() const noexcept { return live_nodes_; }
 
   // ---- Inspection ----------------------------------------------------------
 
@@ -87,28 +145,96 @@ class BddManager {
   /// sets here produce; 2^53-limited in general).
   [[nodiscard]] double sat_count(Bdd f) const;
 
-  /// Nodes reachable from f (terminals excluded).
+  /// Nodes reachable from f (terminals excluded); multi-root overload
+  /// counts shared nodes once.
   [[nodiscard]] std::size_t dag_size(Bdd f) const;
+  [[nodiscard]] std::size_t dag_size(const std::vector<Bdd>& roots) const;
 
-  /// Total nodes ever created (terminals included).
+  /// Variables occurring in f, ascending by variable index.
+  [[nodiscard]] std::vector<std::uint32_t> support_vars(Bdd f) const;
+
+  /// Total nodes ever created (terminals included; dead nodes linger).
   [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
 
   struct Stats {
-    std::size_t unique_hits = 0;    ///< mk() found an existing node
-    std::size_t unique_misses = 0;  ///< mk() created a node
-    std::size_t cache_hits = 0;     ///< computed-table hit
-    std::size_t cache_misses = 0;   ///< computed-table miss
-    std::size_t reorder_hook_calls = 0;
+    std::size_t unique_hits = 0;          ///< mk() found an existing node
+    std::size_t unique_misses = 0;        ///< mk() created a node
+    std::size_t cache_hits = 0;           ///< computed-table hit
+    std::size_t cache_misses = 0;         ///< computed-table miss
+    std::size_t cache_evictions = 0;      ///< store displaced a valid entry
+    std::size_t cache_invalidations = 0;  ///< epoch bumps (one per reorder)
+    std::size_t reorder_hook_calls = 0;   ///< growth-trigger firings
+    std::size_t sift_passes = 0;          ///< reorder_now invocations that ran
+    std::size_t sift_swaps = 0;           ///< adjacent-level swaps performed
+    std::size_t sift_rewrites = 0;        ///< nodes rewritten in place by swaps
+    std::size_t peak_nodes = 0;           ///< high-water node count
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
-  /// Attachment point for dynamic variable reordering: `hook` fires whenever
-  /// the node count first crosses `threshold`, which then doubles, so a
-  /// future sifting pass has a place to run.  The crossing is detected
-  /// during node creation but the hook is invoked only when the triggering
-  /// public operation returns — never mid-recursion, so a hook that
-  /// restructures the DAG cannot corrupt an in-flight ITE.  Pass nullptr to
-  /// detach.
+  // ---- Dynamic reordering --------------------------------------------------
+
+  struct ReorderOptions {
+    /// Abort a sift direction once the table grows past max_growth times
+    /// its size at the start of the variable's sift.
+    double max_growth;
+    /// Sift (2k, 2k+1) variable pairs as atomic blocks — REQUIRED whenever
+    /// the manager carries a TransitionSystem's unprimed/primed interleaving
+    /// (rename's order-preservation depends on it).  Needs an even variable
+    /// count and pairwise-adjacent levels.
+    bool group_pairs;
+    /// Stop the pass once this many node rewrites have been spent (the
+    /// CUDD siftMaxSwap analogue): blocks are visited most-populous first,
+    /// so a budgeted pass fixes the worst offenders and returns instead of
+    /// dragging every variable across every level of a large table.
+    /// 0 = automatic (16x the live count); SIZE_MAX = unbounded.
+    std::size_t rewrite_budget;
+    // Constructor instead of member initializers: gcc rejects NSDMIs of a
+    // nested class in default arguments of the enclosing class's methods.
+    constexpr explicit ReorderOptions(double growth = 1.2, bool pairs = true,
+                                      std::size_t budget = 0)
+        : max_growth(growth), group_pairs(pairs), rewrite_budget(budget) {}
+  };
+
+  /// One full sifting pass, now: every variable (or pair block) is sifted
+  /// to its locally optimal level under the growth bound, most populous
+  /// block first.  Handles keep their functions.  Returns live_nodes().
+  std::size_t reorder_now(const ReorderOptions& options = ReorderOptions());
+
+  /// Attaches an internal growth hook that runs reorder_now whenever the
+  /// node count first crosses `threshold` (which then doubles) — the
+  /// production way to turn sifting on.
+  void enable_dynamic_reordering(std::size_t threshold = std::size_t{1} << 14,
+                                 const ReorderOptions& options = ReorderOptions());
+
+  /// Swaps the variables at `level` and `level + 1` in place (the sifting
+  /// primitive, exposed for deterministic order control and tests).  Every
+  /// handle keeps its function; caches are invalidated.
+  void swap_adjacent_levels(std::uint32_t level);
+
+  /// Completed reorder passes — an epoch clients can compare to notice that
+  /// levels moved (handles and their functions never change).
+  [[nodiscard]] std::uint64_t reorder_count() const noexcept { return reorder_count_; }
+
+  /// Blocks growth-triggered reordering until the matching resume (calls
+  /// nest).  Builders stacking make_node chains against a frozen order MUST
+  /// hold a pause: the manager may carry a growth hook installed by an
+  /// earlier client (e.g. a previous dynamic_reordering ring build on a
+  /// shared manager), and a sift firing mid-chain would shift levels under
+  /// the builder and retire its not-yet-protected nodes.  A crossing
+  /// detected while paused stays pending and fires after the last resume.
+  void pause_reordering() { ++reorder_pause_depth_; }
+  void resume_reordering() {
+    ICTL_ASSERT(reorder_pause_depth_ > 0);
+    --reorder_pause_depth_;
+  }
+
+  /// Attachment point for custom reordering policy: `hook` fires whenever
+  /// the node count first crosses `threshold`, which then doubles.  The
+  /// crossing is detected during node creation but the hook is invoked only
+  /// when the triggering public operation returns — never mid-recursion, so
+  /// a hook that reorders (e.g. calls reorder_now) cannot corrupt an
+  /// in-flight ITE.  Pass nullptr to detach.  enable_dynamic_reordering is
+  /// sugar for a hook that sifts.
   void set_reorder_hook(std::function<void(BddManager&, std::size_t)> hook,
                         std::size_t threshold = 1u << 16);
 
@@ -117,24 +243,70 @@ class BddManager {
   [[nodiscard]] Bdd node_high(Bdd f) const;
   [[nodiscard]] static bool is_terminal(Bdd f) noexcept { return f <= kBddTrue; }
 
+  /// Deep structural audit (test support): order invariant, reducedness,
+  /// unique-table membership and canonicity, reference-count and live-count
+  /// agreement.  O(n log n); returns false (after ICTL_ASSERT in debugging)
+  /// on any violation.
+  [[nodiscard]] bool check_invariants() const;
+
  private:
   struct Node {
-    std::uint32_t var;  // kTerminalLevel for the two terminals
+    std::uint32_t var;  // kTerminalVar for the two terminals
     Bdd low;
     Bdd high;
+    Bdd next;  // unique-subtable chain link
   };
 
+  struct SubTable {
+    std::vector<Bdd> buckets;  // heads of next-chains; power-of-two size
+    std::size_t count = 0;
+  };
+
+  static constexpr std::uint32_t kTerminalVar = 0xffffffffu;
   static constexpr std::uint32_t kTerminalLevel = 0xffffffffu;
 
-  [[nodiscard]] std::uint32_t level(Bdd f) const { return nodes_[f].var; }
+  [[nodiscard]] std::uint32_t level(Bdd f) const {
+    const std::uint32_t v = nodes_[f].var;
+    return v == kTerminalVar ? kTerminalLevel : var2level_[v];
+  }
 
   /// Hash-consing constructor: the unique node (var, low, high), reduced.
   Bdd mk(std::uint32_t var, Bdd low, Bdd high);
 
-  void grow_unique_table();
+  void insert_unique(std::uint32_t var, Bdd id);
+  void grow_subtable(SubTable& table);
+
   /// Invoked at the end of every public operation: runs the reorder hook if
   /// mk() flagged a threshold crossing during the recursion.
   void fire_pending_reorder_hook();
+
+  // Liveness bookkeeping (see the header comment).
+  [[nodiscard]] bool is_live(Bdd f) const {
+    return protected_[f] != 0 || ref_[f] > 0;
+  }
+  void make_live_ref(Bdd f);  ///< a live parent now references f
+  void drop_ref(Bdd f);       ///< a live parent dropped its reference
+
+  /// Centralized cache invalidation: bumps the computed-table epoch and the
+  /// rename-memo epoch in one place — the single path every order-changing
+  /// operation goes through.
+  void invalidate_operation_caches();
+
+  // Sifting internals.
+  /// Unlinks every dead node from the unique subtables (they stay allocated
+  /// — handles are dense — but can never be found or revived again).  Runs
+  /// between sift blocks once the zombie pile outgrows the live table:
+  /// swaps must rewrite dead nodes too (any handle may still be compared),
+  /// and without retirement each rewrite mints more dead children until the
+  /// pile compounds exponentially across a pass.  Safe exactly because dead
+  /// nodes are closed under linkage (no linked node references a dead one
+  /// after the sweep) and the computed caches are epoch-invalidated before
+  /// anyone can look a retired handle up again.
+  std::size_t collect_dead_nodes();
+  void swap_levels_internal(std::uint32_t lvl);
+  void exchange_blocks(std::uint32_t pos, std::uint32_t block_size);
+  void sift_block(std::uint32_t top_var, std::uint32_t block_size,
+                  std::uint32_t num_blocks, double max_growth);
 
   Bdd ite_rec(Bdd f, Bdd g, Bdd h);
   Bdd exists_rec(Bdd f, Bdd cube);
@@ -142,28 +314,49 @@ class BddManager {
   Bdd rename_rec(Bdd f, const std::vector<std::uint32_t>& map);
   double sat_count_rec(Bdd f, std::vector<double>& memo) const;
 
-  // Computed-table cache: direct-mapped, keyed (op, a, b, c).
+  // Computed-table cache: 2-way set-associative, keyed (op, a, b, c), with
+  // epoch-stamped entries (epoch mismatch == invalid) and last-use aging.
   enum class Op : std::uint32_t { kNone = 0, kIte, kExists, kAndExists };
   struct CacheEntry {
     Op op = Op::kNone;
     Bdd a = 0, b = 0, c = 0;
     Bdd result = 0;
+    std::uint32_t epoch = 0;  // valid only when == cache_epoch_
+    std::uint32_t used = 0;   // aging tick of the last hit/store
   };
-  [[nodiscard]] std::size_t cache_slot(Op op, Bdd a, Bdd b, Bdd c) const;
+  [[nodiscard]] std::size_t cache_set(Op op, Bdd a, Bdd b, Bdd c) const;
   bool cache_lookup(Op op, Bdd a, Bdd b, Bdd c, Bdd& out);
   void cache_store(Op op, Bdd a, Bdd b, Bdd c, Bdd result);
 
   std::uint32_t num_vars_;
   std::vector<Node> nodes_;
-  // Open-addressing unique table over node indices (power-of-two capacity).
-  std::vector<Bdd> unique_table_;
-  std::size_t unique_count_ = 0;
+  std::vector<std::uint32_t> ref_;       // live-parent reference counts
+  std::vector<std::uint8_t> protected_;  // sticky public-result bit
+  std::vector<std::uint8_t> retired_;    // unlinked zombie (see collect_dead_nodes)
+  std::size_t nodes_at_last_collect_ = 0;
+  std::vector<SubTable> subtables_;      // unique table, one per variable
+  std::vector<std::uint32_t> var2level_;
+  std::vector<std::uint32_t> level2var_;
+  std::vector<std::size_t> var_live_count_;  // live nodes labeled each var
+  std::size_t live_nodes_ = 0;
+
   std::vector<CacheEntry> cache_;
-  std::uint32_t cache_mask_;
+  std::uint32_t cache_set_mask_;
+  std::uint32_t cache_epoch_ = 1;
+  std::uint32_t cache_tick_ = 0;
+
   Stats stats_;
   std::function<void(BddManager&, std::size_t)> reorder_hook_;
   std::size_t reorder_threshold_ = 0;
   bool reorder_pending_ = false;
+  bool in_reorder_ = false;
+  std::uint32_t reorder_pause_depth_ = 0;
+  std::uint64_t reorder_count_ = 0;
+
+  // Scratch buffers for swap_levels_internal (no allocation per swap).
+  std::vector<Bdd> swap_movers_;
+  std::vector<Bdd> swap_keepers_;
+
   // Epoch-stamped rename memo (per-manager, grown lazily): avoids the
   // O(total nodes) zero-fill a per-call memo vector would cost on every
   // image computation.

@@ -200,14 +200,18 @@ Bdd CtlChecker::ex(Bdd f) const {
 }
 
 Bdd CtlChecker::eu(Bdd f, Bdd g) const {
-  // Least fixpoint of  Z = g | (f & EX Z)  from below.
+  // Least fixpoint of  Z = g | (f & EX Z)  from below, frontier style:
+  // only the states added in the previous round are pre-imaged, mirroring
+  // the explicit checker's worklist EU.
   BddManager& m = system_->manager();
   Bdd z = g;
-  while (true) {
-    const Bdd next = m.bdd_or(z, m.bdd_and(f, ex(z)));
-    if (next == z) return z;
+  Bdd frontier = g;
+  while (frontier != kBddFalse) {
+    const Bdd next = m.bdd_or(z, m.bdd_and(f, ex(frontier)));
+    frontier = m.bdd_diff(next, z);
     z = next;
   }
+  return z;
 }
 
 Bdd CtlChecker::eg(Bdd f) const {

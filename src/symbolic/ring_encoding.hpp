@@ -14,10 +14,13 @@
 // one-hot and d_holder clear, so (holder, phase, D-mask) matches the
 // explicit engine's canonical shape and |reachable| = r * 2^r.
 //
-// The four transition rules become four relation BDDs (rule 2 is a
-// disjunction over holder/receiver pairs with a no-delayed-between chain),
-// OR-ed into one monolithic T(x, x').  Labels: d_i = d_i; n_i = neutral or
-// holder-in-T; t_i = h_i; c_i = h_i & c; Theta t = exactly-one h.
+// The four transition rules are emitted as a PARTITIONED disjunctive
+// relation (see TransitionSystem): each rule instance is a constraint
+// chain built directly through BddManager::make_node — one pass over the
+// variable order, no ITE recursion — and the rule-2 instances are OR-ed
+// into per-holder clusters (options.holders_per_cluster wide) instead of
+// one monolithic T.  Labels: d_i = d_i; n_i = neutral or holder-in-T;
+// t_i = h_i; c_i = h_i & c; Theta t = exactly-one h.
 #pragma once
 
 #include <cstdint>
@@ -32,8 +35,26 @@ namespace ictl::symbolic {
 
 /// Cap for the symbolic construction: rule 2 has r(r-1) guard terms of
 /// O(r) literals each, so the build is cubic in r — minutes, not memory,
-/// bound it.  Well past the explicit engine's r = 24.
-constexpr std::uint32_t kMaxSymbolicRingSize = 128;
+/// bound it.  Far past the explicit engine's r = 24; the partitioned
+/// chain-based build holds the cube's constant small enough for r = 256.
+constexpr std::uint32_t kMaxSymbolicRingSize = 256;
+
+struct SymbolicRingOptions {
+  /// Rule-2 instances are clustered by holder: this many holders' rules
+  /// are OR-ed into one partition.  0 picks ceil(r / 16) — at most 16
+  /// rule-2 partitions however large the ring.  1 gives one partition per
+  /// holder (maximal chaining granularity); r collapses rule 2 into a
+  /// single partition.
+  std::uint32_t holders_per_cluster = 0;
+  /// Turn on sifting (BddManager::enable_dynamic_reordering, pair-grouped)
+  /// before the relation is built.  The interleaved default order is
+  /// already near-optimal for the ring, so this mainly serves the
+  /// order-robustness tests; scrambled initial orders recover.
+  bool dynamic_reordering = false;
+  /// Node-count threshold for the first automatic sift (when
+  /// dynamic_reordering is set).
+  std::size_t reorder_threshold = std::size_t{1} << 14;
+};
 
 struct SymbolicRing {
   std::shared_ptr<TransitionSystem> system;
@@ -60,6 +81,7 @@ struct SymbolicRing {
 /// PropIds across the explicit and symbolic engines.
 [[nodiscard]] SymbolicRing build_symbolic_ring(
     std::uint32_t r, std::shared_ptr<BddManager> mgr = nullptr,
-    kripke::PropRegistryPtr registry = nullptr);
+    kripke::PropRegistryPtr registry = nullptr,
+    const SymbolicRingOptions& options = {});
 
 }  // namespace ictl::symbolic

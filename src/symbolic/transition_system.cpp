@@ -9,13 +9,15 @@ namespace ictl::symbolic {
 
 TransitionSystem::TransitionSystem(std::shared_ptr<BddManager> mgr,
                                    std::uint32_t num_state_vars, Bdd initial,
-                                   Bdd transitions, kripke::PropRegistryPtr registry,
+                                   std::vector<Bdd> partition, PartitionKind kind,
+                                   kripke::PropRegistryPtr registry,
                                    std::vector<std::pair<kripke::PropId, Bdd>> props,
                                    std::vector<std::uint32_t> index_set)
     : mgr_(std::move(mgr)),
       num_state_vars_(num_state_vars),
       initial_(initial),
-      transitions_(transitions),
+      parts_(std::move(partition)),
+      kind_(kind),
       registry_(std::move(registry)),
       props_(std::move(props)),
       index_set_(std::move(index_set)) {
@@ -25,6 +27,8 @@ TransitionSystem::TransitionSystem(std::shared_ptr<BddManager> mgr,
   support::require<ModelError>(mgr_->num_vars() >= 2 * num_state_vars_,
                                "TransitionSystem: manager owns fewer than "
                                "2 * num_state_vars BDD variables");
+  support::require<ModelError>(!parts_.empty(),
+                               "TransitionSystem: empty transition partition");
   std::sort(props_.begin(), props_.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
@@ -43,26 +47,153 @@ TransitionSystem::TransitionSystem(std::shared_ptr<BddManager> mgr,
     to_primed_[unprimed(v)] = primed(v);
     to_unprimed_[primed(v)] = unprimed(v);
   }
+
+  // Everything the system retains participates in the reordering metric.
+  mgr_->protect(initial_);
+  for (const Bdd part : parts_) mgr_->protect(part);
+  for (const auto& [prop, fn] : props_) mgr_->protect(fn);
+
+  if (kind_ == PartitionKind::kConjunctive) build_quantification_schedule();
+}
+
+TransitionSystem::TransitionSystem(std::shared_ptr<BddManager> mgr,
+                                   std::uint32_t num_state_vars, Bdd initial,
+                                   Bdd transitions, kripke::PropRegistryPtr registry,
+                                   std::vector<std::pair<kripke::PropId, Bdd>> props,
+                                   std::vector<std::uint32_t> index_set)
+    : TransitionSystem(std::move(mgr), num_state_vars, initial,
+                       std::vector<Bdd>{transitions}, PartitionKind::kDisjunctive,
+                       std::move(registry), std::move(props), std::move(index_set)) {}
+
+void TransitionSystem::build_quantification_schedule() {
+  // For each state variable, the LAST part (in partition order) whose
+  // support mentions it: a conjunctive relational product may quantify the
+  // variable out right after conjoining that part — no later conjunct can
+  // resurrect it.  Computed once; the cubes are reused by every image.
+  const std::size_t num_parts = parts_.size();
+  constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> last_primed(num_state_vars_, kNever);
+  std::vector<std::size_t> last_unprimed(num_state_vars_, kNever);
+  for (std::size_t k = 0; k < num_parts; ++k) {
+    for (const std::uint32_t bdd_var : mgr_->support_vars(parts_[k])) {
+      const std::uint32_t state_var = bdd_var / 2;
+      if (state_var >= num_state_vars_) continue;
+      if (bdd_var % 2 == 0)
+        last_unprimed[state_var] = k;
+      else
+        last_primed[state_var] = k;
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> pre_sched(num_parts), post_sched(num_parts);
+  std::vector<std::uint32_t> pre_leading, post_leading;
+  for (std::uint32_t v = 0; v < num_state_vars_; ++v) {
+    if (last_primed[v] == kNever)
+      pre_leading.push_back(primed(v));
+    else
+      pre_sched[last_primed[v]].push_back(primed(v));
+    if (last_unprimed[v] == kNever)
+      post_leading.push_back(unprimed(v));
+    else
+      post_sched[last_unprimed[v]].push_back(unprimed(v));
+  }
+  pre_schedule_cubes_.reserve(num_parts);
+  post_schedule_cubes_.reserve(num_parts);
+  for (std::size_t k = 0; k < num_parts; ++k) {
+    pre_schedule_cubes_.push_back(mgr_->cube(pre_sched[k]));
+    post_schedule_cubes_.push_back(mgr_->cube(post_sched[k]));
+  }
+  pre_leading_cube_ = mgr_->cube(pre_leading);
+  post_leading_cube_ = mgr_->cube(post_leading);
+}
+
+Bdd TransitionSystem::transitions() const {
+  if (monolithic_.has_value()) return *monolithic_;
+  // Balanced combine — only materialized when somebody actually asks for
+  // the monolithic relation (inspection, tests); images never do.
+  std::vector<Bdd> terms = parts_;
+  while (terms.size() > 1) {
+    std::vector<Bdd> next;
+    next.reserve(terms.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2)
+      next.push_back(kind_ == PartitionKind::kDisjunctive
+                         ? mgr_->bdd_or(terms[i], terms[i + 1])
+                         : mgr_->bdd_and(terms[i], terms[i + 1]));
+    if (terms.size() % 2 != 0) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  monolithic_ = terms.front();
+  return *monolithic_;
+}
+
+std::size_t TransitionSystem::relation_node_count() const {
+  return mgr_->dag_size(parts_);
 }
 
 Bdd TransitionSystem::pre_image(Bdd states) const {
   const Bdd primed_states = mgr_->rename(states, to_primed_);
-  return mgr_->and_exists(transitions_, primed_states, primed_cube_);
+  if (kind_ == PartitionKind::kDisjunctive) {
+    // One relational product against the combined relation.  Disjunctive
+    // images distribute over the parts, but for this family the combined
+    // BDD is small (the parts exist to make BUILDING it cheap and to
+    // chain reachability), and EX-heavy CTL fixpoints measured ~5x faster
+    // on one and_exists than on a per-part product-and-OR loop — so the
+    // single-step images use the lazy combine.
+    return mgr_->and_exists(transitions(), primed_states, primed_cube_);
+  }
+  // Conjunctive: fold the parts through the relational product, retiring
+  // each primed variable at its scheduled part.
+  Bdd acc = mgr_->exists(primed_states, pre_leading_cube_);
+  for (std::size_t k = 0; k < parts_.size(); ++k)
+    acc = mgr_->and_exists(acc, parts_[k], pre_schedule_cubes_[k]);
+  return acc;
 }
 
 Bdd TransitionSystem::post_image(Bdd states) const {
-  const Bdd next = mgr_->and_exists(transitions_, states, unprimed_cube_);
-  return mgr_->rename(next, to_unprimed_);
+  if (kind_ == PartitionKind::kDisjunctive) {
+    const Bdd next = mgr_->and_exists(transitions(), states, unprimed_cube_);
+    return mgr_->rename(next, to_unprimed_);
+  }
+  Bdd acc = mgr_->exists(states, post_leading_cube_);
+  for (std::size_t k = 0; k < parts_.size(); ++k)
+    acc = mgr_->and_exists(acc, parts_[k], post_schedule_cubes_[k]);
+  return mgr_->rename(acc, to_unprimed_);
 }
 
 Bdd TransitionSystem::reachable() const {
   if (reachable_.has_value()) return *reachable_;
   Bdd reach = initial_;
-  while (true) {
-    const Bdd next = mgr_->bdd_or(reach, post_image(reach));
-    if (next == reach) break;
-    reach = next;
+  if (kind_ == PartitionKind::kDisjunctive && parts_.size() > 1) {
+    // Chained saturation sweeps: each part is applied to ITS OWN fixpoint
+    // before the next part fires (Ravi–Somenzi chaining pushed to
+    // saturation).  Rule-wise saturation keeps the intermediate sets far
+    // more symmetric — and so far smaller as BDDs — than synchronous
+    // breadth-first rounds: the ring's rule-1 closure, for instance, fills
+    // in every delayed-mask combination as one compact product before any
+    // token movement is explored.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Bdd part : parts_) {
+        while (true) {
+          const Bdd img = mgr_->rename(
+              mgr_->and_exists(part, reach, unprimed_cube_), to_unprimed_);
+          const Bdd next = mgr_->bdd_or(reach, img);
+          if (next == reach) break;
+          reach = next;
+          changed = true;
+        }
+      }
+    }
+  } else {
+    // Frontier iteration: only the newly discovered states are imaged.
+    Bdd frontier = initial_;
+    while (frontier != kBddFalse) {
+      const Bdd next = mgr_->bdd_or(reach, post_image(frontier));
+      frontier = mgr_->bdd_diff(next, reach);
+      reach = next;
+    }
   }
+  mgr_->protect(reach);
   reachable_ = reach;
   return reach;
 }
@@ -89,15 +220,22 @@ std::optional<Bdd> TransitionSystem::prop_states(kripke::PropId p) const {
 
 Bdd state_minterm(BddManager& mgr, std::uint32_t num_state_vars, kripke::StateId s,
                   bool primed) {
-  // Build bottom-up (highest variable first) so every mk() call is already
-  // in order: one fresh node per bit.
+  // Build bottom-up through the hash-consed node constructor, deepest
+  // CURRENT level first, so every make_node call is already in order: one
+  // node per bit, no ITE recursion, any variable order.
+  std::vector<std::uint32_t> vars(num_state_vars);
+  for (std::uint32_t v = 0; v < num_state_vars; ++v)
+    vars[v] = primed ? TransitionSystem::primed(v) : TransitionSystem::unprimed(v);
+  std::sort(vars.begin(), vars.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return mgr.level_of_var(a) > mgr.level_of_var(b);
+  });
   Bdd acc = kBddTrue;
-  for (std::uint32_t v = num_state_vars; v-- > 0;) {
-    const std::uint32_t bdd_var = primed ? TransitionSystem::primed(v)
-                                         : TransitionSystem::unprimed(v);
-    const bool bit = ((s >> v) & 1u) != 0;
-    acc = mgr.ite(mgr.var(bdd_var), bit ? acc : kBddFalse, bit ? kBddFalse : acc);
+  for (const std::uint32_t bdd_var : vars) {
+    const bool bit = ((s >> (bdd_var / 2)) & 1u) != 0;
+    acc = bit ? mgr.make_node(bdd_var, kBddFalse, acc)
+              : mgr.make_node(bdd_var, acc, kBddFalse);
   }
+  mgr.protect(acc);
   return acc;
 }
 

@@ -10,6 +10,31 @@
 
 namespace ictl::testing {
 
+/// A deterministic level2var order that keeps each (2k, 2k+1) BDD-variable
+/// pair adjacent (unprimed on top) but scrambles the pair blocks — the
+/// legal order family for a manager carrying a symbolic::TransitionSystem's
+/// unprimed/primed interleaving (rename's order-preservation and group
+/// sifting both rely on it).
+inline std::vector<std::uint32_t> scrambled_pair_order(std::uint32_t num_vars,
+                                                       std::uint64_t seed) {
+  std::vector<std::uint32_t> blocks(num_vars / 2);
+  for (std::uint32_t b = 0; b < blocks.size(); ++b) blocks[b] = b;
+  std::uint64_t x = seed * 2654435761u + 88172645463325252ULL;  // xorshift64
+  for (std::size_t i = blocks.size(); i > 1; --i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    std::swap(blocks[i - 1], blocks[x % i]);
+  }
+  std::vector<std::uint32_t> level2var;
+  level2var.reserve(num_vars);
+  for (const std::uint32_t b : blocks) {
+    level2var.push_back(2 * b);
+    level2var.push_back(2 * b + 1);
+  }
+  return level2var;
+}
+
 /// A two-state loop a -> b -> a with labels {a} and {b}.
 inline kripke::Structure two_state_loop(kripke::PropRegistryPtr reg) {
   kripke::StructureBuilder b(reg);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "../helpers.hpp"
 #include "symbolic/ctl_checker.hpp"
@@ -168,6 +169,50 @@ TEST(SymbolicRing, SharedManagerAcrossSizes) {
   const Bdd reach3 = small.system->reachable();
   const Bdd pre = small.system->pre_image(reach3);
   EXPECT_EQ(small.system->manager().bdd_diff(reach3, pre), kBddFalse);
+}
+
+TEST(SymbolicRing, PartitionedRelationIsEmitted) {
+  // The encoding hands TransitionSystem a rule-wise partition directly:
+  // rule-1, rule-3 and rule-4 partitions plus ceil(r/16)-by-default rule-2
+  // holder clusters — never one monolithic T.
+  const SymbolicRing ring = build_symbolic_ring(20);
+  EXPECT_EQ(ring.system->partition_kind(), PartitionKind::kDisjunctive);
+  const std::uint32_t width = (20u + 15u) / 16u;  // default: ceil(r / 16)
+  EXPECT_EQ(ring.system->partition().size(), 3u + (20u + width - 1u) / width);
+  SymbolicRingOptions one_per_holder;
+  one_per_holder.holders_per_cluster = 1;
+  const SymbolicRing fine = build_symbolic_ring(6, nullptr, nullptr, one_per_holder);
+  EXPECT_EQ(fine.system->partition().size(), 3u + 6u);
+}
+
+TEST(SymbolicRing, ClusterWidthDoesNotChangeSemantics) {
+  const std::uint32_t r = 8;
+  std::vector<std::uint32_t> widths = {1, 3, 8};
+  for (const std::uint32_t w : widths) {
+    auto reg = kripke::make_registry();
+    SymbolicRingOptions options;
+    options.holders_per_cluster = w;
+    const SymbolicRing ring = build_symbolic_ring(r, nullptr, reg, options);
+    EXPECT_DOUBLE_EQ(ring.system->num_reachable(),
+                     static_cast<double>(ring::ring_state_count(r)))
+        << "width " << w;
+    CtlChecker checker(ring.system);
+    EXPECT_TRUE(checker.holds_initially(ring::property_critical_implies_token()))
+        << "width " << w;
+    EXPECT_TRUE(checker.holds_initially(ring::invariant_one_token()))
+        << "width " << w;
+  }
+}
+
+TEST(SymbolicRing, ReachableCountExactAtCapOf256) {
+  // The acceptance pin for the raised cap: M_256 builds, and its reachable
+  // count is exactly r * 2^r = 2^264 — representable exactly as a double
+  // (a power of two), so EXPECT_DOUBLE_EQ is an equality of integers here.
+  const SymbolicRing ring = build_symbolic_ring(kMaxSymbolicRingSize);
+  EXPECT_EQ(ring.r, 256u);
+  EXPECT_DOUBLE_EQ(ring.system->num_reachable(), std::ldexp(1.0, 264));
+  EXPECT_DOUBLE_EQ(ring.system->num_reachable(),
+                   256.0 * std::ldexp(1.0, 256));
 }
 
 TEST(SymbolicRing, RejectsDegenerateSizes) {
