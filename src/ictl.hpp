@@ -46,6 +46,7 @@
 #include "ring/ring_correspondence.hpp"
 #include "ring/symbolic_prover.hpp"
 #include "symbolic/bdd.hpp"
+#include "symbolic/bdd_store.hpp"
 #include "symbolic/ctl_checker.hpp"
 #include "symbolic/ring_encoding.hpp"
 #include "symbolic/transition_system.hpp"

@@ -1,6 +1,7 @@
 #include "symbolic/bdd.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <map>
 #include <numeric>
@@ -24,7 +25,114 @@ std::uint64_t pair_hash(Bdd low, Bdd high) {
   return mix((static_cast<std::uint64_t>(low) << 32) ^ high);
 }
 
+constexpr const char* kSatCountOverflow =
+    "SatCount: sum overflows the 128-bit mantissa";
+
+/// Shifts the two-limb mantissa left by d bits; throws when set bits would
+/// fall off the top.  (Two u64 limbs instead of __int128: -Wpedantic.)
+void shift_left_128(std::uint64_t& hi, std::uint64_t& lo, std::int64_t d) {
+  if ((hi == 0 && lo == 0) || d == 0) return;
+  support::require<Error>(d < 128, kSatCountOverflow);
+  if (d >= 64) {
+    support::require<Error>(
+        hi == 0 && (d == 64 || (lo >> (128 - d)) == 0), kSatCountOverflow);
+    hi = d == 64 ? lo : lo << (d - 64);
+    lo = 0;
+  } else {
+    support::require<Error>((hi >> (64 - d)) == 0, kSatCountOverflow);
+    hi = (hi << d) | (lo >> (64 - d));
+    lo <<= d;
+  }
+}
+
+/// Restores the normal form: mantissa odd (trailing zeros folded into the
+/// exponent), zero represented as {0, 0, 0}.
+void normalize(SatCount& c) {
+  if (c.hi == 0 && c.lo == 0) {
+    c.exponent = 0;
+    return;
+  }
+  int tz = c.lo == 0 ? 64 + std::countr_zero(c.hi) : std::countr_zero(c.lo);
+  c.exponent += tz;
+  if (tz >= 64) {
+    c.lo = c.hi;
+    c.hi = 0;
+    tz -= 64;
+  }
+  if (tz > 0) {
+    c.lo = (c.lo >> tz) | (c.hi << (64 - tz));
+    c.hi >>= tz;
+  }
+}
+
 }  // namespace
+
+// ---- SatCount ---------------------------------------------------------------
+
+SatCount SatCount::make(std::uint64_t value, std::int32_t exp) {
+  SatCount c{0, value, exp};
+  normalize(c);
+  return c;
+}
+
+double SatCount::to_double() const {
+  return std::ldexp(static_cast<double>(hi), exponent + 64) +
+         std::ldexp(static_cast<double>(lo), exponent);
+}
+
+std::string SatCount::to_decimal_string() const {
+  support::require<Error>(exponent >= 0,
+                          "SatCount::to_decimal_string: negative exponent "
+                          "(the count is not an integer)");
+  std::vector<std::uint8_t> digits{0};  // little-endian base 10
+  const auto double_and_add = [&](unsigned bit) {
+    unsigned carry = bit;
+    for (std::uint8_t& d : digits) {
+      const unsigned v = 2u * d + carry;
+      d = static_cast<std::uint8_t>(v % 10);
+      carry = v / 10;
+    }
+    while (carry != 0) {
+      digits.push_back(static_cast<std::uint8_t>(carry % 10));
+      carry /= 10;
+    }
+  };
+  for (int i = 127; i >= 0; --i)
+    double_and_add(i >= 64 ? (hi >> (i - 64)) & 1u
+                           : static_cast<unsigned>((lo >> i) & 1u));
+  for (std::int32_t i = 0; i < exponent; ++i) double_and_add(0);
+  std::string out;
+  out.reserve(digits.size());
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it)
+    out.push_back(static_cast<char>('0' + *it));
+  const auto first = out.find_first_not_of('0');
+  return first == std::string::npos ? "0" : out.substr(first);
+}
+
+SatCount& SatCount::operator+=(const SatCount& other) {
+  if (other.is_zero()) return *this;
+  if (is_zero()) {
+    *this = other;
+    return *this;
+  }
+  SatCount a = *this;
+  SatCount b = other;
+  if (a.exponent > b.exponent) std::swap(a, b);
+  shift_left_128(b.hi, b.lo,
+                 static_cast<std::int64_t>(b.exponent) - a.exponent);
+  const std::uint64_t lo = a.lo + b.lo;
+  const std::uint64_t carry = lo < a.lo ? 1u : 0u;
+  std::uint64_t hi = a.hi + b.hi;
+  bool overflow = hi < a.hi;
+  hi += carry;
+  overflow = overflow || (carry != 0 && hi == 0);
+  support::require<Error>(!overflow, kSatCountOverflow);
+  *this = SatCount{hi, lo, a.exponent};
+  normalize(*this);
+  return *this;
+}
+
+// ---- BddManager -------------------------------------------------------------
 
 BddManager::BddManager(std::uint32_t num_vars, std::uint32_t cache_log2)
     : num_vars_(num_vars) {
@@ -33,8 +141,9 @@ BddManager::BddManager(std::uint32_t num_vars, std::uint32_t cache_log2)
   nodes_.push_back({kTerminalVar, kBddFalse, kBddFalse, kNoNode});  // 0 = false
   nodes_.push_back({kTerminalVar, kBddTrue, kBddTrue, kNoNode});    // 1 = true
   ref_.assign(2, 0);
-  protected_.assign(2, 0);
+  ext_ref_.assign(2, 0);
   retired_.assign(2, 0);
+  queued_dead_.assign(2, 0);
   stats_.peak_nodes = nodes_.size();
   subtables_.resize(num_vars_);
   for (SubTable& t : subtables_) t.buckets.assign(16, kNoNode);
@@ -87,7 +196,15 @@ void BddManager::set_initial_order(const std::vector<std::uint32_t>& level2var) 
 
 void BddManager::make_live_ref(Bdd f) {
   if (is_terminal(f)) return;
-  const bool was_dead = ref_[f] == 0 && protected_[f] == 0;
+  if (queued_dead_[f] != 0) {
+    // A released root whose teardown is still queued: its counts (and its
+    // cone's) were never torn down, so reviving is just clearing the flag.
+    queued_dead_[f] = 0;
+    --queued_dead_count_;
+    ++ref_[f];
+    return;
+  }
+  const bool was_dead = ref_[f] == 0 && ext_ref_[f] == 0;
   ++ref_[f];
   if (was_dead) {
     ++var_live_count_[nodes_[f].var];
@@ -101,7 +218,7 @@ void BddManager::drop_ref(Bdd f) {
   if (is_terminal(f)) return;
   ICTL_ASSERT(ref_[f] > 0);
   --ref_[f];
-  if (ref_[f] == 0 && protected_[f] == 0) {
+  if (ref_[f] == 0 && ext_ref_[f] == 0) {
     --var_live_count_[nodes_[f].var];
     --live_nodes_;
     drop_ref(nodes_[f].low);
@@ -112,10 +229,21 @@ void BddManager::drop_ref(Bdd f) {
 void BddManager::protect(Bdd f) {
   if (is_terminal(f)) return;
   ICTL_ASSERT(f < nodes_.size());
-  ICTL_ASSERT(retired_[f] == 0);  // protect roots BEFORE any reorder runs
-  if (protected_[f] != 0) return;
-  const bool was_dead = ref_[f] == 0;
-  protected_[f] = 1;
+  // Hard error in every build type: reviving a retired slot would re-root a
+  // node the unique tables no longer know, breaking canonicity the next
+  // time the same triple is built.
+  support::require<Error>(retired_[f] == 0,
+                          "BddManager::protect: handle was retired by garbage "
+                          "collection or reordering; root results in a BddRef "
+                          "before they can be collected");
+  if (queued_dead_[f] != 0) {  // re-rooted before its teardown ran: O(1)
+    queued_dead_[f] = 0;
+    --queued_dead_count_;
+    ++ext_ref_[f];
+    return;
+  }
+  const bool was_dead = ext_ref_[f] == 0 && ref_[f] == 0;
+  ++ext_ref_[f];
   if (was_dead) {
     ++var_live_count_[nodes_[f].var];
     ++live_nodes_;
@@ -124,21 +252,48 @@ void BddManager::protect(Bdd f) {
   }
 }
 
+void BddManager::release(Bdd f) noexcept {
+  if (is_terminal(f)) return;
+  ICTL_ASSERT(f < nodes_.size());
+  ICTL_ASSERT(ext_ref_[f] > 0);
+  --ext_ref_[f];
+  if (ext_ref_[f] == 0 && ref_[f] == 0) {
+    // Defer the O(cone) teardown: fixpoint loops re-root a near-identical
+    // cone on the very next operation, which then costs an O(1) flag clear
+    // instead of a kill-walk followed by a revive-walk.
+    queued_dead_[f] = 1;
+    ++queued_dead_count_;
+    dead_queue_.push_back(f);
+    // Bound the queue so churn-heavy loops that never sweep can't grow it
+    // past the node table itself.
+    if (dead_queue_.size() > nodes_.size() / 4 + 1024) flush_dead_queue();
+  }
+}
+
+std::uint32_t BddManager::external_refs(Bdd f) const {
+  if (is_terminal(f)) return 0;
+  ICTL_ASSERT(f < nodes_.size());
+  return ext_ref_[f];
+}
+
+bool BddManager::is_retired(Bdd f) const {
+  ICTL_ASSERT(f < nodes_.size());
+  return retired_[f] != 0;
+}
+
 // ---- Node construction ------------------------------------------------------
 
-Bdd BddManager::var(std::uint32_t v) {
+BddRef BddManager::var(std::uint32_t v) {
   ICTL_ASSERT(v < num_vars_);
-  const Bdd result = mk(v, kBddFalse, kBddTrue);
-  protect(result);
-  fire_pending_reorder_hook();
+  BddRef result(*this, mk(v, kBddFalse, kBddTrue));
+  run_deferred_maintenance();
   return result;
 }
 
-Bdd BddManager::nvar(std::uint32_t v) {
+BddRef BddManager::nvar(std::uint32_t v) {
   ICTL_ASSERT(v < num_vars_);
-  const Bdd result = mk(v, kBddTrue, kBddFalse);
-  protect(result);
-  fire_pending_reorder_hook();
+  BddRef result(*this, mk(v, kBddTrue, kBddFalse));
+  run_deferred_maintenance();
   return result;
 }
 
@@ -164,17 +319,25 @@ Bdd BddManager::mk(std::uint32_t v, Bdd low, Bdd high) {
   ++stats_.unique_misses;
   const Bdd id = static_cast<Bdd>(nodes_.size());
   nodes_.push_back({v, low, high, t.buckets[slot]});
-  ref_.push_back(0);       // born dead; protect()/make_live_ref revive it
-  protected_.push_back(0);
+  ref_.push_back(0);  // born dead; protect()/make_live_ref revive it
+  ext_ref_.push_back(0);
   retired_.push_back(0);
+  queued_dead_.push_back(0);
   t.buckets[slot] = id;
   if (++t.count > t.buckets.size()) grow_subtable(t);
   if (nodes_.size() > stats_.peak_nodes) stats_.peak_nodes = nodes_.size();
-  // Only flag the threshold crossing here — mk() runs deep inside the
-  // operator recursions, where reordering would corrupt in-flight
-  // cofactors.  The public entry points fire it.
+  // Only FLAG maintenance here — mk() runs deep inside the operator
+  // recursions, where reordering or a sweep would corrupt in-flight
+  // cofactors.  The public entry points run it after rooting their result.
   if (reorder_hook_ != nullptr && !in_reorder_ && nodes_.size() >= reorder_threshold_)
     reorder_pending_ = true;
+  // live_nodes_ still counts queued (released-but-unflushed) roots, which
+  // would let churn garbage inflate its own trigger threshold; subtract the
+  // exact zombie count so the comparison sees the true live set.
+  if (gc_enabled_ && !in_reorder_ &&
+      nodes_.size() - nodes_at_last_collect_ >
+          live_nodes_ - queued_dead_count_ + gc_slack_)
+    gc_pending_ = true;
   return id;
 }
 
@@ -189,11 +352,15 @@ void BddManager::insert_unique(std::uint32_t v, Bdd id) {
 }
 
 void BddManager::grow_subtable(SubTable& t) {
+  rehash_subtable(t, t.buckets.size() * 2);
+}
+
+void BddManager::rehash_subtable(SubTable& t, std::size_t new_buckets) {
   std::vector<Bdd> ids;
   ids.reserve(t.count);
   for (const Bdd head : t.buckets)
     for (Bdd id = head; id != kNoNode; id = nodes_[id].next) ids.push_back(id);
-  t.buckets.assign(t.buckets.size() * 2, kNoNode);
+  t.buckets.assign(new_buckets, kNoNode);
   for (const Bdd id : ids) {
     const Node& n = nodes_[id];
     const std::size_t slot =
@@ -203,9 +370,18 @@ void BddManager::grow_subtable(SubTable& t) {
   }
 }
 
+void BddManager::run_deferred_maintenance() {
+  fire_pending_reorder_hook();
+  if (gc_pending_ && !in_reorder_ && protect_scope_depth_ == 0 &&
+      reorder_pause_depth_ == 0) {
+    gc_pending_ = false;
+    garbage_collect();
+  }
+}
+
 void BddManager::fire_pending_reorder_hook() {
   if (!reorder_pending_ || reorder_hook_ == nullptr || in_reorder_ ||
-      reorder_pause_depth_ > 0)
+      reorder_pause_depth_ > 0 || protect_scope_depth_ > 0)
     return;
   reorder_pending_ = false;
   ++stats_.reorder_hook_calls;
@@ -241,6 +417,36 @@ void BddManager::enable_dynamic_reordering(std::size_t threshold,
   set_reorder_hook(
       [options](BddManager& mgr, std::size_t) { mgr.reorder_now(options); },
       threshold);
+}
+
+// ---- Garbage collection -----------------------------------------------------
+
+void BddManager::enable_auto_gc(std::size_t slack) {
+  gc_enabled_ = true;
+  gc_slack_ = slack;
+}
+
+std::size_t BddManager::garbage_collect() {
+  if (in_reorder_ || protect_scope_depth_ > 0 || reorder_pause_depth_ > 0) {
+    gc_pending_ = true;  // deferred: runs when the scope/pause closes
+    return 0;
+  }
+  const std::size_t retired = collect_dead_nodes();
+  ++stats_.gc_runs;
+  stats_.gc_retired += retired;
+  if (retired == 0) return 0;
+  // Compact subtables the sweep emptied out: a bucket array sized for the
+  // peak keeps costing cache misses on every mk() probe.
+  for (SubTable& t : subtables_)
+    if (t.buckets.size() > 16 && t.count * 4 < t.buckets.size()) {
+      std::size_t target = 16;
+      while (target < 2 * t.count) target *= 2;
+      rehash_subtable(t, target);
+    }
+  // Cache entries may hold retired operands or results; a post-sweep hit on
+  // one would hand out a zombie.  Epoch-invalidate — the one choke point.
+  invalidate_operation_caches();
+  return retired;
 }
 
 // ---- Computed table ---------------------------------------------------------
@@ -285,10 +491,9 @@ void BddManager::cache_store(Op op, Bdd a, Bdd b, Bdd c, Bdd result) {
 void BddManager::invalidate_operation_caches() {
   // The one choke point for cache invalidation: everything keyed on node
   // identity across calls — the computed table and the rename memo — is
-  // epoch-invalidated here, and every order-changing path calls this.
-  // (An in-place swap preserves each handle's function, so entries would
-  // still be semantically right today; the epoch bump is the contract any
-  // future node reclamation depends on, and tests pin it.)
+  // epoch-invalidated here, and every order-changing or node-retiring path
+  // calls this.  With scoped lifetimes this is load-bearing, not
+  // defense-in-depth: a retired handle must never come back out of a cache.
   ++cache_epoch_;
   ++rename_epoch_;
   ++stats_.cache_invalidations;
@@ -296,11 +501,12 @@ void BddManager::invalidate_operation_caches() {
 
 // ---- ITE and the boolean operators -----------------------------------------
 
-Bdd BddManager::ite(Bdd f, Bdd g, Bdd h) {
+BddRef BddManager::ite(Bdd f, Bdd g, Bdd h) {
   ICTL_ASSERT(f < nodes_.size() && g < nodes_.size() && h < nodes_.size());
-  const Bdd result = ite_rec(f, g, h);
-  protect(result);
-  fire_pending_reorder_hook();
+  // Root the result BEFORE any deferred reorder/sweep runs: un-rooted, it
+  // would be exactly the kind of garbage those passes retire.
+  BddRef result(*this, ite_rec(f, g, h));
+  run_deferred_maintenance();
   return result;
 }
 
@@ -324,17 +530,17 @@ Bdd BddManager::ite_rec(Bdd f, Bdd g, Bdd h) {
   return result;
 }
 
-Bdd BddManager::bdd_not(Bdd f) { return ite(f, kBddFalse, kBddTrue); }
-Bdd BddManager::bdd_and(Bdd f, Bdd g) { return ite(f, g, kBddFalse); }
-Bdd BddManager::bdd_or(Bdd f, Bdd g) { return ite(f, kBddTrue, g); }
-Bdd BddManager::bdd_xor(Bdd f, Bdd g) { return ite(f, bdd_not(g), g); }
-Bdd BddManager::bdd_implies(Bdd f, Bdd g) { return ite(f, g, kBddTrue); }
-Bdd BddManager::bdd_iff(Bdd f, Bdd g) { return ite(f, g, bdd_not(g)); }
-Bdd BddManager::bdd_diff(Bdd f, Bdd g) { return ite(g, kBddFalse, f); }
+BddRef BddManager::bdd_not(Bdd f) { return ite(f, kBddFalse, kBddTrue); }
+BddRef BddManager::bdd_and(Bdd f, Bdd g) { return ite(f, g, kBddFalse); }
+BddRef BddManager::bdd_or(Bdd f, Bdd g) { return ite(f, kBddTrue, g); }
+BddRef BddManager::bdd_xor(Bdd f, Bdd g) { return ite(f, bdd_not(g), g); }
+BddRef BddManager::bdd_implies(Bdd f, Bdd g) { return ite(f, g, kBddTrue); }
+BddRef BddManager::bdd_iff(Bdd f, Bdd g) { return ite(f, g, bdd_not(g)); }
+BddRef BddManager::bdd_diff(Bdd f, Bdd g) { return ite(g, kBddFalse, f); }
 
 // ---- Quantification ---------------------------------------------------------
 
-Bdd BddManager::cube(const std::vector<std::uint32_t>& vars) {
+BddRef BddManager::cube(const std::vector<std::uint32_t>& vars) {
   std::vector<std::uint32_t> sorted = vars;
   // Bottom-up by the CURRENT order: deepest level first.
   std::sort(sorted.begin(), sorted.end(), [&](std::uint32_t a, std::uint32_t b) {
@@ -342,20 +548,19 @@ Bdd BddManager::cube(const std::vector<std::uint32_t>& vars) {
   });
   Bdd acc = kBddTrue;
   for (const std::uint32_t v : sorted) acc = mk(v, kBddFalse, acc);
-  protect(acc);
-  fire_pending_reorder_hook();
-  return acc;
-}
-
-Bdd BddManager::exists(Bdd f, Bdd cube) {
-  ICTL_ASSERT(f < nodes_.size() && cube < nodes_.size());
-  const Bdd result = exists_rec(f, cube);
-  protect(result);
-  fire_pending_reorder_hook();
+  BddRef result(*this, acc);
+  run_deferred_maintenance();
   return result;
 }
 
-Bdd BddManager::forall(Bdd f, Bdd cube) {
+BddRef BddManager::exists(Bdd f, Bdd cube) {
+  ICTL_ASSERT(f < nodes_.size() && cube < nodes_.size());
+  BddRef result(*this, exists_rec(f, cube));
+  run_deferred_maintenance();
+  return result;
+}
+
+BddRef BddManager::forall(Bdd f, Bdd cube) {
   return bdd_not(exists(bdd_not(f), cube));
 }
 
@@ -373,7 +578,7 @@ Bdd BddManager::exists_rec(Bdd f, Bdd cube) {
   if (level(cube) == var2level_[n.var]) {
     const Bdd rest = nodes_[cube].high;
     const Bdd lo = exists_rec(n.low, rest);
-    // ite_rec, not the public bdd_or: the reorder hook must not fire while
+    // ite_rec, not the public bdd_or: no deferred maintenance may run while
     // this frame holds node handles.
     result = lo == kBddTrue ? kBddTrue
                             : ite_rec(lo, kBddTrue, exists_rec(n.high, rest));
@@ -384,11 +589,10 @@ Bdd BddManager::exists_rec(Bdd f, Bdd cube) {
   return result;
 }
 
-Bdd BddManager::and_exists(Bdd f, Bdd g, Bdd cube) {
+BddRef BddManager::and_exists(Bdd f, Bdd g, Bdd cube) {
   ICTL_ASSERT(f < nodes_.size() && g < nodes_.size() && cube < nodes_.size());
-  const Bdd result = and_exists_rec(f, g, cube);
-  protect(result);
-  fire_pending_reorder_hook();
+  BddRef result(*this, and_exists_rec(f, g, cube));
+  run_deferred_maintenance();
   return result;
 }
 
@@ -411,7 +615,7 @@ Bdd BddManager::and_exists_rec(Bdd f, Bdd g, Bdd cube) {
   if (cube != kBddTrue && level(cube) == top) {
     const Bdd rest = nodes_[cube].high;
     const Bdd lo = and_exists_rec(cofactor(f, false), cofactor(g, false), rest);
-    // ite_rec, not the public bdd_or — same mid-recursion hook hazard.
+    // ite_rec, not the public bdd_or — same mid-recursion maintenance hazard.
     result = lo == kBddTrue
                  ? kBddTrue
                  : ite_rec(lo, kBddTrue,
@@ -427,21 +631,20 @@ Bdd BddManager::and_exists_rec(Bdd f, Bdd g, Bdd cube) {
 
 // ---- Rename -----------------------------------------------------------------
 
-Bdd BddManager::rename(Bdd f, const std::vector<std::uint32_t>& map) {
+BddRef BddManager::rename(Bdd f, const std::vector<std::uint32_t>& map) {
   ICTL_ASSERT(f < nodes_.size());
   // Epoch-stamped memo: bumping the epoch invalidates every entry in O(1),
   // so each call pays only for the nodes it actually visits — rename sits
   // on every image computation of every fixpoint iteration, where a
   // freshly zero-filled O(total nodes) vector per call would dominate.
-  // (invalidate_operation_caches also bumps this epoch on reorders.)
+  // (invalidate_operation_caches also bumps this epoch on reorders/sweeps.)
   ++rename_epoch_;
   if (rename_stamp_.size() < nodes_.size()) {
     rename_stamp_.resize(nodes_.size(), 0);
     rename_val_.resize(nodes_.size(), kBddFalse);
   }
-  const Bdd result = rename_rec(f, map);
-  protect(result);
-  fire_pending_reorder_hook();
+  BddRef result(*this, rename_rec(f, map));
+  run_deferred_maintenance();
   return result;
 }
 
@@ -466,6 +669,10 @@ Bdd BddManager::rename_rec(Bdd f, const std::vector<std::uint32_t>& map) {
 void BddManager::swap_adjacent_levels(std::uint32_t lvl) {
   support::require<Error>(lvl + 1 < num_vars_,
                           "BddManager::swap_adjacent_levels: level out of range");
+  // The rewrite below keys its reference maintenance on is_live(): settle
+  // queued deaths first so a zombie isn't rewritten as if it were dead
+  // while its cone still carries its counts.
+  flush_dead_queue();
   swap_levels_internal(lvl);
   ++reorder_count_;
   invalidate_operation_caches();
@@ -536,7 +743,32 @@ void BddManager::swap_levels_internal(std::uint32_t lvl) {
   }
 }
 
+void BddManager::flush_dead_queue() noexcept {
+  while (!dead_queue_.empty()) {
+    const Bdd f = dead_queue_.back();
+    dead_queue_.pop_back();
+    if (queued_dead_[f] == 0) continue;  // revived since it was queued
+    queued_dead_[f] = 0;
+    --queued_dead_count_;
+    --var_live_count_[nodes_[f].var];
+    --live_nodes_;
+    drop_ref(nodes_[f].low);
+    drop_ref(nodes_[f].high);
+  }
+}
+
+std::size_t BddManager::live_nodes() const noexcept {
+  // Settling the deferred deaths only mutates bookkeeping, never the node
+  // table or any handle — logically const.
+  const_cast<BddManager*>(this)->flush_dead_queue();
+  return live_nodes_;
+}
+
 std::size_t BddManager::collect_dead_nodes() {
+  // Queued roots still hold their cones' reference counts; settle them
+  // first or the sweep would retire a zombie while its children stay
+  // counted as referenced.
+  flush_dead_queue();
   std::size_t retired = 0;
   for (std::uint32_t v = 0; v < num_vars_; ++v) {
     SubTable& t = subtables_[v];
@@ -629,7 +861,9 @@ void BddManager::sift_block(std::uint32_t top_var, std::uint32_t block_size,
 }
 
 std::size_t BddManager::reorder_now(const ReorderOptions& options) {
-  if (in_reorder_ || reorder_pause_depth_ > 0 || num_vars_ < 2) return live_nodes_;
+  if (in_reorder_ || reorder_pause_depth_ > 0 || protect_scope_depth_ > 0 ||
+      num_vars_ < 2)
+    return live_nodes();
   const std::uint32_t block_size = options.group_pairs ? 2u : 1u;
   if (block_size == 2) {
     support::require<Error>(
@@ -643,6 +877,9 @@ std::size_t BddManager::reorder_now(const ReorderOptions& options) {
   }
   in_reorder_ = true;
   ++stats_.sift_passes;
+  // Sweep before ranking: the block-population ranking and the sift's
+  // size accounting must both see the true live set, zombies settled.
+  collect_dead_nodes();
   const std::uint32_t num_blocks = num_vars_ / block_size;
   std::vector<std::uint32_t> ranking(num_blocks);
   std::iota(ranking.begin(), ranking.end(), 0u);
@@ -656,7 +893,6 @@ std::size_t BddManager::reorder_now(const ReorderOptions& options) {
                    [&](std::uint32_t a, std::uint32_t b) {
                      return block_population(a) > block_population(b);
                    });
-  collect_dead_nodes();
   const std::size_t budget =
       options.rewrite_budget != 0 ? options.rewrite_budget
                                   : 16 * live_nodes_ + 4096;
@@ -672,6 +908,7 @@ std::size_t BddManager::reorder_now(const ReorderOptions& options) {
   }
   in_reorder_ = false;
   reorder_pending_ = false;  // growth during the sift is not a new trigger
+  gc_pending_ = false;       // the pass collected as it went
   ++reorder_count_;
   invalidate_operation_caches();
   return live_nodes_;
@@ -713,6 +950,38 @@ double BddManager::sat_count_rec(Bdd f, std::vector<double>& memo) const {
   };
   const double result = std::ldexp(sat_count_rec(n.low, memo), gap(n.low)) +
                         std::ldexp(sat_count_rec(n.high, memo), gap(n.high));
+  memo[f] = result;
+  return result;
+}
+
+SatCount BddManager::sat_count_exact(Bdd f) const {
+  ICTL_ASSERT(f < nodes_.size());
+  std::vector<SatCount> memo(nodes_.size());
+  std::vector<char> seen(nodes_.size(), 0);
+  SatCount below = sat_count_exact_rec(f, memo, seen);
+  const std::uint32_t root_level =
+      is_terminal(f) ? num_vars_ : var2level_[nodes_[f].var];
+  if (!below.is_zero()) below.exponent += static_cast<std::int32_t>(root_level);
+  return below;
+}
+
+SatCount BddManager::sat_count_exact_rec(Bdd f, std::vector<SatCount>& memo,
+                                         std::vector<char>& seen) const {
+  if (f == kBddFalse) return SatCount{};
+  if (f == kBddTrue) return SatCount::make(1);
+  if (seen[f] != 0) return memo[f];
+  const Node& n = nodes_[f];
+  const std::uint32_t my_level = var2level_[n.var];
+  const auto scaled = [&](Bdd child) {
+    SatCount c = sat_count_exact_rec(child, memo, seen);
+    const std::uint32_t child_level =
+        is_terminal(child) ? num_vars_ : var2level_[nodes_[child].var];
+    if (!c.is_zero())
+      c.exponent += static_cast<std::int32_t>(child_level - my_level - 1);
+    return c;
+  };
+  const SatCount result = scaled(n.low) + scaled(n.high);
+  seen[f] = 1;
   memo[f] = result;
   return result;
 }
@@ -775,13 +1044,19 @@ Bdd BddManager::node_high(Bdd f) const {
 }
 
 bool BddManager::check_invariants() const {
+  // Settle deferred deaths first: the liveness recount below compares
+  // against live_nodes_/var_live_count_, which include queued zombies
+  // until the flush runs.  Flushing only mutates bookkeeping — logically
+  // const, same as live_nodes().
+  const_cast<BddManager*>(this)->flush_dead_queue();
+  if (queued_dead_count_ != 0 || !dead_queue_.empty()) return false;
   // Structure: order invariant, reducedness, global canonicity.  Retired
   // zombies are exempt from the structural checks (they are unlinked and
   // skipped by swaps, so their triples may be stale) but must be dead.
   std::map<std::tuple<std::uint32_t, Bdd, Bdd>, Bdd> triples;
   for (Bdd id = 2; id < nodes_.size(); ++id) {
     if (retired_[id] != 0) {
-      if (ref_[id] != 0 || protected_[id] != 0) return false;
+      if (ref_[id] != 0 || ext_ref_[id] != 0) return false;
       continue;
     }
     const Node& n = nodes_[id];
@@ -807,13 +1082,13 @@ bool BddManager::check_invariants() const {
   }
   for (Bdd id = 2; id < nodes_.size(); ++id)
     if (!chained[id] && retired_[id] == 0) return false;
-  // Liveness: recompute the live set from the protected roots and compare
-  // reference counts and per-var totals.
+  // Liveness: recompute the live set from the externally referenced roots
+  // and compare reference counts and per-var totals.
   std::vector<std::uint32_t> expected_ref(nodes_.size(), 0);
   std::vector<bool> live(nodes_.size(), false);
   std::vector<Bdd> stack;
   for (Bdd id = 2; id < nodes_.size(); ++id)
-    if (protected_[id] != 0 && !live[id]) {
+    if (ext_ref_[id] != 0 && !live[id]) {
       live[id] = true;
       stack.push_back(id);
     }

@@ -7,8 +7,13 @@
 //
 // Design notes:
 //   * Node handles are dense 32-bit indices (`Bdd`); 0 and 1 are the
-//     terminals.  Nodes are never freed, so a handle, once returned, stays
-//     valid for the life of the manager.
+//     terminals.  Handle slots are never reused, but a node's LIFETIME is
+//     scoped: public operations return an RAII `BddRef` that holds an
+//     external root reference, and a node with no external reference and no
+//     live parent is dead — garbage collection (and reordering) retires
+//     dead nodes from the unique tables, after which their handles are
+//     inert zombies.  Hold a BddRef (or a protect_scope across a builder
+//     chain) for as long as a function must stay valid.
 //   * The variable order is DYNAMIC: a var <-> level indirection
 //     (level_of_var / var_at_level) separates a variable's identity from
 //     its position, and Rudell-style sifting (reorder_now, or automatically
@@ -16,31 +21,33 @@
 //     growth threshold) moves variables to locally optimal levels under a
 //     max-growth bound.  Reordering works by in-place adjacent-level swaps
 //     on the unique subtables: a swapped node is REWRITTEN in place, so
-//     every outstanding handle keeps denoting the same boolean function
-//     across any reorder — clients never re-translate.  The unprimed/primed
+//     every LIVE handle keeps denoting the same boolean function across any
+//     reorder — clients never re-translate.  The unprimed/primed
 //     interleaving used by symbolic::TransitionSystem survives because
 //     sifting moves (2k, 2k+1) variable pairs as atomic groups
 //     (ReorderOptions::group_pairs).
-//   * Liveness is tracked by internal reference counts plus a sticky
-//     protected bit on every node returned from a public operation; the
-//     per-level live counts drive the sifting objective.  Dead nodes stay
+//   * Liveness is tracked by internal reference counts (live parents) plus
+//     an external root count driven by BddRef / protect / release; the
+//     per-level live counts drive the sifting objective, so sifting sees
+//     the TRUE live set, not every result ever returned.  Dead nodes stay
 //     allocated (handles are dense, never reused) and are revived
-//     transparently on a unique-table hit; reordering additionally retires
-//     them from the unique tables so swap rewrites cannot compound the
-//     dead pile — across a reorder, only protected roots and their
-//     cofactors are guaranteed to remain findable.
+//     transparently on a unique-table hit until garbage_collect() or a
+//     reorder pass retires them.
 //   * The computed cache and the rename memo are invalidated epoch-style in
-//     one centralized helper whenever the order changes; a swap preserves
-//     every handle's function, so this is defense-in-depth (and the policy
-//     any future node reclamation would rely on), pinned by regression
-//     tests rather than left to luck.
+//     one centralized helper whenever the order changes or a sweep retires
+//     nodes: a retired handle must never come back out of a cache.
 //   * Quantification takes a positive cube (conjunction of variables) so
 //     `exists`/`forall` and the fused relational product `and_exists` — the
 //     workhorse of pre/post image computation — share one recursion shape.
+//
+// Persistence: symbolic/bdd_store.hpp serializes a manager's variable
+// order, live nodes, and named roots to a versioned, checksummed binary
+// stream and reloads them into a fresh manager.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "support/error.hpp"
@@ -52,6 +59,36 @@ using Bdd = std::uint32_t;
 
 constexpr Bdd kBddFalse = 0;
 constexpr Bdd kBddTrue = 1;
+
+class BddManager;
+class BddRef;
+class ProtectScope;
+
+/// An exact satisfying-assignment count: value = (hi * 2^64 + lo) * 2^exponent
+/// with the 128-bit mantissa normalized odd (or zero with exponent 0), so
+/// equal counts have equal representations.  Covers every count whose odd
+/// part fits 128 bits — far past the 2^53 limit where the double-returning
+/// sat_count starts silently rounding; addition throws Error on mantissa
+/// overflow rather than drifting.
+struct SatCount {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  std::int32_t exponent = 0;
+
+  /// value * 2^exp, normalized.
+  [[nodiscard]] static SatCount make(std::uint64_t value, std::int32_t exp = 0);
+
+  [[nodiscard]] bool is_zero() const noexcept { return hi == 0 && lo == 0; }
+  /// Nearest double (rounds past 2^53 — the lossy view, for display only).
+  [[nodiscard]] double to_double() const;
+  /// Exact decimal integer rendering; requires exponent >= 0.
+  [[nodiscard]] std::string to_decimal_string() const;
+
+  /// Exact sum; throws Error when the result's odd part exceeds 128 bits.
+  SatCount& operator+=(const SatCount& other);
+  friend SatCount operator+(SatCount a, const SatCount& b) { return a += b; }
+  friend bool operator==(const SatCount&, const SatCount&) = default;
+};
 
 class BddManager {
  public:
@@ -81,59 +118,89 @@ class BddManager {
   // ---- Construction --------------------------------------------------------
 
   /// The BDD of variable `v` / its negation.
-  [[nodiscard]] Bdd var(std::uint32_t v);
-  [[nodiscard]] Bdd nvar(std::uint32_t v);
+  [[nodiscard]] BddRef var(std::uint32_t v);
+  [[nodiscard]] BddRef nvar(std::uint32_t v);
 
   /// Low-level hash-consed node constructor: the unique reduced node
   /// testing `v` with the given cofactors.  `v`'s level must lie above both
   /// children's levels (asserted) — callers building constraint chains
   /// bottom-up in level order (see ring_encoding.cpp) get linear-time
   /// construction with no ITE recursion and no cache pressure.  The result
-  /// is NOT protected; protect() the final root of a chain before any
-  /// reorder may run — reordering retires unprotected, unreferenced nodes
-  /// from the unique tables (their handles become inert zombies).
+  /// carries NO root reference; run the whole chain under a protect_scope
+  /// (which defers garbage collection and reordering) and root the final
+  /// chain head in a BddRef before the scope exits.
   [[nodiscard]] Bdd make_node(std::uint32_t v, Bdd low, Bdd high);
 
   // ---- Boolean operators (all reduce to ITE) -------------------------------
-  [[nodiscard]] Bdd ite(Bdd f, Bdd g, Bdd h);
-  [[nodiscard]] Bdd bdd_not(Bdd f);
-  [[nodiscard]] Bdd bdd_and(Bdd f, Bdd g);
-  [[nodiscard]] Bdd bdd_or(Bdd f, Bdd g);
-  [[nodiscard]] Bdd bdd_xor(Bdd f, Bdd g);
-  [[nodiscard]] Bdd bdd_implies(Bdd f, Bdd g);
-  [[nodiscard]] Bdd bdd_iff(Bdd f, Bdd g);
+  [[nodiscard]] BddRef ite(Bdd f, Bdd g, Bdd h);
+  [[nodiscard]] BddRef bdd_not(Bdd f);
+  [[nodiscard]] BddRef bdd_and(Bdd f, Bdd g);
+  [[nodiscard]] BddRef bdd_or(Bdd f, Bdd g);
+  [[nodiscard]] BddRef bdd_xor(Bdd f, Bdd g);
+  [[nodiscard]] BddRef bdd_implies(Bdd f, Bdd g);
+  [[nodiscard]] BddRef bdd_iff(Bdd f, Bdd g);
   /// f & !g.
-  [[nodiscard]] Bdd bdd_diff(Bdd f, Bdd g);
+  [[nodiscard]] BddRef bdd_diff(Bdd f, Bdd g);
 
   // ---- Quantification ------------------------------------------------------
 
   /// The positive cube v_0 & v_1 & ... for a set of variables (any order).
-  [[nodiscard]] Bdd cube(const std::vector<std::uint32_t>& vars);
+  [[nodiscard]] BddRef cube(const std::vector<std::uint32_t>& vars);
 
   /// Existential / universal quantification over the variables of `cube`.
-  [[nodiscard]] Bdd exists(Bdd f, Bdd cube);
-  [[nodiscard]] Bdd forall(Bdd f, Bdd cube);
+  [[nodiscard]] BddRef exists(Bdd f, Bdd cube);
+  [[nodiscard]] BddRef forall(Bdd f, Bdd cube);
 
   /// The relational product  exists cube. f & g  computed in one recursion
   /// (never materializing f & g) — the image primitive.
-  [[nodiscard]] Bdd and_exists(Bdd f, Bdd g, Bdd cube);
+  [[nodiscard]] BddRef and_exists(Bdd f, Bdd g, Bdd cube);
 
   /// Renames variable v to `map[v]` for every v in the support of f.  The
   /// map must be order-preserving on the support under the CURRENT level
   /// assignment (the primed/unprimed interleaving is, and group-sifted
   /// reorders keep it so); violating maps trip the node-order assertion.
-  [[nodiscard]] Bdd rename(Bdd f, const std::vector<std::uint32_t>& map);
+  [[nodiscard]] BddRef rename(Bdd f, const std::vector<std::uint32_t>& map);
 
   // ---- Liveness ------------------------------------------------------------
 
-  /// Marks f (and transitively its cofactors) permanently live for the
-  /// reordering size metric.  Every public operation protects its result;
-  /// only make_node chains need explicit protection.
+  /// Adds an external root reference to f (transitively reviving its
+  /// cofactors if it was dead).  protect/release are the counted primitives
+  /// BddRef drives; prefer holding a BddRef.  Hard error (throws Error in
+  /// every build type) on a handle already retired by garbage collection or
+  /// reordering — reviving a retired slot would corrupt the unique table.
   void protect(Bdd f);
 
-  /// Nodes currently live: reachable from protected roots.  The quantity
-  /// sifting minimizes.
-  [[nodiscard]] std::size_t live_nodes() const noexcept { return live_nodes_; }
+  /// Drops one external root reference added by protect().
+  void release(Bdd f) noexcept;
+
+  /// External root references currently held on f (0 for terminals).
+  [[nodiscard]] std::uint32_t external_refs(Bdd f) const;
+
+  /// Opens a protection scope: while any scope is alive, garbage collection
+  /// and growth-triggered reordering are deferred, so raw intermediate
+  /// handles (make_node chains, batched operator results) stay valid.
+  /// Deferred work runs at the end of the first public operation after the
+  /// last scope closes.  Root anything that must outlive the scope in a
+  /// BddRef before it exits.
+  [[nodiscard]] ProtectScope protect_scope();
+
+  /// Mark-and-sweep over the node table: retires every dead node (no
+  /// external reference, no live parent) from the unique subtables, shrinks
+  /// subtable bucket arrays that emptied out, and epoch-invalidates the
+  /// computed cache and rename memo so no retired handle can come back out
+  /// of a cache.  Returns the number of nodes retired this sweep.  Inside a
+  /// protect_scope (or a reorder pass) the sweep is deferred: it records a
+  /// pending request, returns 0, and runs when the scope closes.
+  std::size_t garbage_collect();
+
+  /// Arms automatic garbage collection: after a public operation, when the
+  /// allocations since the last sweep exceed live_nodes() + slack, a sweep
+  /// runs (never mid-recursion, never inside a protect_scope).
+  void enable_auto_gc(std::size_t slack = 4096);
+
+  /// Nodes currently live: reachable from externally referenced roots.  The
+  /// quantity sifting minimizes, and the node set save() persists.
+  [[nodiscard]] std::size_t live_nodes() const noexcept;
 
   // ---- Inspection ----------------------------------------------------------
 
@@ -142,8 +209,14 @@ class BddManager {
 
   /// Number of satisfying assignments over all num_vars() variables, as a
   /// double (exact for the power-of-two-times-small-integer counts the state
-  /// sets here produce; 2^53-limited in general).
+  /// sets here produce; 2^53-limited in general — use sat_count_exact when
+  /// sums of set counts may carry wide odd parts).
   [[nodiscard]] double sat_count(Bdd f) const;
+
+  /// Exact satisfying-assignment count over all num_vars() variables as an
+  /// exponent-tracked 128-bit mantissa; throws Error if the count's odd
+  /// part exceeds 128 bits.
+  [[nodiscard]] SatCount sat_count_exact(Bdd f) const;
 
   /// Nodes reachable from f (terminals excluded); multi-root overload
   /// counts shared nodes once.
@@ -156,18 +229,24 @@ class BddManager {
   /// Total nodes ever created (terminals included; dead nodes linger).
   [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
 
+  /// True when f has been retired (unlinked from the unique tables) by
+  /// garbage collection or reordering: the handle is an inert zombie.
+  [[nodiscard]] bool is_retired(Bdd f) const;
+
   struct Stats {
     std::size_t unique_hits = 0;          ///< mk() found an existing node
     std::size_t unique_misses = 0;        ///< mk() created a node
     std::size_t cache_hits = 0;           ///< computed-table hit
     std::size_t cache_misses = 0;         ///< computed-table miss
     std::size_t cache_evictions = 0;      ///< store displaced a valid entry
-    std::size_t cache_invalidations = 0;  ///< epoch bumps (one per reorder)
+    std::size_t cache_invalidations = 0;  ///< epoch bumps (reorders + sweeps)
     std::size_t reorder_hook_calls = 0;   ///< growth-trigger firings
     std::size_t sift_passes = 0;          ///< reorder_now invocations that ran
     std::size_t sift_swaps = 0;           ///< adjacent-level swaps performed
     std::size_t sift_rewrites = 0;        ///< nodes rewritten in place by swaps
     std::size_t peak_nodes = 0;           ///< high-water node count
+    std::size_t gc_runs = 0;              ///< completed garbage_collect sweeps
+    std::size_t gc_retired = 0;           ///< nodes retired across all sweeps
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -197,7 +276,8 @@ class BddManager {
 
   /// One full sifting pass, now: every variable (or pair block) is sifted
   /// to its locally optimal level under the growth bound, most populous
-  /// block first.  Handles keep their functions.  Returns live_nodes().
+  /// block first.  Live handles keep their functions; dead nodes are
+  /// retired.  Returns live_nodes().
   std::size_t reorder_now(const ReorderOptions& options = ReorderOptions());
 
   /// Attaches an internal growth hook that runs reorder_now whenever the
@@ -216,15 +296,18 @@ class BddManager {
   [[nodiscard]] std::uint64_t reorder_count() const noexcept { return reorder_count_; }
 
   /// Blocks growth-triggered reordering until the matching resume (calls
-  /// nest).  Builders stacking make_node chains against a frozen order MUST
-  /// hold a pause: the manager may carry a growth hook installed by an
-  /// earlier client (e.g. a previous dynamic_reordering ring build on a
-  /// shared manager), and a sift firing mid-chain would shift levels under
-  /// the builder and retire its not-yet-protected nodes.  A crossing
-  /// detected while paused stays pending and fires after the last resume.
+  /// nest).  Builders that also need garbage collection deferred (any chain
+  /// of make_node calls or unrooted intermediates) should hold a
+  /// protect_scope instead, which pauses both.  A crossing detected while
+  /// paused stays pending and fires after the last resume.
   void pause_reordering() { ++reorder_pause_depth_; }
+  /// Hard error (throws Error in every build type) when unbalanced: an
+  /// extra resume would underflow the pause depth and permanently suppress
+  /// pending reorders.
   void resume_reordering() {
-    ICTL_ASSERT(reorder_pause_depth_ > 0);
+    support::require<Error>(reorder_pause_depth_ > 0,
+                            "BddManager::resume_reordering: no matching "
+                            "pause_reordering (pause depth underflow)");
     --reorder_pause_depth_;
   }
 
@@ -245,11 +328,13 @@ class BddManager {
 
   /// Deep structural audit (test support): order invariant, reducedness,
   /// unique-table membership and canonicity, reference-count and live-count
-  /// agreement.  O(n log n); returns false (after ICTL_ASSERT in debugging)
-  /// on any violation.
+  /// agreement against the externally referenced roots.  O(n log n);
+  /// returns false on any violation.
   [[nodiscard]] bool check_invariants() const;
 
  private:
+  friend class ProtectScope;
+
   struct Node {
     std::uint32_t var;  // kTerminalVar for the two terminals
     Bdd low;
@@ -275,33 +360,46 @@ class BddManager {
 
   void insert_unique(std::uint32_t var, Bdd id);
   void grow_subtable(SubTable& table);
+  void rehash_subtable(SubTable& table, std::size_t new_buckets);
 
-  /// Invoked at the end of every public operation: runs the reorder hook if
-  /// mk() flagged a threshold crossing during the recursion.
+  /// Invoked at the end of every public operation (after the result has
+  /// been rooted): runs the reorder hook if mk() flagged a threshold
+  /// crossing, then any pending garbage collection.
+  void run_deferred_maintenance();
   void fire_pending_reorder_hook();
 
   // Liveness bookkeeping (see the header comment).
   [[nodiscard]] bool is_live(Bdd f) const {
-    return protected_[f] != 0 || ref_[f] > 0;
+    return ext_ref_[f] != 0 || ref_[f] > 0;
   }
   void make_live_ref(Bdd f);  ///< a live parent now references f
   void drop_ref(Bdd f);       ///< a live parent dropped its reference
 
+  /// Processes the deferred-death queue: every root release() queues its
+  /// node instead of tearing the cone's reference counts down on the spot
+  /// (fixpoint loops release and re-root near-identical cones every
+  /// iteration — eager teardown made each public op pay two O(cone) walks).
+  /// A queued "zombie" keeps its counts, so re-rooting it is an O(1) flag
+  /// clear; the walks run here, once, at the points that need exact
+  /// liveness: sweeps, reordering, live_nodes(), check_invariants().
+  void flush_dead_queue() noexcept;
+
   /// Centralized cache invalidation: bumps the computed-table epoch and the
   /// rename-memo epoch in one place — the single path every order-changing
-  /// operation goes through.
+  /// or node-retiring operation goes through.
   void invalidate_operation_caches();
 
-  // Sifting internals.
+  // Sifting + GC internals.
   /// Unlinks every dead node from the unique subtables (they stay allocated
-  /// — handles are dense — but can never be found or revived again).  Runs
-  /// between sift blocks once the zombie pile outgrows the live table:
-  /// swaps must rewrite dead nodes too (any handle may still be compared),
-  /// and without retirement each rewrite mints more dead children until the
-  /// pile compounds exponentially across a pass.  Safe exactly because dead
-  /// nodes are closed under linkage (no linked node references a dead one
-  /// after the sweep) and the computed caches are epoch-invalidated before
-  /// anyone can look a retired handle up again.
+  /// — handles are dense — but can never be found or revived again).  The
+  /// sweep half of garbage_collect(), also run between sift blocks once the
+  /// zombie pile outgrows the live table: swaps must rewrite dead nodes too
+  /// (any live handle may still reach them), and without retirement each
+  /// rewrite mints more dead children until the pile compounds
+  /// exponentially across a pass.  Safe exactly because dead nodes are
+  /// closed under linkage (no linked node references a dead one after the
+  /// sweep) and the computed caches are epoch-invalidated before anyone can
+  /// look a retired handle up again.
   std::size_t collect_dead_nodes();
   void swap_levels_internal(std::uint32_t lvl);
   void exchange_blocks(std::uint32_t pos, std::uint32_t block_size);
@@ -313,6 +411,8 @@ class BddManager {
   Bdd and_exists_rec(Bdd f, Bdd g, Bdd cube);
   Bdd rename_rec(Bdd f, const std::vector<std::uint32_t>& map);
   double sat_count_rec(Bdd f, std::vector<double>& memo) const;
+  SatCount sat_count_exact_rec(Bdd f, std::vector<SatCount>& memo,
+                               std::vector<char>& seen) const;
 
   // Computed-table cache: 2-way set-associative, keyed (op, a, b, c), with
   // epoch-stamped entries (epoch mismatch == invalid) and last-use aging.
@@ -331,8 +431,11 @@ class BddManager {
   std::uint32_t num_vars_;
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> ref_;       // live-parent reference counts
-  std::vector<std::uint8_t> protected_;  // sticky public-result bit
+  std::vector<std::uint32_t> ext_ref_;   // external root references (BddRef)
   std::vector<std::uint8_t> retired_;    // unlinked zombie (see collect_dead_nodes)
+  std::vector<std::uint8_t> queued_dead_;  // released root awaiting flush
+  std::vector<Bdd> dead_queue_;            // ids with queued_dead_ set
+  std::size_t queued_dead_count_ = 0;      // nodes with queued_dead_ == 1
   std::size_t nodes_at_last_collect_ = 0;
   std::vector<SubTable> subtables_;      // unique table, one per variable
   std::vector<std::uint32_t> var2level_;
@@ -353,6 +456,12 @@ class BddManager {
   std::uint32_t reorder_pause_depth_ = 0;
   std::uint64_t reorder_count_ = 0;
 
+  // GC policy state (see garbage_collect / enable_auto_gc).
+  bool gc_enabled_ = false;
+  bool gc_pending_ = false;
+  std::size_t gc_slack_ = 4096;
+  std::uint32_t protect_scope_depth_ = 0;
+
   // Scratch buffers for swap_levels_internal (no allocation per swap).
   std::vector<Bdd> swap_movers_;
   std::vector<Bdd> swap_keepers_;
@@ -364,5 +473,98 @@ class BddManager {
   std::vector<std::uint64_t> rename_stamp_;
   std::vector<Bdd> rename_val_;
 };
+
+/// RAII external root reference to a BDD node.  Ownership rules:
+///   * every public BddManager operation returns one; hold it (or copy it
+///     into a longer-lived BddRef) for as long as the function must survive
+///     garbage collection and reordering;
+///   * copying adds a root reference, moving transfers it, destruction
+///     drops it — a node whose last BddRef dies becomes collectible;
+///   * a BddRef converts implicitly to the raw `Bdd` handle for use as an
+///     operand; a raw handle confers no ownership;
+///   * a BddRef must not outlive its manager.
+class BddRef {
+ public:
+  BddRef() noexcept = default;
+  BddRef(BddManager& mgr, Bdd node);
+  BddRef(const BddRef& other);
+  BddRef(BddRef&& other) noexcept : mgr_(other.mgr_), node_(other.node_) {
+    other.mgr_ = nullptr;
+    other.node_ = kBddFalse;
+  }
+  BddRef& operator=(const BddRef& other);
+  BddRef& operator=(BddRef&& other) noexcept;
+  ~BddRef();
+
+  /// The raw handle (kBddFalse for a default-constructed ref).
+  [[nodiscard]] Bdd get() const noexcept { return node_; }
+  // NOLINTNEXTLINE(google-explicit-constructor): handles flow into operands.
+  operator Bdd() const noexcept { return node_; }
+  [[nodiscard]] BddManager* manager() const noexcept { return mgr_; }
+
+  /// Drops the reference (if any) and returns to the default state.
+  void reset() noexcept;
+
+ private:
+  BddManager* mgr_ = nullptr;
+  Bdd node_ = kBddFalse;
+};
+
+/// RAII protection scope (see BddManager::protect_scope): defers garbage
+/// collection and growth-triggered reordering while alive.  Scopes nest.
+class ProtectScope {
+ public:
+  explicit ProtectScope(BddManager& mgr) : mgr_(mgr) {
+    ++mgr_.protect_scope_depth_;
+  }
+  ~ProtectScope() { --mgr_.protect_scope_depth_; }
+  ProtectScope(const ProtectScope&) = delete;
+  ProtectScope& operator=(const ProtectScope&) = delete;
+
+ private:
+  BddManager& mgr_;
+};
+
+inline ProtectScope BddManager::protect_scope() { return ProtectScope(*this); }
+
+inline BddRef::BddRef(BddManager& mgr, Bdd node) : mgr_(&mgr), node_(node) {
+  mgr_->protect(node_);
+}
+
+inline BddRef::BddRef(const BddRef& other) : mgr_(other.mgr_), node_(other.node_) {
+  if (mgr_ != nullptr) mgr_->protect(node_);
+}
+
+inline BddRef& BddRef::operator=(const BddRef& other) {
+  if (this != &other) {
+    // Acquire before releasing: self-aliasing node handles stay live.
+    if (other.mgr_ != nullptr) other.mgr_->protect(other.node_);
+    if (mgr_ != nullptr) mgr_->release(node_);
+    mgr_ = other.mgr_;
+    node_ = other.node_;
+  }
+  return *this;
+}
+
+inline BddRef& BddRef::operator=(BddRef&& other) noexcept {
+  if (this != &other) {
+    if (mgr_ != nullptr) mgr_->release(node_);
+    mgr_ = other.mgr_;
+    node_ = other.node_;
+    other.mgr_ = nullptr;
+    other.node_ = kBddFalse;
+  }
+  return *this;
+}
+
+inline BddRef::~BddRef() {
+  if (mgr_ != nullptr) mgr_->release(node_);
+}
+
+inline void BddRef::reset() noexcept {
+  if (mgr_ != nullptr) mgr_->release(node_);
+  mgr_ = nullptr;
+  node_ = kBddFalse;
+}
 
 }  // namespace ictl::symbolic

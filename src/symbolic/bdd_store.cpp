@@ -1,0 +1,321 @@
+#include "symbolic/bdd_store.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace ictl::symbolic {
+
+namespace {
+
+constexpr char kBddMagic[8] = {'I', 'C', 'T', 'L', 'B', 'D', 'D', '\n'};
+constexpr char kSystemMagic[8] = {'I', 'C', 'T', 'L', 'T', 'S', '1', '\n'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// Sanity bounds so a corrupt length field fails with Error instead of a
+// multi-gigabyte allocation.
+constexpr std::uint32_t kMaxVars = 1u << 24;
+constexpr std::uint64_t kMaxNodes = (std::uint64_t{1} << 32) - 2;
+constexpr std::uint32_t kMaxNameLen = 1u << 16;
+
+/// Byte sink folding everything written into a running FNV-1a checksum.
+/// Integers travel explicitly little-endian, independent of host order.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) fnv_ = (fnv_ ^ p[i]) * kFnvPrime;
+    out_.write(reinterpret_cast<const char*>(p), static_cast<std::streamsize>(n));
+  }
+  void u32(std::uint32_t v) {
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, 4);
+  }
+  void u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, 8);
+  }
+  /// Writes the checksum accumulated so far (itself excluded from folding).
+  void finish() {
+    const std::uint64_t sum = fnv_;
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(sum >> (8 * i));
+    out_.write(reinterpret_cast<const char*>(b), 8);
+    support::require<Error>(out_.good(), "bdd_store: stream write failed");
+  }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t fnv_ = kFnvOffset;
+};
+
+/// Mirror of Writer: every read is length-checked (truncation is Error, not
+/// garbage) and folded into the same checksum.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  void bytes(void* data, std::size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    support::require<Error>(
+        !in_.fail() && static_cast<std::size_t>(in_.gcount()) == n,
+        "bdd_store: truncated stream");
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) fnv_ = (fnv_ ^ p[i]) * kFnvPrime;
+  }
+  std::uint32_t u32() {
+    unsigned char b[4];
+    bytes(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    unsigned char b[8];
+    bytes(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+  /// Reads the stored checksum (unfolded) and compares it to the running one.
+  void verify() {
+    const std::uint64_t expected = fnv_;
+    unsigned char b[8];
+    in_.read(reinterpret_cast<char*>(b), 8);
+    support::require<Error>(
+        !in_.fail() && static_cast<std::size_t>(in_.gcount()) == 8,
+        "bdd_store: truncated stream");
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i) stored |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    support::require<Error>(stored == expected, "bdd_store: checksum mismatch");
+  }
+
+ private:
+  std::istream& in_;
+  std::uint64_t fnv_ = kFnvOffset;
+};
+
+}  // namespace
+
+Bdd LoadedBdds::root(std::string_view name) const {
+  for (const auto& [root_name, ref] : roots)
+    if (root_name == name) return ref.get();
+  throw Error("bdd_store: no root named '" + std::string(name) + "' in the store");
+}
+
+void save_bdds(const BddManager& mgr, std::ostream& out,
+               std::span<const std::pair<std::string, Bdd>> roots) {
+  std::unordered_set<std::string_view> names;
+  for (const auto& [name, root] : roots) {
+    support::require<Error>(names.insert(name).second,
+                            "save_bdds: duplicate root name '" + name + "'");
+    support::require<Error>(root < mgr.num_nodes() && !mgr.is_retired(root),
+                            "save_bdds: root '" + name + "' is retired");
+  }
+
+  // Children-first numbering, densely renumbered (handles are sparse after
+  // GC, the file is not): an iterative postorder DFS over the shared DAG.
+  std::unordered_map<Bdd, std::uint32_t> file_id;
+  file_id.emplace(kBddFalse, 0);
+  file_id.emplace(kBddTrue, 1);
+  std::vector<std::array<std::uint32_t, 3>> records;
+  std::vector<std::pair<Bdd, bool>> stack;
+  for (const auto& [name, root] : roots) {
+    stack.emplace_back(root, false);
+    while (!stack.empty()) {
+      const auto [f, expanded] = stack.back();
+      stack.pop_back();
+      if (file_id.contains(f)) continue;
+      if (expanded) {
+        const auto fid = static_cast<std::uint32_t>(2 + records.size());
+        records.push_back({mgr.node_var(f), file_id.at(mgr.node_low(f)),
+                           file_id.at(mgr.node_high(f))});
+        file_id.emplace(f, fid);
+      } else {
+        stack.emplace_back(f, true);
+        stack.emplace_back(mgr.node_high(f), false);
+        stack.emplace_back(mgr.node_low(f), false);
+      }
+    }
+  }
+
+  Writer w(out);
+  w.bytes(kBddMagic, sizeof(kBddMagic));
+  w.u32(kVersion);
+  w.u32(mgr.num_vars());
+  for (const std::uint32_t v : mgr.current_order()) w.u32(v);
+  w.u64(records.size());
+  w.u32(static_cast<std::uint32_t>(roots.size()));
+  for (const auto& rec : records) {
+    w.u32(rec[0]);
+    w.u32(rec[1]);
+    w.u32(rec[2]);
+  }
+  for (const auto& [name, root] : roots) {
+    w.u32(static_cast<std::uint32_t>(name.size()));
+    w.bytes(name.data(), name.size());
+    w.u32(file_id.at(root));
+  }
+  w.finish();
+}
+
+LoadedBdds load_bdds(std::istream& in) {
+  Reader r(in);
+  char magic[8];
+  r.bytes(magic, sizeof(magic));
+  support::require<Error>(std::memcmp(magic, kBddMagic, sizeof(magic)) == 0,
+                          "load_bdds: not a BDD store (bad magic)");
+  const std::uint32_t version = r.u32();
+  support::require<Error>(version == kVersion,
+                          "load_bdds: unsupported store version " +
+                              std::to_string(version));
+  const std::uint32_t num_vars = r.u32();
+  support::require<Error>(num_vars <= kMaxVars, "load_bdds: corrupt variable count");
+  std::vector<std::uint32_t> level2var(num_vars);
+  for (std::uint32_t l = 0; l < num_vars; ++l) level2var[l] = r.u32();
+  const std::uint64_t num_nodes = r.u64();
+  support::require<Error>(num_nodes <= kMaxNodes, "load_bdds: corrupt node count");
+  const std::uint32_t num_roots = r.u32();
+  support::require<Error>(num_roots <= kMaxNodes + 2,
+                          "load_bdds: corrupt root count");
+
+  LoadedBdds result;
+  result.manager = std::make_shared<BddManager>(num_vars);
+  BddManager& mgr = *result.manager;
+  mgr.set_initial_order(level2var);  // throws Error on a non-permutation
+
+  // Rebuild through the public hash-consing constructor, children first, so
+  // the loaded store is reduced and canonical by construction.  The scope
+  // keeps the not-yet-rooted chain alive; the roots are BddRef'd below,
+  // before it exits.
+  const auto scope = mgr.protect_scope();
+  const auto level_of = [&](Bdd f) {
+    return BddManager::is_terminal(f) ? 0xffffffffu
+                                      : mgr.level_of_var(mgr.node_var(f));
+  };
+  std::vector<Bdd> handle(2 + num_nodes);
+  handle[0] = kBddFalse;
+  handle[1] = kBddTrue;
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    const std::uint32_t var = r.u32();
+    const std::uint32_t low = r.u32();
+    const std::uint32_t high = r.u32();
+    support::require<Error>(var < num_vars, "load_bdds: node variable out of range");
+    support::require<Error>(low < 2 + i && high < 2 + i,
+                            "load_bdds: node references a later node");
+    support::require<Error>(low != high, "load_bdds: unreduced node record");
+    const Bdd lo = handle[low];
+    const Bdd hi = handle[high];
+    support::require<Error>(
+        mgr.level_of_var(var) < level_of(lo) && mgr.level_of_var(var) < level_of(hi),
+        "load_bdds: node record violates the variable order");
+    handle[2 + i] = mgr.make_node(var, lo, hi);
+  }
+  result.roots.reserve(num_roots);
+  for (std::uint32_t k = 0; k < num_roots; ++k) {
+    const std::uint32_t name_len = r.u32();
+    support::require<Error>(name_len <= kMaxNameLen, "load_bdds: corrupt root name");
+    std::string name(name_len, '\0');
+    if (name_len > 0) r.bytes(name.data(), name_len);
+    const std::uint32_t id = r.u32();
+    support::require<Error>(id < handle.size(), "load_bdds: root id out of range");
+    result.roots.emplace_back(std::move(name), BddRef(mgr, handle[id]));
+  }
+  r.verify();
+  return result;
+}
+
+void save_transition_system(const TransitionSystem& system, std::ostream& out) {
+  const auto parts = system.partition();
+  const auto props = system.props();
+  const auto indices = system.index_set();
+  const bool with_reachable = system.reachable_computed();
+
+  Writer w(out);
+  w.bytes(kSystemMagic, sizeof(kSystemMagic));
+  w.u32(kVersion);
+  w.u32(system.num_state_vars());
+  w.u32(system.partition_kind() == PartitionKind::kDisjunctive ? 0 : 1);
+  w.u32(static_cast<std::uint32_t>(parts.size()));
+  w.u32(static_cast<std::uint32_t>(props.size()));
+  for (const auto& [prop, fn] : props) w.u32(prop);
+  w.u32(static_cast<std::uint32_t>(indices.size()));
+  for (const std::uint32_t i : indices) w.u32(i);
+  w.u32(with_reachable ? 1 : 0);
+  w.finish();
+
+  std::vector<std::pair<std::string, Bdd>> roots;
+  roots.reserve(2 + parts.size() + props.size());
+  roots.emplace_back("initial", system.initial());
+  for (std::size_t k = 0; k < parts.size(); ++k)
+    roots.emplace_back("part/" + std::to_string(k), parts[k].get());
+  for (std::size_t k = 0; k < props.size(); ++k)
+    roots.emplace_back("prop/" + std::to_string(k), props[k].second.get());
+  if (with_reachable) roots.emplace_back("reach", system.reachable());
+  save_bdds(system.manager(), out, roots);
+}
+
+TransitionSystem load_transition_system(std::istream& in,
+                                        kripke::PropRegistryPtr registry) {
+  Reader r(in);
+  char magic[8];
+  r.bytes(magic, sizeof(magic));
+  support::require<Error>(std::memcmp(magic, kSystemMagic, sizeof(magic)) == 0,
+                          "load_transition_system: not a system store (bad magic)");
+  const std::uint32_t version = r.u32();
+  support::require<Error>(version == kVersion,
+                          "load_transition_system: unsupported store version " +
+                              std::to_string(version));
+  const std::uint32_t num_state_vars = r.u32();
+  const std::uint32_t kind_tag = r.u32();
+  support::require<Error>(kind_tag <= 1,
+                          "load_transition_system: corrupt partition kind");
+  const PartitionKind kind =
+      kind_tag == 0 ? PartitionKind::kDisjunctive : PartitionKind::kConjunctive;
+  const std::uint32_t num_parts = r.u32();
+  const std::uint32_t num_props = r.u32();
+  support::require<Error>(num_parts <= kMaxNodes && num_props <= kMaxNodes,
+                          "load_transition_system: corrupt header counts");
+  std::vector<kripke::PropId> prop_ids(num_props);
+  for (std::uint32_t k = 0; k < num_props; ++k) prop_ids[k] = r.u32();
+  const std::uint32_t num_indices = r.u32();
+  support::require<Error>(num_indices <= kMaxNodes,
+                          "load_transition_system: corrupt index-set size");
+  std::vector<std::uint32_t> indices(num_indices);
+  for (std::uint32_t k = 0; k < num_indices; ++k) indices[k] = r.u32();
+  const std::uint32_t reach_tag = r.u32();
+  support::require<Error>(reach_tag <= 1,
+                          "load_transition_system: corrupt reachable flag");
+  r.verify();
+
+  const LoadedBdds blobs = load_bdds(in);
+
+  std::vector<Bdd> partition(num_parts);
+  for (std::uint32_t k = 0; k < num_parts; ++k)
+    partition[k] = blobs.root("part/" + std::to_string(k));
+  std::vector<std::pair<kripke::PropId, Bdd>> props;
+  props.reserve(num_props);
+  for (std::uint32_t k = 0; k < num_props; ++k)
+    props.emplace_back(prop_ids[k], blobs.root("prop/" + std::to_string(k)));
+
+  // blobs' BddRefs keep every root live until the constructor roots its own.
+  TransitionSystem system(blobs.manager, num_state_vars, blobs.root("initial"),
+                          std::move(partition), kind, std::move(registry),
+                          std::move(props), std::move(indices));
+  if (reach_tag == 1) system.adopt_reachable(blobs.root("reach"));
+  return system;
+}
+
+}  // namespace ictl::symbolic

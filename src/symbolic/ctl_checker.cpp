@@ -1,5 +1,7 @@
 #include "symbolic/ctl_checker.hpp"
 
+#include <utility>
+
 #include "logic/classify.hpp"
 #include "logic/printer.hpp"
 #include "logic/rewrite.hpp"
@@ -19,33 +21,35 @@ CtlChecker::CtlChecker(std::shared_ptr<const TransitionSystem> system,
 
 Bdd CtlChecker::sat(const FormulaPtr& f) {
   support::require<LogicError>(f != nullptr, "CtlChecker::sat: null formula");
-  if (const auto it = memo_.find(f->id()); it != memo_.end()) return it->second;
+  if (const auto it = memo_.find(f->id()); it != memo_.end())
+    return it->second.get();
   support::require<LogicError>(
       logic::is_ctl(f), "symbolic CtlChecker: formula outside the CTL fragment: " +
                             logic::to_string(f));
-  const Bdd result = compute(f);
+  BddRef result = compute(f);
   retained_.push_back(f);
-  memo_.emplace(f->id(), result);
-  return result;
+  const Bdd handle = result.get();
+  memo_.emplace(f->id(), std::move(result));  // the memo roots it from here on
+  return handle;
 }
 
 bool CtlChecker::holds_initially(const FormulaPtr& f) {
   BddManager& m = system_->manager();
   const Bdd initial = system_->initial();
-  return m.bdd_diff(initial, sat(f)) == kBddFalse;
+  return m.bdd_diff(initial, sat(f)).get() == kBddFalse;
 }
 
 double CtlChecker::count_sat(const FormulaPtr& f) {
   return system_->count_states(sat(f));
 }
 
-Bdd CtlChecker::compute(const FormulaPtr& f) {
+BddRef CtlChecker::compute(const FormulaPtr& f) {
   BddManager& m = system_->manager();
   switch (f->kind()) {
     case Kind::kTrue:
-      return reach_;
+      return BddRef(m, reach_);
     case Kind::kFalse:
-      return kBddFalse;
+      return BddRef(m, kBddFalse);
     case Kind::kAtom:
     case Kind::kIndexedAtom:
     case Kind::kExactlyOne:
@@ -59,6 +63,7 @@ Bdd CtlChecker::compute(const FormulaPtr& f) {
     case Kind::kImplies:
       return m.bdd_or(complement(sat(f->lhs())), sat(f->rhs()));
     case Kind::kIff: {
+      // Raw handles are safe here: both operands are memo-rooted by sat().
       const Bdd a = sat(f->lhs());
       const Bdd b = sat(f->rhs());
       return m.bdd_or(m.bdd_and(a, b), m.bdd_and(complement(a), complement(b)));
@@ -74,7 +79,7 @@ Bdd CtlChecker::compute(const FormulaPtr& f) {
           "symbolic CtlChecker: system has an empty index set but the formula "
           "quantifies over indices: " +
               logic::to_string(f));
-      Bdd acc = f->kind() == Kind::kForallIndex ? reach_ : kBddFalse;
+      BddRef acc(m, f->kind() == Kind::kForallIndex ? reach_ : kBddFalse);
       for (const std::uint32_t i : indices) {
         const FormulaPtr inst = logic::bind_index(f->lhs(), f->name(), i);
         if (f->kind() == Kind::kForallIndex)
@@ -90,22 +95,23 @@ Bdd CtlChecker::compute(const FormulaPtr& f) {
   }
 }
 
-Bdd CtlChecker::sat_leaf(const FormulaPtr& f) {
+BddRef CtlChecker::sat_leaf(const FormulaPtr& f) {
   BddManager& m = system_->manager();
   const kripke::PropRegistry& reg = *system_->registry();
 
-  const auto restrict_or_unknown = [&](std::optional<kripke::PropId> prop) {
+  const auto restrict_or_unknown =
+      [&](std::optional<kripke::PropId> prop) -> BddRef {
     if (!prop.has_value()) {
       support::require<LogicError>(
           options_.unknown_atoms_are_false,
           "symbolic CtlChecker: unknown atomic proposition: " + logic::to_string(f));
-      return kBddFalse;
+      return BddRef(m, kBddFalse);
     }
     // Registered proposition without a characteristic function: false in
     // every state — mirroring the explicit engine, where a prop registered
     // after the build has an empty label column, not an error.
     const std::optional<Bdd> states = system_->prop_states(*prop);
-    if (!states.has_value()) return kBddFalse;
+    if (!states.has_value()) return BddRef(m, kBddFalse);
     return m.bdd_and(reach_, *states);
   };
 
@@ -130,11 +136,12 @@ Bdd CtlChecker::sat_leaf(const FormulaPtr& f) {
       // function-less (theta postdates the build) it is the empty column.
       if (const auto theta = reg.find_theta(f->name())) {
         const auto states = system_->prop_states(*theta);
-        return states.has_value() ? m.bdd_and(reach_, *states) : kBddFalse;
+        return states.has_value() ? m.bdd_and(reach_, *states)
+                                  : BddRef(m, kBddFalse);
       }
       // Otherwise the running none/one scan over the member functions.
-      Bdd none = reach_;
-      Bdd one = kBddFalse;
+      BddRef none(m, reach_);
+      BddRef one(m, kBddFalse);
       for (const kripke::PropId p : reg.indexed_with_base(f->name())) {
         const auto member = system_->prop_states(p);
         if (!member.has_value()) continue;
@@ -150,33 +157,33 @@ Bdd CtlChecker::sat_leaf(const FormulaPtr& f) {
   }
 }
 
-Bdd CtlChecker::sat_path_quantified(const FormulaPtr& f) {
+BddRef CtlChecker::sat_path_quantified(const FormulaPtr& f) {
   BddManager& m = system_->manager();
   const bool exists = f->kind() == Kind::kExistsPath;
   const FormulaPtr& g = f->lhs();
 
   switch (g->kind()) {
     case Kind::kEventually: {
-      const Bdd target = sat(g->lhs());
+      const Bdd target = sat(g->lhs());  // memo-rooted
       if (exists) return eu(reach_, target);          // EF f = E[true U f]
       return complement(eg(complement(target)));      // AF f = !EG !f
     }
     case Kind::kAlways: {
-      const Bdd body = sat(g->lhs());
+      const Bdd body = sat(g->lhs());  // memo-rooted
       if (exists) return eg(body);                    // EG f
       return complement(eu(reach_, complement(body)));  // AG f = !EF !f
     }
     case Kind::kUntil: {
-      const Bdd a = sat(g->lhs());
+      const Bdd a = sat(g->lhs());  // memo-rooted
       const Bdd b = sat(g->rhs());
       if (exists) return eu(a, b);
       // A[a U b] = !( E[!b U (!a & !b)] | EG !b )
-      const Bdd na = complement(a);
-      const Bdd nb = complement(b);
+      const BddRef na = complement(a);
+      const BddRef nb = complement(b);
       return complement(m.bdd_or(eu(nb, m.bdd_and(na, nb)), eg(nb)));
     }
     case Kind::kRelease: {
-      const Bdd a = sat(g->lhs());
+      const Bdd a = sat(g->lhs());  // memo-rooted
       const Bdd b = sat(g->rhs());
       if (exists)  // E[a R b] = EG b | E[b U (a & b)]
         return m.bdd_or(eg(b), eu(b, m.bdd_and(a, b)));
@@ -191,37 +198,38 @@ Bdd CtlChecker::sat_path_quantified(const FormulaPtr& f) {
   }
 }
 
-Bdd CtlChecker::complement(Bdd f) const {
+BddRef CtlChecker::complement(Bdd f) const {
   return system_->manager().bdd_diff(reach_, f);
 }
 
-Bdd CtlChecker::ex(Bdd f) const {
+BddRef CtlChecker::ex(Bdd f) const {
   return system_->manager().bdd_and(reach_, system_->pre_image(f));
 }
 
-Bdd CtlChecker::eu(Bdd f, Bdd g) const {
+BddRef CtlChecker::eu(Bdd f, Bdd g) const {
   // Least fixpoint of  Z = g | (f & EX Z)  from below, frontier style:
   // only the states added in the previous round are pre-imaged, mirroring
-  // the explicit checker's worklist EU.
+  // the explicit checker's worklist EU.  (f and g stay rooted in the
+  // caller's frame for the duration of the call.)
   BddManager& m = system_->manager();
-  Bdd z = g;
-  Bdd frontier = g;
-  while (frontier != kBddFalse) {
-    const Bdd next = m.bdd_or(z, m.bdd_and(f, ex(frontier)));
+  BddRef z(m, g);
+  BddRef frontier(m, g);
+  while (frontier.get() != kBddFalse) {
+    BddRef next = m.bdd_or(z, m.bdd_and(f, ex(frontier)));
     frontier = m.bdd_diff(next, z);
-    z = next;
+    z = std::move(next);
   }
   return z;
 }
 
-Bdd CtlChecker::eg(Bdd f) const {
+BddRef CtlChecker::eg(Bdd f) const {
   // Greatest fixpoint of  Z = f & EX Z  from above.
   BddManager& m = system_->manager();
-  Bdd z = f;
+  BddRef z(m, f);
   while (true) {
-    const Bdd next = m.bdd_and(z, ex(z));
-    if (next == z) return z;
-    z = next;
+    BddRef next = m.bdd_and(z, ex(z));
+    if (next.get() == z.get()) return z;
+    z = std::move(next);
   }
 }
 

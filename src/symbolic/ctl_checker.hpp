@@ -49,22 +49,27 @@ class CtlChecker {
   [[nodiscard]] const TransitionSystem& system() const noexcept { return *system_; }
 
  private:
-  Bdd compute(const logic::FormulaPtr& f);
-  Bdd sat_leaf(const logic::FormulaPtr& f);
-  Bdd sat_path_quantified(const logic::FormulaPtr& f);  // f = E(g) or A(g)
+  // The helpers return BddRef so every fixpoint intermediate is rooted for
+  // exactly as long as some frame still needs it: sifting and GC see the
+  // true live set even mid-check.  sat() hands out raw handles because the
+  // memo below keeps its entries rooted for the checker's lifetime.
+  BddRef compute(const logic::FormulaPtr& f);
+  BddRef sat_leaf(const logic::FormulaPtr& f);
+  BddRef sat_path_quantified(const logic::FormulaPtr& f);  // f = E(g) or A(g)
 
   /// reach & !f — complement within the reachable universe.
-  [[nodiscard]] Bdd complement(Bdd f) const;
-  [[nodiscard]] Bdd ex(Bdd f) const;                    // EX f
-  [[nodiscard]] Bdd eu(Bdd f, Bdd g) const;             // E[f U g]
-  [[nodiscard]] Bdd eg(Bdd f) const;                    // EG f
+  [[nodiscard]] BddRef complement(Bdd f) const;
+  [[nodiscard]] BddRef ex(Bdd f) const;                    // EX f
+  [[nodiscard]] BddRef eu(Bdd f, Bdd g) const;             // E[f U g]
+  [[nodiscard]] BddRef eg(Bdd f) const;                    // EG f
 
   std::shared_ptr<const TransitionSystem> system_;
   CtlCheckerOptions options_;
-  Bdd reach_;
-  // Memo keyed on hash-consed node identity; retaining the formulas keeps
-  // the cons-table entries alive so re-built formulas keep hitting.
-  std::unordered_map<std::uint64_t, Bdd> memo_;
+  Bdd reach_;  // system-rooted (TransitionSystem caches reachable())
+  // Memo keyed on hash-consed node identity; the BddRef values root every
+  // memoized satisfying set, and retaining the formulas keeps the
+  // cons-table entries alive so re-built formulas keep hitting.
+  std::unordered_map<std::uint64_t, BddRef> memo_;
   std::vector<logic::FormulaPtr> retained_;
 };
 

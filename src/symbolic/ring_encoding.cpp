@@ -18,21 +18,6 @@ struct PairConstraint {
   Primed update = Primed::kFrame;
 };
 
-/// Scoped BddManager::pause_reordering: a shared manager may carry a growth
-/// hook from an earlier dynamic_reordering build, and a sift firing between
-/// two make_node calls would shift levels under the chain builders below
-/// (and retire their not-yet-protected nodes).
-class ReorderPause {
- public:
-  explicit ReorderPause(BddManager& mgr) : mgr_(mgr) { mgr_.pause_reordering(); }
-  ~ReorderPause() { mgr_.resume_reordering(); }
-  ReorderPause(const ReorderPause&) = delete;
-  ReorderPause& operator=(const ReorderPause&) = delete;
-
- private:
-  BddManager& mgr_;
-};
-
 /// Builds the conjunction of all pair constraints as one chain, bottom-up
 /// through the hash-consed node constructor in CURRENT level order — no
 /// ITE recursion, no computed-cache traffic, linear in the variable count.
@@ -140,9 +125,12 @@ SymbolicRing build_symbolic_ring(std::uint32_t r, std::shared_ptr<BddManager> mg
 
   BddManager& m = *mgr;
   const std::uint32_t c_var = 2 * r;  // state var of the phase bit
-  // Freeze the order for the whole build: a shared manager may arrive with
-  // a growth hook from an earlier dynamic_reordering build.
-  ReorderPause frozen_order(m);
+  // The whole build runs under one protect_scope: it defers both garbage
+  // collection and growth-triggered reordering (a shared manager may arrive
+  // with a growth hook from an earlier dynamic_reordering build, or with
+  // auto-GC armed), so every raw make_node chain below stays valid until
+  // the TransitionSystem constructor roots what it retains.
+  const auto frozen_order = m.protect_scope();
   ChainBuilder chain(m, num_state_vars);
 
   // ---- Transition relation: the four Section 5 rules, partitioned -----------
@@ -317,13 +305,6 @@ SymbolicRing build_symbolic_ring(std::uint32_t r, std::shared_ptr<BddManager> mg
   chain.at(c_var) = {Unprimed::kFalse, Primed::kFree};
   const Bdd initial = chain.build();
 
-  // The chain roots must be protected before any reorder may retire them;
-  // the build-wide ReorderPause keeps the growth trigger (whether installed
-  // below or inherited from a previous build on this manager) from firing
-  // until this function returns — the first post-build public operation
-  // releases any pending crossing.
-  for (const Bdd part : partition) m.protect(part);
-  m.protect(initial);
   // The trigger means "the table outgrew the build", not an absolute size:
   // on a manager that already holds a large, well-ordered relation a fixed
   // threshold would fire immediately and sift for nothing.

@@ -15,11 +15,8 @@ TransitionSystem::TransitionSystem(std::shared_ptr<BddManager> mgr,
                                    std::vector<std::uint32_t> index_set)
     : mgr_(std::move(mgr)),
       num_state_vars_(num_state_vars),
-      initial_(initial),
-      parts_(std::move(partition)),
       kind_(kind),
       registry_(std::move(registry)),
-      props_(std::move(props)),
       index_set_(std::move(index_set)) {
   support::require<ModelError>(mgr_ != nullptr, "TransitionSystem: null manager");
   support::require<ModelError>(num_state_vars_ > 0,
@@ -27,10 +24,20 @@ TransitionSystem::TransitionSystem(std::shared_ptr<BddManager> mgr,
   support::require<ModelError>(mgr_->num_vars() >= 2 * num_state_vars_,
                                "TransitionSystem: manager owns fewer than "
                                "2 * num_state_vars BDD variables");
-  support::require<ModelError>(!parts_.empty(),
+  support::require<ModelError>(!partition.empty(),
                                "TransitionSystem: empty transition partition");
-  std::sort(props_.begin(), props_.end(),
+
+  // Root every raw argument FIRST: the cube() calls below are public
+  // operations, and on a manager with dynamic reordering or auto-GC armed
+  // they may run deferred maintenance — which retires unrooted nodes.
+  // Rooting the retained set also makes it what sifting minimizes.
+  initial_ = BddRef(*mgr_, initial);
+  parts_.reserve(partition.size());
+  for (const Bdd part : partition) parts_.emplace_back(*mgr_, part);
+  std::sort(props.begin(), props.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  props_.reserve(props.size());
+  for (const auto& [prop, fn] : props) props_.emplace_back(prop, BddRef(*mgr_, fn));
 
   std::vector<std::uint32_t> uvars(num_state_vars_), pvars(num_state_vars_);
   for (std::uint32_t v = 0; v < num_state_vars_; ++v) {
@@ -47,11 +54,6 @@ TransitionSystem::TransitionSystem(std::shared_ptr<BddManager> mgr,
     to_primed_[unprimed(v)] = primed(v);
     to_unprimed_[primed(v)] = unprimed(v);
   }
-
-  // Everything the system retains participates in the reordering metric.
-  mgr_->protect(initial_);
-  for (const Bdd part : parts_) mgr_->protect(part);
-  for (const auto& [prop, fn] : props_) mgr_->protect(fn);
 
   if (kind_ == PartitionKind::kConjunctive) build_quantification_schedule();
 }
@@ -107,10 +109,13 @@ void TransitionSystem::build_quantification_schedule() {
 }
 
 Bdd TransitionSystem::transitions() const {
-  if (monolithic_.has_value()) return *monolithic_;
+  if (monolithic_.has_value()) return monolithic_->get();
   // Balanced combine — only materialized when somebody actually asks for
-  // the monolithic relation (inspection, tests); images never do.
-  std::vector<Bdd> terms = parts_;
+  // the monolithic relation (inspection, tests); images never do.  The
+  // scope keeps the raw intermediate layers valid across the combining
+  // operations; the final result is rooted before the scope exits.
+  const auto scope = mgr_->protect_scope();
+  std::vector<Bdd> terms(parts_.begin(), parts_.end());
   while (terms.size() > 1) {
     std::vector<Bdd> next;
     next.reserve(terms.size() / 2 + 1);
@@ -121,16 +126,16 @@ Bdd TransitionSystem::transitions() const {
     if (terms.size() % 2 != 0) next.push_back(terms.back());
     terms = std::move(next);
   }
-  monolithic_ = terms.front();
-  return *monolithic_;
+  monolithic_ = BddRef(*mgr_, terms.front());
+  return monolithic_->get();
 }
 
 std::size_t TransitionSystem::relation_node_count() const {
-  return mgr_->dag_size(parts_);
+  return mgr_->dag_size(std::vector<Bdd>(parts_.begin(), parts_.end()));
 }
 
-Bdd TransitionSystem::pre_image(Bdd states) const {
-  const Bdd primed_states = mgr_->rename(states, to_primed_);
+BddRef TransitionSystem::pre_image(Bdd states) const {
+  const BddRef primed_states = mgr_->rename(states, to_primed_);
   if (kind_ == PartitionKind::kDisjunctive) {
     // One relational product against the combined relation.  Disjunctive
     // images distribute over the parts, but for this family the combined
@@ -142,26 +147,26 @@ Bdd TransitionSystem::pre_image(Bdd states) const {
   }
   // Conjunctive: fold the parts through the relational product, retiring
   // each primed variable at its scheduled part.
-  Bdd acc = mgr_->exists(primed_states, pre_leading_cube_);
+  BddRef acc = mgr_->exists(primed_states, pre_leading_cube_);
   for (std::size_t k = 0; k < parts_.size(); ++k)
     acc = mgr_->and_exists(acc, parts_[k], pre_schedule_cubes_[k]);
   return acc;
 }
 
-Bdd TransitionSystem::post_image(Bdd states) const {
+BddRef TransitionSystem::post_image(Bdd states) const {
   if (kind_ == PartitionKind::kDisjunctive) {
-    const Bdd next = mgr_->and_exists(transitions(), states, unprimed_cube_);
+    const BddRef next = mgr_->and_exists(transitions(), states, unprimed_cube_);
     return mgr_->rename(next, to_unprimed_);
   }
-  Bdd acc = mgr_->exists(states, post_leading_cube_);
+  BddRef acc = mgr_->exists(states, post_leading_cube_);
   for (std::size_t k = 0; k < parts_.size(); ++k)
     acc = mgr_->and_exists(acc, parts_[k], post_schedule_cubes_[k]);
   return mgr_->rename(acc, to_unprimed_);
 }
 
 Bdd TransitionSystem::reachable() const {
-  if (reachable_.has_value()) return *reachable_;
-  Bdd reach = initial_;
+  if (reachable_.has_value()) return reachable_->get();
+  BddRef reach = initial_;
   if (kind_ == PartitionKind::kDisjunctive && parts_.size() > 1) {
     // Chained saturation sweeps: each part is applied to ITS OWN fixpoint
     // before the next part fires (Ravi–Somenzi chaining pushed to
@@ -173,29 +178,28 @@ Bdd TransitionSystem::reachable() const {
     bool changed = true;
     while (changed) {
       changed = false;
-      for (const Bdd part : parts_) {
+      for (const BddRef& part : parts_) {
         while (true) {
-          const Bdd img = mgr_->rename(
+          const BddRef img = mgr_->rename(
               mgr_->and_exists(part, reach, unprimed_cube_), to_unprimed_);
-          const Bdd next = mgr_->bdd_or(reach, img);
-          if (next == reach) break;
-          reach = next;
+          BddRef next = mgr_->bdd_or(reach, img);
+          if (next.get() == reach.get()) break;
+          reach = std::move(next);
           changed = true;
         }
       }
     }
   } else {
     // Frontier iteration: only the newly discovered states are imaged.
-    Bdd frontier = initial_;
-    while (frontier != kBddFalse) {
-      const Bdd next = mgr_->bdd_or(reach, post_image(frontier));
+    BddRef frontier = initial_;
+    while (frontier.get() != kBddFalse) {
+      BddRef next = mgr_->bdd_or(reach, post_image(frontier));
       frontier = mgr_->bdd_diff(next, reach);
-      reach = next;
+      reach = std::move(next);
     }
   }
-  mgr_->protect(reach);
-  reachable_ = reach;
-  return reach;
+  reachable_ = std::move(reach);
+  return reachable_->get();
 }
 
 double TransitionSystem::count_states(Bdd set) const {
@@ -208,12 +212,20 @@ double TransitionSystem::count_states(Bdd set) const {
   return std::ldexp(over_all, -extra);
 }
 
+SatCount TransitionSystem::count_states_exact(Bdd set) const {
+  SatCount over_all = mgr_->sat_count_exact(set);
+  if (!over_all.is_zero())
+    over_all.exponent -= static_cast<std::int32_t>(mgr_->num_vars()) -
+                         static_cast<std::int32_t>(num_state_vars_);
+  return over_all;
+}
+
 std::optional<Bdd> TransitionSystem::prop_states(kripke::PropId p) const {
   const auto it = std::lower_bound(
       props_.begin(), props_.end(), p,
       [](const auto& entry, kripke::PropId key) { return entry.first < key; });
   if (it == props_.end() || it->first != p) return std::nullopt;
-  return it->second;
+  return it->second.get();
 }
 
 // ---- Generic explicit-to-symbolic bridge ------------------------------------
@@ -235,14 +247,14 @@ Bdd state_minterm(BddManager& mgr, std::uint32_t num_state_vars, kripke::StateId
     acc = bit ? mgr.make_node(bdd_var, kBddFalse, acc)
               : mgr.make_node(bdd_var, acc, kBddFalse);
   }
-  mgr.protect(acc);
   return acc;
 }
 
 namespace {
 
 /// Balanced OR over a list — keeps intermediate BDDs small compared to a
-/// left fold when the disjuncts are minterm-like.
+/// left fold when the disjuncts are minterm-like.  Raw handles: callers
+/// hold a protect_scope.
 Bdd or_all(BddManager& mgr, std::vector<Bdd> terms) {
   if (terms.empty()) return kBddFalse;
   while (terms.size() > 1) {
@@ -270,6 +282,11 @@ TransitionSystem from_structure(const kripke::Structure& m,
   if (mgr == nullptr) mgr = std::make_shared<BddManager>(2 * bits);
   support::require<ModelError>(mgr->num_vars() >= 2 * bits,
                                "from_structure: manager owns too few variables");
+
+  // The whole build runs on raw handles under one scope; the
+  // TransitionSystem constructor roots what it retains before the scope
+  // exits.
+  const auto scope = mgr->protect_scope();
 
   // Transition relation: per source state, one minterm AND the balanced OR
   // of its successors' primed minterms.

@@ -18,6 +18,14 @@
 // and_exists measured ~5x faster than a per-part product-and-OR loop for
 // the EX-heavy CTL fixpoints.
 //
+// Lifetimes: everything the system retains — initial set, partition,
+// prop functions, quantification cubes, the cached monolithic relation
+// and reachable set — is held in BddRef roots, so it survives garbage
+// collection and reordering while everything transient (image
+// intermediates, fixpoint frontiers) becomes collectible the moment its
+// ref dies.  The image primitives return BddRef: callers own their
+// results.
+//
 // Variable convention: state variable v (0-based, v < num_state_vars) owns
 // the BDD variable pair (2v, 2v+1) — unprimed interleaved with primed, so
 // the prime/unprime renames are order-preserving and structure-preserving
@@ -50,7 +58,9 @@ class TransitionSystem {
   /// over unprimed variables; each element of `partition` relates unprimed
   /// to primed, combining per `kind`.  `props` maps registry ids to
   /// characteristic functions; `index_set` mirrors
-  /// kripke::Structure::index_set for the index quantifiers.
+  /// kripke::Structure::index_set for the index quantifiers.  The raw
+  /// handles are rooted (BddRef) before any further BDD operation runs, so
+  /// callers may pass unrooted results built under a protect_scope.
   TransitionSystem(std::shared_ptr<BddManager> mgr, std::uint32_t num_state_vars,
                    Bdd initial, std::vector<Bdd> partition, PartitionKind kind,
                    kripke::PropRegistryPtr registry,
@@ -76,38 +86,60 @@ class TransitionSystem {
     return mgr_;
   }
   [[nodiscard]] std::uint32_t num_state_vars() const noexcept { return num_state_vars_; }
-  [[nodiscard]] Bdd initial() const noexcept { return initial_; }
+  [[nodiscard]] Bdd initial() const noexcept { return initial_.get(); }
 
-  /// The partitioned relation and how it combines.
-  [[nodiscard]] std::span<const Bdd> partition() const noexcept { return parts_; }
+  /// The partitioned relation (system-rooted refs) and how it combines.
+  [[nodiscard]] std::span<const BddRef> partition() const noexcept { return parts_; }
   [[nodiscard]] PartitionKind partition_kind() const noexcept { return kind_; }
 
-  /// The monolithic T(x, x') — combined lazily on first request and cached;
-  /// the image primitives never need it.
+  /// The monolithic T(x, x') — combined lazily on first request, cached and
+  /// system-rooted; the image primitives never need it.
   [[nodiscard]] Bdd transitions() const;
 
   /// Total BDD nodes across the partition (shared nodes counted once).
   [[nodiscard]] std::size_t relation_node_count() const;
 
   /// { x | exists x'. T(x, x') & S(x') } — states with some successor in S.
-  [[nodiscard]] Bdd pre_image(Bdd states) const;
+  [[nodiscard]] BddRef pre_image(Bdd states) const;
 
   /// { x' | exists x. S(x) & T(x, x') } — states with some predecessor in S,
   /// renamed back to unprimed variables.
-  [[nodiscard]] Bdd post_image(Bdd states) const;
+  [[nodiscard]] BddRef post_image(Bdd states) const;
 
-  /// Least fixpoint of I | post_image(.), computed once and cached.  A
-  /// disjunctive partition is chained: within one sweep each part's image
-  /// feeds the next part immediately (Ravi–Somenzi style), which collapses
-  /// the long token-passing diameters of the ring family into a handful of
-  /// sweeps.
+  /// Least fixpoint of I | post_image(.), computed once, cached and
+  /// system-rooted.  A disjunctive partition is chained: within one sweep
+  /// each part's image feeds the next part immediately (Ravi–Somenzi style),
+  /// which collapses the long token-passing diameters of the ring family
+  /// into a handful of sweeps.
   [[nodiscard]] Bdd reachable() const;
 
+  /// Installs a precomputed reachable set (the bdd_store loader's path:
+  /// reload a saved fixpoint instead of recomputing it).
+  void adopt_reachable(Bdd reach) const { reachable_ = BddRef(*mgr_, reach); }
+
+  /// Whether reachable() has already been computed (or adopted) — lets the
+  /// store persist the fixpoint without forcing its computation.
+  [[nodiscard]] bool reachable_computed() const noexcept {
+    return reachable_.has_value();
+  }
+
+  /// All (PropId, characteristic function) pairs, sorted by PropId.
+  [[nodiscard]] std::span<const std::pair<kripke::PropId, BddRef>> props()
+      const noexcept {
+    return props_;
+  }
+
   /// Number of states in a set-BDD over unprimed variables (primed
-  /// variables must not occur in its support).
+  /// variables must not occur in its support) — double view, 2^53-limited.
   [[nodiscard]] double count_states(Bdd set) const;
 
+  /// Exact count of states in a set-BDD over unprimed variables.
+  [[nodiscard]] SatCount count_states_exact(Bdd set) const;
+
   [[nodiscard]] double num_reachable() const { return count_states(reachable()); }
+
+  /// Exact reachable-state count (the precision-safe num_reachable).
+  [[nodiscard]] SatCount num_states() const { return count_states_exact(reachable()); }
 
   /// Characteristic function of a proposition; nullopt when the system
   /// carries no function for it.
@@ -129,23 +161,23 @@ class TransitionSystem {
 
   std::shared_ptr<BddManager> mgr_;
   std::uint32_t num_state_vars_;
-  Bdd initial_;
-  std::vector<Bdd> parts_;
+  BddRef initial_;
+  std::vector<BddRef> parts_;
   PartitionKind kind_;
   kripke::PropRegistryPtr registry_;
-  std::vector<std::pair<kripke::PropId, Bdd>> props_;  // sorted by PropId
+  std::vector<std::pair<kripke::PropId, BddRef>> props_;  // sorted by PropId
   std::vector<std::uint32_t> index_set_;
-  Bdd unprimed_cube_;
-  Bdd primed_cube_;
+  BddRef unprimed_cube_;
+  BddRef primed_cube_;
   std::vector<std::uint32_t> to_primed_;    // rename map: 2v -> 2v+1
   std::vector<std::uint32_t> to_unprimed_;  // rename map: 2v+1 -> 2v
   // Early-quantification schedule (conjunctive partitions only).
-  std::vector<Bdd> pre_schedule_cubes_;   // primed vars last mentioned at part k
-  std::vector<Bdd> post_schedule_cubes_;  // unprimed vars last mentioned at part k
-  Bdd pre_leading_cube_ = kBddTrue;       // primed vars mentioned by no part
-  Bdd post_leading_cube_ = kBddTrue;      // unprimed vars mentioned by no part
-  mutable std::optional<Bdd> monolithic_;
-  mutable std::optional<Bdd> reachable_;
+  std::vector<BddRef> pre_schedule_cubes_;   // primed vars last mentioned at part k
+  std::vector<BddRef> post_schedule_cubes_;  // unprimed vars last mentioned at part k
+  BddRef pre_leading_cube_;                  // primed vars mentioned by no part
+  BddRef post_leading_cube_;                 // unprimed vars mentioned by no part
+  mutable std::optional<BddRef> monolithic_;
+  mutable std::optional<BddRef> reachable_;
 };
 
 /// Generic bridge from the explicit engine: encodes an explicit structure
@@ -161,6 +193,9 @@ class TransitionSystem {
 
 /// The state-id minterm used by from_structure (exposed for tests): the
 /// conjunction over all k state vars of x_v or !x_v per the bits of `s`.
+/// Returns an UNROOTED handle — run under a protect_scope (or on a manager
+/// with neither auto-GC nor dynamic reordering armed) and root what must
+/// survive.
 [[nodiscard]] Bdd state_minterm(BddManager& mgr, std::uint32_t num_state_vars,
                                 kripke::StateId s, bool primed);
 

@@ -4,6 +4,7 @@
 // truth-table evaluation over small variable counts.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -156,6 +157,49 @@ TEST(BddManager, SatCount) {
   // variables doubles per variable.
   BddManager wide(10);
   EXPECT_DOUBLE_EQ(wide.sat_count(wide.var(0)), 512.0);
+}
+
+TEST(SatCountExact, NormalizationArithmeticAndRendering) {
+  // Equal counts have equal representations regardless of how they were
+  // assembled: the mantissa is normalized odd (or zero).
+  EXPECT_EQ(SatCount::make(4, 0), SatCount::make(1, 2));
+  EXPECT_EQ(SatCount::make(6, 10), SatCount::make(3, 11));
+  EXPECT_EQ(SatCount::make(0, 37), SatCount::make(0, 0));
+  EXPECT_TRUE(SatCount::make(0).is_zero());
+  EXPECT_EQ((SatCount::make(3, 4) + SatCount::make(1, 4)), SatCount::make(1, 6));
+  EXPECT_EQ((SatCount::make(1, 60) + SatCount::make(1, 0)).to_decimal_string(),
+            "1152921504606846977");
+  EXPECT_EQ(SatCount::make(1, 70).to_decimal_string(), "1180591620717411303424");
+  EXPECT_DOUBLE_EQ(SatCount::make(1, 70).to_double(), std::ldexp(1.0, 70));
+  // Sums whose odd part would exceed the 128-bit mantissa are a hard error,
+  // not silent drift.
+  SatCount big = SatCount::make(1, 128);
+  EXPECT_THROW(big += SatCount::make(1, 0), Error);
+}
+
+TEST(SatCountExact, TracksWideOddPartsWhereTheDoubleViewRounds) {
+  // f = !x0 | (x0 & x1 & ... & x60) over 61 variables has exactly
+  // 2^60 + 1 satisfying assignments — one more than a double can tell
+  // apart at that magnitude.
+  constexpr std::uint32_t kVars = 61;
+  BddManager mgr(kVars);
+  BddRef conj(mgr, kBddTrue);
+  for (std::uint32_t v = kVars - 1; v >= 1; --v)
+    conj = mgr.bdd_and(conj, mgr.var(v));
+  const BddRef f = mgr.ite(mgr.var(0), conj, kBddTrue);
+
+  const SatCount exact = mgr.sat_count_exact(f);
+  EXPECT_EQ(exact, SatCount::make((std::uint64_t{1} << 60) + 1));
+  EXPECT_EQ(exact.to_decimal_string(), "1152921504606846977");
+  // Regression pin for the precision bug the exact path fixes: the double
+  // view rounds the +1 away entirely.
+  EXPECT_DOUBLE_EQ(mgr.sat_count(f), std::ldexp(1.0, 60));
+  EXPECT_DOUBLE_EQ(exact.to_double(), std::ldexp(1.0, 60));  // lossy by design
+  // Terminals and simple cofactor shapes agree with the double view where
+  // the double view is still exact.
+  EXPECT_EQ(mgr.sat_count_exact(kBddFalse), SatCount::make(0));
+  EXPECT_EQ(mgr.sat_count_exact(kBddTrue), SatCount::make(1, kVars));
+  EXPECT_EQ(mgr.sat_count_exact(mgr.var(7)), SatCount::make(1, kVars - 1));
 }
 
 TEST(BddManager, DagSizeAndEval) {

@@ -2,7 +2,10 @@
 // state for state — with the production mc::CtlChecker and with the naive
 // reference implementation, on random structures, on the client-server
 // stars, and on the Section 5 rings (including every Section 5
-// specification), for all ring sizes the ISSUE pins (r <= 12).
+// specification), for all ring sizes the original ISSUE pins (r <= 12) —
+// and, with sifting and scrambled initial orders in play, up to the
+// million-state r = 16 instance (strided state sampling + exact sat-set
+// counts there; the per-state loops stay exhaustive through r = 12).
 #include <gtest/gtest.h>
 
 #include "../helpers.hpp"
@@ -239,12 +242,19 @@ using ictl::testing::scrambled_pair_order;
 TEST(ThreeEngineDifferential, SurvivesSiftingAndRandomInitialOrders) {
   // The acceptance pin: the engines must still agree state-for-state when
   // the symbolic side runs with dynamic reordering enabled, with a
-  // scrambled initial variable order, and with both at once.
-  for (const std::uint32_t r : {3u, 5u, 8u}) {
+  // scrambled initial variable order, and with both at once.  Scoped
+  // lifetimes let the sift-on legs run all the way to r = 16 (1048576
+  // states): reorders sweep the dead fixpoint intermediates instead of
+  // dragging them through every swap.  At r = 16 the per-state comparison
+  // samples a coprime stride and the full sat-set is pinned exactly via
+  // count_sat; smaller sizes stay exhaustive.
+  for (const std::uint32_t r : {3u, 5u, 8u, 16u}) {
     auto reg = kripke::make_registry();
     const auto explicit_sys = testing::ring_of(r, reg);
     const auto& m = explicit_sys.structure();
     mc::CtlChecker explicit_checker(m);
+    const kripke::StateId stride = r >= 16 ? 257 : 1;
+    const int rounds = r >= 16 ? 2 : 4;
 
     for (int variant = 0; variant < 3; ++variant) {
       const std::uint32_t num_bdd_vars = 2 * (2 * r + 1);
@@ -253,7 +263,7 @@ TEST(ThreeEngineDifferential, SurvivesSiftingAndRandomInitialOrders) {
         mgr->set_initial_order(scrambled_pair_order(num_bdd_vars, 41u * r + variant));
       SymbolicRingOptions options;
       options.dynamic_reordering = variant != 1;
-      options.reorder_threshold = 256;
+      options.reorder_threshold = r >= 16 ? 4096 : 256;
       const SymbolicRing sym = build_symbolic_ring(r, mgr, reg, options);
       CtlChecker symbolic_checker(sym.system);
 
@@ -262,16 +272,21 @@ TEST(ThreeEngineDifferential, SurvivesSiftingAndRandomInitialOrders) {
                   explicit_checker.holds_initially(f))
             << "r=" << r << " variant=" << variant << " " << name;
       Rng rng(r * 313 + variant);
-      for (int k = 0; k < 4; ++k) {
+      for (int k = 0; k < rounds; ++k) {
         const auto f = random_ring_ctl(rng, r, 1 + rng.below(2));
         const mc::SatSet& expected = explicit_checker.sat(f);
         const Bdd actual = symbolic_checker.sat(f);
-        for (kripke::StateId s = 0; s < m.num_states(); ++s)
+        for (kripke::StateId s = 0; s < m.num_states(); s += stride)
           EXPECT_EQ(sym.system->manager().eval(
                         actual, sym.assignment(explicit_sys.state(s))),
                     expected.test(s))
               << "r=" << r << " variant=" << variant << " state " << s << " "
               << logic::to_string(f);
+        // The exact set sizes agree — with a strided sample above this pins
+        // the whole set far harder than the sample alone.
+        EXPECT_DOUBLE_EQ(symbolic_checker.count_sat(f),
+                         static_cast<double>(expected.count()))
+            << "r=" << r << " variant=" << variant << " " << logic::to_string(f);
       }
       if (options.dynamic_reordering) {
         EXPECT_GE(mgr->stats().sift_passes, 1u)

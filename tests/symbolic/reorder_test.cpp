@@ -37,7 +37,8 @@ using ictl::testing::scrambled_pair_order;
 
 TEST(AdjacentSwap, PreservesFunctionsNodeCountsAndCanonicity) {
   BddManager mgr(6);
-  const std::vector<Bdd> pool = {
+  // Rooted refs: the pool is the live set the swaps must preserve.
+  const std::vector<BddRef> pool = {
       mgr.bdd_xor(mgr.var(0), mgr.var(3)),
       mgr.bdd_or(mgr.bdd_and(mgr.var(0), mgr.var(1)),
                  mgr.bdd_and(mgr.var(2), mgr.var(5))),
@@ -74,7 +75,7 @@ TEST(AdjacentSwap, SymmetricFunctionSizeIsOrderInvariant) {
   // exactly (a sharp check that the swap neither duplicates nor loses
   // structure).
   BddManager mgr(8);
-  Bdd parity = kBddFalse;
+  BddRef parity(mgr, kBddFalse);
   for (std::uint32_t v = 0; v < 8; ++v) parity = mgr.bdd_xor(parity, mgr.var(v));
   const std::size_t size = mgr.dag_size(parity);
   for (std::uint32_t lvl = 0; lvl + 1 < 8; ++lvl) {
@@ -95,7 +96,9 @@ TEST(Sifting, RecoversFromAdversarialOrder) {
   for (std::uint32_t p = 0; p < kPairs; ++p) bad_order.push_back(2 * p + 1);
   mgr.set_initial_order(bad_order);
 
-  Bdd f = kBddFalse;
+  // f must be rooted: reorder_now sweeps dead nodes before sifting, so an
+  // unrooted handle would be retired out from under the test.
+  BddRef f(mgr, kBddFalse);
   for (std::uint32_t p = 0; p < kPairs; ++p)
     f = mgr.bdd_or(f, mgr.bdd_and(mgr.var(2 * p), mgr.var(2 * p + 1)));
   const std::size_t before = mgr.dag_size(f);
@@ -121,12 +124,13 @@ TEST(Sifting, GroupSiftingKeepsPairBlocksIntact) {
   constexpr std::uint32_t kVars = 12;
   BddManager mgr(kVars);
   mgr.set_initial_order(scrambled_pair_order(kVars, 7));
-  // Couple far-apart pairs so sifting has an incentive to move blocks.
-  Bdd f = kBddFalse;
+  // Couple far-apart pairs so sifting has an incentive to move blocks; the
+  // refs keep the coupling functions live through the reorder's sweep.
+  BddRef f(mgr, kBddFalse);
   for (std::uint32_t p = 0; p + 1 < kVars / 2; p += 2)
     f = mgr.bdd_or(f, mgr.bdd_and(mgr.var(2 * p), mgr.var(2 * (p + 1))));
-  Bdd g = mgr.bdd_and(f, mgr.bdd_iff(mgr.var(1), mgr.var(11)));
-  (void)g;
+  const BddRef g = mgr.bdd_and(f, mgr.bdd_iff(mgr.var(1), mgr.var(11)));
+  static_cast<void>(g.get());
   mgr.reorder_now();  // group_pairs defaults to true
   ASSERT_TRUE(mgr.check_invariants());
   for (std::uint32_t v = 0; v < kVars; v += 2)
@@ -181,10 +185,12 @@ TEST(Reorder, ComputedCacheIsInvalidatedEpochStyle) {
 TEST(Reorder, DynamicReorderingTriggersSiftOnGrowth) {
   BddManager mgr(16);
   mgr.enable_dynamic_reordering(/*threshold=*/128);
-  Bdd acc = kBddTrue;
+  // Growth-triggered sifts sweep dead nodes mid-loop; the accumulators must
+  // be rooted to survive until the next iteration reads them.
+  BddRef acc(mgr, kBddTrue);
   for (std::uint32_t v = 0; v + 1 < 16; ++v)
     acc = mgr.bdd_and(acc, mgr.bdd_or(mgr.var(v), mgr.bdd_not(mgr.var(v + 1))));
-  Bdd parity = kBddFalse;
+  BddRef parity(mgr, kBddFalse);
   for (std::uint32_t v = 0; v < 16; ++v) parity = mgr.bdd_xor(parity, mgr.var(v));
   EXPECT_GE(mgr.stats().reorder_hook_calls, 1u);
   EXPECT_GE(mgr.stats().sift_passes, 1u);
@@ -217,7 +223,7 @@ TEST(RandomizedOrder, CountsAndVerdictsAreOrderInvariant) {
   // 20 scrambled pair-block initial orders across ring sizes, sifting
   // forced on and off: sat counts, reachable counts, and all six Section 5
   // verdicts must match the default order exactly.
-  const std::vector<std::uint32_t> sizes = {2, 5, 8, 11};
+  const std::vector<std::uint32_t> sizes = {2, 5, 8, 16};
   std::vector<RingExpectation> expected;
   expected.reserve(sizes.size());
   for (const std::uint32_t r : sizes) expected.push_back(expected_for(r));
@@ -227,11 +233,11 @@ TEST(RandomizedOrder, CountsAndVerdictsAreOrderInvariant) {
     const std::uint32_t r = sizes[seed % sizes.size()];
     const RingExpectation& want = expected[seed % sizes.size()];
     for (const bool sift : {false, true}) {
-      // Sift-on legs stay at r <= 8: protect-everything makes every
-      // fixpoint intermediate count as live, so repeated growth-triggered
-      // passes on the larger checker-heavy managers are all cost and no
-      // extra coverage (the r = 11 rings still run the sift-off leg).
-      if (sift && r > 8) continue;
+      // Sift-on legs run all the way to r = 16 now: scoped lifetimes mean
+      // the reorder's sweep sees only the true live set (system roots and
+      // in-flight fixpoint refs), so growth-triggered passes on the larger
+      // checker-heavy managers stay cheap instead of dragging every dead
+      // intermediate through every swap.
       const std::uint32_t num_bdd_vars = 2 * (2 * r + 1);
       auto mgr = std::make_shared<BddManager>(num_bdd_vars);
       mgr->set_initial_order(scrambled_pair_order(num_bdd_vars, seed));
@@ -239,7 +245,7 @@ TEST(RandomizedOrder, CountsAndVerdictsAreOrderInvariant) {
       options.dynamic_reordering = sift;
       // Low enough to fire for real at every size, high enough that the
       // larger rings don't spend the whole test resifting.
-      options.reorder_threshold = r <= 5 ? 128 : 2048;
+      options.reorder_threshold = r <= 5 ? 128 : (r <= 8 ? 2048 : 8192);
       const SymbolicRing ring = build_symbolic_ring(r, mgr, nullptr, options);
       CtlChecker checker(ring.system);
 
@@ -265,8 +271,9 @@ TEST(Reorder, SharedManagerSecondBuildIsSafeFromInheritedHook) {
   // manager; a LATER build on the same (supported-to-share) manager must
   // not let that hook sift mid-chain-construction — the constraint-chain
   // builders assume a frozen order, and an unlucky firing used to trip the
-  // order-invariant assertion.  build_symbolic_ring now pauses reordering
-  // for the whole build.
+  // order-invariant assertion.  build_symbolic_ring now runs the whole
+  // build under a protect_scope, which defers both reordering and GC until
+  // the system has rooted its parts.
   auto mgr = std::make_shared<BddManager>(2 * (2 * 24 + 1));
   auto reg = kripke::make_registry();
   SymbolicRingOptions options;

@@ -21,6 +21,8 @@ TEST(SymbolicRing, ReachableCountIsRTimesTwoToTheR) {
     EXPECT_DOUBLE_EQ(ring.system->num_reachable(),
                      static_cast<double>(ring::ring_state_count(r)))
         << "r = " << r;
+    // The exact counter agrees on these (still double-exact) sizes.
+    EXPECT_EQ(ring.system->num_states(), SatCount::make(r, r)) << "r = " << r;
   }
 }
 
@@ -213,6 +215,12 @@ TEST(SymbolicRing, ReachableCountExactAtCapOf256) {
   EXPECT_DOUBLE_EQ(ring.system->num_reachable(), std::ldexp(1.0, 264));
   EXPECT_DOUBLE_EQ(ring.system->num_reachable(),
                    256.0 * std::ldexp(1.0, 256));
+  // The exact counter renders the full 80-digit integer, not a double.
+  const SatCount exact = ring.system->num_states();
+  EXPECT_EQ(exact, SatCount::make(1, 264));
+  EXPECT_EQ(exact.to_decimal_string(),
+            "296427748447529460284341721622241044104371160744039843941011415060"
+            "25761187823616");
 }
 
 TEST(SymbolicRing, RejectsDegenerateSizes) {
