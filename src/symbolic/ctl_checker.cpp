@@ -16,7 +16,7 @@ CtlChecker::CtlChecker(std::shared_ptr<const TransitionSystem> system,
                        CtlCheckerOptions options)
     : system_(std::move(system)), options_(options) {
   support::require<ModelError>(system_ != nullptr, "CtlChecker: null system");
-  reach_ = system_->reachable();
+  reach_ = BddRef(system_->manager(), system_->reachable());
 }
 
 Bdd CtlChecker::sat(const FormulaPtr& f) {
@@ -47,7 +47,7 @@ BddRef CtlChecker::compute(const FormulaPtr& f) {
   BddManager& m = system_->manager();
   switch (f->kind()) {
     case Kind::kTrue:
-      return BddRef(m, reach_);
+      return reach_;
     case Kind::kFalse:
       return BddRef(m, kBddFalse);
     case Kind::kAtom:

@@ -65,7 +65,10 @@ class CtlChecker {
 
   std::shared_ptr<const TransitionSystem> system_;
   CtlCheckerOptions options_;
-  Bdd reach_;  // system-rooted (TransitionSystem caches reachable())
+  // Checker-rooted: the system caches reachable() too, but holding our own
+  // ref keeps the universe alive even if the system is mutated or outlived
+  // — raw Bdd members are exactly what tools/ictl_lint forbids.
+  BddRef reach_;
   // Memo keyed on hash-consed node identity; the BddRef values root every
   // memoized satisfying set, and retaining the formulas keeps the
   // cons-table entries alive so re-built formulas keep hitting.
