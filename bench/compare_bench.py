@@ -6,29 +6,58 @@ Usage:
     bench/compare_bench.py OLD.json NEW.json [--format=text|md] [--threshold=X]
 
 Benchmarks are matched by (binary, benchmark name); entries present in only
-one snapshot are listed separately.  `--threshold` (default 1.10) is the
-ratio beyond which a change is flagged as a speedup/regression rather than
-noise.  Exit status is always 0 — perf deltas inform, they do not gate
-(hosted runners are too noisy to fail a build on).
+one snapshot appear as `new` / `gone` rows in the table.  `--threshold`
+(default 1.10) is the ratio beyond which a change is flagged as a
+speedup/regression rather than noise.  Perf deltas never gate (hosted
+runners are too noisy to fail a build on) so comparable snapshots exit 0 —
+but a snapshot the script cannot READ (malformed JSON, missing keys, an
+unknown time unit) exits 2: a broken artifact is a pipeline bug, not noise.
 """
 
 import argparse
 import json
 import sys
 
+TIME_SCALE_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+class SnapshotError(Exception):
+    """A snapshot file that cannot be interpreted (exit code 2)."""
+
 
 def load_results(path):
-    """Returns {(binary, name): real_time_ms} plus the time units seen."""
-    with open(path) as f:
-        snapshot = json.load(f)
+    """Returns {(binary, name): real_time_ms}; raises SnapshotError."""
+    try:
+        with open(path) as f:
+            snapshot = json.load(f)
+    except OSError as e:
+        raise SnapshotError(f"{path}: cannot read: {e}") from e
+    except json.JSONDecodeError as e:
+        raise SnapshotError(f"{path}: malformed JSON: {e}") from e
+    if not isinstance(snapshot, dict) or not isinstance(snapshot.get("results"), dict):
+        raise SnapshotError(f"{path}: no 'results' object — not a run_bench.sh snapshot")
     table = {}
-    for binary, payload in snapshot.get("results", {}).items():
-        for bench in payload.get("benchmarks", []):
+    for binary, payload in snapshot["results"].items():
+        benches = payload.get("benchmarks") if isinstance(payload, dict) else None
+        if not isinstance(benches, list):
+            raise SnapshotError(f"{path}: results[{binary!r}] has no 'benchmarks' list")
+        for bench in benches:
             if bench.get("run_type", "iteration") != "iteration":
                 continue
             unit = bench.get("time_unit", "ns")
-            scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
-            table[(binary, bench["name"])] = bench["real_time"] * scale
+            if unit not in TIME_SCALE_MS:
+                raise SnapshotError(
+                    f"{path}: unknown time_unit {unit!r} in results[{binary!r}]")
+            if "name" not in bench or "real_time" not in bench:
+                raise SnapshotError(
+                    f"{path}: benchmark entry in results[{binary!r}] lacks "
+                    "'name'/'real_time'")
+            try:
+                real_time = float(bench["real_time"])
+            except (TypeError, ValueError) as e:
+                raise SnapshotError(
+                    f"{path}: non-numeric real_time for {bench['name']!r}") from e
+            table[(binary, bench["name"])] = real_time * TIME_SCALE_MS[unit]
     return table
 
 
@@ -48,8 +77,12 @@ def main():
     parser.add_argument("--threshold", type=float, default=1.10)
     args = parser.parse_args()
 
-    old = load_results(args.old)
-    new = load_results(args.new)
+    try:
+        old = load_results(args.old)
+        new = load_results(args.new)
+    except SnapshotError as e:
+        print(f"compare_bench: error: {e}", file=sys.stderr)
+        return 2
     common = sorted(set(old) & set(new))
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))
@@ -76,27 +109,28 @@ def main():
         print("| --- | ---: | ---: | --- |")
     else:
         print(f"benchmark comparison: {args.old} -> {args.new}")
+    # One-sided legs ride in the same table: a benchmark that appeared or
+    # vanished is at least as interesting as one that got slower.
+    for key in only_new:
+        rows.append(("+", key, None, new[key], "new"))
+    for key in only_old:
+        rows.append(("-", key, old[key], None, "gone"))
+
     for marker, (binary, name), old_ms, new_ms, verdict in rows:
         label = f"{binary}:{name}"
+        old_s = fmt_ms(old_ms) if old_ms is not None else "—"
+        new_s = fmt_ms(new_ms) if new_ms is not None else "—"
         if md:
-            print(f"| `{label}` | {fmt_ms(old_ms)} | {fmt_ms(new_ms)} | {verdict} |")
+            print(f"| `{label}` | {old_s} | {new_s} | {verdict} |")
         else:
-            print(f" {marker} {label:<60} {fmt_ms(old_ms):>12} -> {fmt_ms(new_ms):>12}  {verdict}")
+            print(f" {marker} {label:<60} {old_s:>12} -> {new_s:>12}  {verdict}")
     summary = (
         f"{len(common)} compared: {speedups} faster, {regressions} slower, "
         f"{len(common) - speedups - regressions} within {args.threshold:.2f}x; "
-        f"{len(only_new)} new, {len(only_old)} removed"
+        f"{len(only_new)} new, {len(only_old)} gone"
     )
     print()
     print(f"**{summary}**" if md else summary)
-    if only_new:
-        names = ", ".join(f"{b}:{n}" for b, n in only_new[:8])
-        more = f" (+{len(only_new) - 8} more)" if len(only_new) > 8 else ""
-        print(("new: " if not md else "\nNew benchmarks: ") + names + more)
-    if only_old:
-        names = ", ".join(f"{b}:{n}" for b, n in only_old[:8])
-        more = f" (+{len(only_old) - 8} more)" if len(only_old) > 8 else ""
-        print(("removed: " if not md else "\nRemoved benchmarks: ") + names + more)
     return 0
 
 

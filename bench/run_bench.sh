@@ -24,8 +24,18 @@
 # binaries are skipped with a notice when Google Benchmark is unavailable.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+usage() {
+  # The usage text is the header comment above, minus the shebang and the
+  # leading '# ' — one source of truth for both.
+  sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
+}
+
+cd "$(dirname "$0")/.." || exit 1
 ARG="${1:-}"
+if [ "$ARG" = "--help" ] || [ "$ARG" = "-h" ]; then
+  usage
+  exit 0
+fi
 if [ -z "$ARG" ]; then
   OUT="BENCH_dev.json"
 elif [[ "$ARG" =~ ^[0-9]+$ ]]; then
@@ -44,14 +54,19 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
   exit 1
 fi
 
-if [ -z "${BENCHES:-}" ]; then
-  BENCHES="$(cd "$BUILD_DIR/bench" && ls bench_* 2>/dev/null | tr '\n' ' ')"
+if [ -n "${BENCHES:-}" ]; then
+  read -r -a BENCH_LIST <<<"$BENCHES"
+else
+  BENCH_LIST=()
+  for bin in "$BUILD_DIR"/bench/bench_*; do
+    [ -e "$bin" ] && BENCH_LIST+=("$(basename "$bin")")
+  done
 fi
 
 TMPDIR_RESULTS="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_RESULTS"' EXIT
 
-for b in $BENCHES; do
+for b in "${BENCH_LIST[@]}"; do
   bin="$BUILD_DIR/bench/$b"
   if [ ! -x "$bin" ]; then
     echo "run_bench: skipping $b (not built)" >&2
@@ -102,7 +117,16 @@ EOF
 # When a previous committed snapshot exists, print the speedup/regression
 # table against it (informational; never fails the run).
 if [ -z "${BENCH_BASELINE+x}" ]; then
-  BENCH_BASELINE="$(ls BENCH_[0-9]*.json 2>/dev/null | grep -v -F "$OUT" | sort -V | tail -1 || true)"
+  BENCH_BASELINE=""
+  for snap in BENCH_[0-9]*.json; do
+    [ -e "$snap" ] || continue
+    [ "$snap" = "$OUT" ] && continue
+    # version-sort by hand: keep the highest-numbered snapshot seen so far
+    if [ -z "$BENCH_BASELINE" ] ||
+       [ "$(printf '%s\n%s\n' "$BENCH_BASELINE" "$snap" | sort -V | tail -1)" = "$snap" ]; then
+      BENCH_BASELINE="$snap"
+    fi
+  done
 fi
 if [ -n "$BENCH_BASELINE" ] && [ -f "$BENCH_BASELINE" ]; then
   echo "run_bench: comparing against $BENCH_BASELINE" >&2

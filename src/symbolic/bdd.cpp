@@ -446,6 +446,9 @@ std::size_t BddManager::garbage_collect() {
   // Cache entries may hold retired operands or results; a post-sweep hit on
   // one would hand out a zombie.  Epoch-invalidate — the one choke point.
   invalidate_operation_caches();
+#ifdef ICTL_AUDIT
+  assert_audit(AuditLevel::kFull, "garbage_collect");
+#endif
   return retired;
 }
 
@@ -676,6 +679,9 @@ void BddManager::swap_adjacent_levels(std::uint32_t lvl) {
   swap_levels_internal(lvl);
   ++reorder_count_;
   invalidate_operation_caches();
+#ifdef ICTL_AUDIT
+  assert_audit(AuditLevel::kFull, "swap_adjacent_levels");
+#endif
 }
 
 void BddManager::swap_levels_internal(std::uint32_t lvl) {
@@ -911,6 +917,9 @@ std::size_t BddManager::reorder_now(const ReorderOptions& options) {
   gc_pending_ = false;       // the pass collected as it went
   ++reorder_count_;
   invalidate_operation_caches();
+#ifdef ICTL_AUDIT
+  assert_audit(AuditLevel::kFull, "reorder_now");
+#endif
   return live_nodes_;
 }
 
@@ -1043,58 +1052,141 @@ Bdd BddManager::node_high(Bdd f) const {
   return nodes_[f].high;
 }
 
-bool BddManager::check_invariants() const {
-  // Settle deferred deaths first: the liveness recount below compares
-  // against live_nodes_/var_live_count_, which include queued zombies
-  // until the flush runs.  Flushing only mutates bookkeeping — logically
-  // const, same as live_nodes().
-  const_cast<BddManager*>(this)->flush_dead_queue();
-  if (queued_dead_count_ != 0 || !dead_queue_.empty()) return false;
-  // Structure: order invariant, reducedness, global canonicity.  Retired
-  // zombies are exempt from the structural checks (they are unlinked and
-  // skipped by swaps, so their triples may be stale) but must be dead.
+// ---- Deep audits ------------------------------------------------------------
+
+std::string BddManager::AuditReport::to_string() const {
+  std::string out;
+  for (const std::string& f : failures) {
+    if (!out.empty()) out += '\n';
+    out += f;
+  }
+  return out;
+}
+
+namespace {
+
+void fail(BddManager::AuditReport& report, std::string message) {
+  // Bounded: a corrupted table can violate one invariant at every node, and
+  // an audit report is for reading, not for streaming the whole table.
+  constexpr std::size_t kMaxFailures = 64;
+  if (report.failures.size() < kMaxFailures) report.failures.push_back(std::move(message));
+}
+
+}  // namespace
+
+void BddManager::audit_structure(AuditReport& report) const {
+  // The order maps are mutually inverse permutations.
+  for (std::uint32_t l = 0; l < num_vars_; ++l)
+    if (level2var_[l] >= num_vars_ || var2level_[level2var_[l]] != l)
+      fail(report, "structure: order maps not inverse at level " + std::to_string(l));
+  // Order invariant, reducedness, global canonicity, live linkage closure.
+  // Retired zombies are exempt (unlinked and skipped by swaps, so their
+  // triples may be stale); liveness checks their counts instead.
   std::map<std::tuple<std::uint32_t, Bdd, Bdd>, Bdd> triples;
   for (Bdd id = 2; id < nodes_.size(); ++id) {
-    if (retired_[id] != 0) {
-      if (ref_[id] != 0 || ext_ref_[id] != 0) return false;
+    if (retired_[id] != 0) continue;
+    const Node& n = nodes_[id];
+    const std::string at = " at node " + std::to_string(id);
+    if (n.var >= num_vars_) {
+      fail(report, "structure: variable out of range" + at);
       continue;
     }
-    const Node& n = nodes_[id];
-    if (n.var >= num_vars_) return false;
-    if (n.low >= nodes_.size() || n.high >= nodes_.size()) return false;
-    if (n.low == n.high) return false;
-    if (level(id) >= level(n.low) || level(id) >= level(n.high)) return false;
+    if (n.low >= nodes_.size() || n.high >= nodes_.size()) {
+      fail(report, "structure: child handle out of range" + at);
+      continue;
+    }
+    if (n.low == n.high) fail(report, "structure: unreduced node (low == high)" + at);
+    if ((!is_terminal(n.low) && retired_[n.low] != 0) ||
+        (!is_terminal(n.high) && retired_[n.high] != 0))
+      fail(report, "structure: live node references a retired child" + at);
+    if (level(id) >= level(n.low) || level(id) >= level(n.high))
+      fail(report, "structure: order invariant violated" + at);
     if (!triples.emplace(std::make_tuple(n.var, n.low, n.high), id).second)
-      return false;  // duplicate triple: canonicity broken
+      fail(report, "structure: duplicate (var, low, high) triple — canonicity broken" + at);
   }
-  // Unique-subtable membership: every (non-retired) node on exactly its own
-  // var's chain.
+  // Unique-subtable membership: every non-retired node on exactly its own
+  // variable's chain, chain populations matching the counted sizes.
   std::vector<bool> chained(nodes_.size(), false);
   for (std::uint32_t v = 0; v < num_vars_; ++v) {
     std::size_t seen = 0;
     for (const Bdd head : subtables_[v].buckets)
       for (Bdd id = head; id != kNoNode; id = nodes_[id].next) {
-        if (nodes_[id].var != v || chained[id] || retired_[id] != 0) return false;
+        if (id >= nodes_.size()) {
+          fail(report, "structure: subtable chain runs off the node table at var " +
+                           std::to_string(v));
+          break;
+        }
+        if (nodes_[id].var != v)
+          fail(report, "structure: node " + std::to_string(id) +
+                           " chained under foreign var " + std::to_string(v));
+        if (chained[id])
+          fail(report, "structure: node " + std::to_string(id) + " chained twice");
+        if (retired_[id] != 0)
+          fail(report, "structure: retired node " + std::to_string(id) +
+                           " still chained in the unique table");
         chained[id] = true;
         ++seen;
       }
-    if (seen != subtables_[v].count) return false;
+    if (seen != subtables_[v].count)
+      fail(report, "structure: subtable count mismatch at var " + std::to_string(v) +
+                       " (chained " + std::to_string(seen) + ", counted " +
+                       std::to_string(subtables_[v].count) + ")");
   }
   for (Bdd id = 2; id < nodes_.size(); ++id)
-    if (!chained[id] && retired_[id] == 0) return false;
-  // Liveness: recompute the live set from the externally referenced roots
-  // and compare reference counts and per-var totals.
+    if (!chained[id] && retired_[id] == 0)
+      fail(report, "structure: node " + std::to_string(id) +
+                       " missing from the unique table but not retired");
+}
+
+void BddManager::audit_liveness(AuditReport& report) const {
+  // Queue/flag coherence.  The dead queue may hold stale entries whose flag
+  // was cleared by a revive (that is the O(1) contract), but every SET flag
+  // must still be discoverable by the flush walk.
+  std::vector<bool> in_queue(nodes_.size(), false);
+  for (const Bdd id : dead_queue_) {
+    if (id >= nodes_.size()) {
+      fail(report, "liveness: dead queue holds out-of-range id " + std::to_string(id));
+      continue;
+    }
+    in_queue[id] = true;
+  }
+  std::size_t flagged = 0;
+  for (Bdd id = 2; id < nodes_.size(); ++id) {
+    if (queued_dead_[id] != 0) {
+      ++flagged;
+      if (ext_ref_[id] != 0)
+        fail(report, "liveness: queued-dead node " + std::to_string(id) +
+                         " still externally referenced");
+      if (retired_[id] != 0)
+        fail(report, "liveness: queued-dead node " + std::to_string(id) + " is retired");
+      if (!in_queue[id])
+        fail(report, "liveness: queued-dead flag set on node " + std::to_string(id) +
+                         " but the node is not in the dead queue");
+    }
+    if (retired_[id] != 0 && (ref_[id] != 0 || ext_ref_[id] != 0))
+      fail(report, "liveness: retired node " + std::to_string(id) +
+                       " still carries references");
+  }
+  if (flagged != queued_dead_count_)
+    fail(report, "liveness: queued_dead_count_ is " + std::to_string(queued_dead_count_) +
+                     " but " + std::to_string(flagged) + " flags are set");
+  // Reference-count recount WITHOUT settling the queue: a queued zombie has
+  // released its external root but not yet torn down its cone's counts, so
+  // the expected counts are exactly those of the root set {externally
+  // referenced} ∪ {queued dead}.
   std::vector<std::uint32_t> expected_ref(nodes_.size(), 0);
   std::vector<bool> live(nodes_.size(), false);
   std::vector<Bdd> stack;
   for (Bdd id = 2; id < nodes_.size(); ++id)
-    if (ext_ref_[id] != 0 && !live[id]) {
+    if ((ext_ref_[id] != 0 || queued_dead_[id] != 0) && !live[id]) {
       live[id] = true;
       stack.push_back(id);
     }
   while (!stack.empty()) {
     const Bdd x = stack.back();
     stack.pop_back();
+    if (nodes_[x].low >= nodes_.size() || nodes_[x].high >= nodes_.size())
+      continue;  // already reported by the structure tier
     for (const Bdd child : {nodes_[x].low, nodes_[x].high}) {
       if (is_terminal(child)) continue;
       ++expected_ref[child];
@@ -1107,19 +1199,136 @@ bool BddManager::check_invariants() const {
   std::vector<std::size_t> expected_var_count(num_vars_, 0);
   std::size_t expected_live = 0;
   for (Bdd id = 2; id < nodes_.size(); ++id) {
-    if (ref_[id] != expected_ref[id]) return false;
-    if (live[id]) {
+    if (ref_[id] != expected_ref[id])
+      fail(report, "liveness: node " + std::to_string(id) + " has refcount " +
+                       std::to_string(ref_[id]) + ", recount says " +
+                       std::to_string(expected_ref[id]));
+    if (live[id] && nodes_[id].var < num_vars_) {
       ++expected_live;
       ++expected_var_count[nodes_[id].var];
     }
   }
-  if (expected_live != live_nodes_) return false;
+  if (expected_live != live_nodes_)
+    fail(report, "liveness: live_nodes_ is " + std::to_string(live_nodes_) +
+                     ", recount says " + std::to_string(expected_live));
   for (std::uint32_t v = 0; v < num_vars_; ++v)
-    if (expected_var_count[v] != var_live_count_[v]) return false;
-  // The order maps are mutually inverse permutations.
-  for (std::uint32_t l = 0; l < num_vars_; ++l)
-    if (var2level_[level2var_[l]] != l) return false;
-  return true;
+    if (expected_var_count[v] != var_live_count_[v])
+      fail(report, "liveness: var_live_count_[" + std::to_string(v) + "] is " +
+                       std::to_string(var_live_count_[v]) + ", recount says " +
+                       std::to_string(expected_var_count[v]));
+}
+
+void BddManager::audit_caches(AuditReport& report) const {
+  const auto retired = [&](Bdd f) {
+    return f < nodes_.size() && !is_terminal(f) && retired_[f] != 0;
+  };
+  for (std::size_t i = 0; i < cache_.size(); ++i) {
+    const CacheEntry& e = cache_[i];
+    if (e.epoch > cache_epoch_) {
+      // A future epoch would spontaneously validate after the next
+      // invalidation bump — worse than stale, it is a time bomb.
+      fail(report, "caches: computed-table entry " + std::to_string(i) +
+                       " stamped with a future epoch");
+      continue;
+    }
+    if (e.epoch != cache_epoch_ || e.op == Op::kNone) continue;
+    for (const Bdd operand : {e.a, e.b, e.c, e.result}) {
+      if (operand >= nodes_.size())
+        fail(report, "caches: computed-table entry " + std::to_string(i) +
+                         " references out-of-range handle " + std::to_string(operand));
+      else if (retired(operand))
+        fail(report, "caches: computed-table entry " + std::to_string(i) +
+                         " references retired handle " + std::to_string(operand));
+    }
+  }
+  for (Bdd id = 0; id < rename_stamp_.size(); ++id) {
+    if (rename_stamp_[id] > rename_epoch_) {
+      fail(report, "caches: rename memo for node " + std::to_string(id) +
+                       " stamped with a future epoch");
+      continue;
+    }
+    if (rename_stamp_[id] != rename_epoch_) continue;
+    if (retired(id))
+      fail(report, "caches: rename memo keeps a current-epoch entry for retired node " +
+                       std::to_string(id));
+    const Bdd val = rename_val_[id];
+    if (val >= nodes_.size())
+      fail(report, "caches: rename memo for node " + std::to_string(id) +
+                       " holds out-of-range handle " + std::to_string(val));
+    else if (retired(val))
+      fail(report, "caches: rename memo for node " + std::to_string(id) +
+                       " holds retired handle " + std::to_string(val));
+  }
+}
+
+void BddManager::audit_satcount(const SatCount& count, const std::string& what,
+                                AuditReport& report) {
+  if (count.is_zero()) {
+    if (count.exponent != 0)
+      fail(report, "counts: zero SatCount with nonzero exponent for " + what);
+    return;
+  }
+  if ((count.lo & 1u) == 0)
+    fail(report, "counts: SatCount mantissa not normalized odd for " + what);
+  if (count.exponent < 0)
+    fail(report, "counts: SatCount with negative exponent for " + what +
+                     " (assignment counts are integers)");
+}
+
+void BddManager::audit_counts(AuditReport& report) const {
+  // Every externally rooted function: the exact count must be normalized
+  // and must agree with the lossy double path; on small managers both must
+  // agree with brute-force evaluation.  (sat_count_exact can legitimately
+  // overflow its 128-bit odd part — that is a documented limit, not
+  // corruption — so overflow skips the root.)
+  const bool brute_force = num_vars_ <= 12;
+  for (Bdd id = 2; id < nodes_.size(); ++id) {
+    if (ext_ref_[id] == 0 || retired_[id] != 0) continue;
+    const std::string what = "root " + std::to_string(id);
+    SatCount exact;
+    try {
+      exact = sat_count_exact(id);
+    } catch (const Error&) {
+      continue;
+    }
+    audit_satcount(exact, what, report);
+    const double exact_d = exact.to_double();
+    const double lossy = sat_count(id);
+    if (std::isfinite(exact_d) && std::isfinite(lossy)) {
+      const double tolerance = 1e-9 * std::max(1.0, std::max(exact_d, lossy));
+      if (std::abs(exact_d - lossy) > tolerance)
+        fail(report, "counts: sat_count and sat_count_exact disagree for " + what);
+    }
+    if (brute_force) {
+      std::uint64_t enumerated = 0;
+      std::vector<bool> assignment(num_vars_, false);
+      for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << num_vars_); ++bits) {
+        for (std::uint32_t v = 0; v < num_vars_; ++v)
+          assignment[v] = ((bits >> v) & 1u) != 0;
+        if (eval(id, assignment)) ++enumerated;
+      }
+      if (exact != SatCount::make(enumerated))
+        fail(report, "counts: sat_count_exact disagrees with brute-force "
+                     "enumeration for " +
+                         what + " (enumerated " + std::to_string(enumerated) + ")");
+    }
+  }
+}
+
+BddManager::AuditReport BddManager::audit(AuditLevel level) const {
+  AuditReport report;
+  audit_structure(report);
+  if (level >= AuditLevel::kLiveness) audit_liveness(report);
+  if (level >= AuditLevel::kCaches) audit_caches(report);
+  if (level >= AuditLevel::kFull) audit_counts(report);
+  return report;
+}
+
+void BddManager::assert_audit(AuditLevel level, const char* where) const {
+  const AuditReport report = audit(level);
+  if (!report.ok())
+    throw Error(std::string("BddManager audit failed at ") + where + ":\n" +
+                report.to_string());
 }
 
 }  // namespace ictl::symbolic

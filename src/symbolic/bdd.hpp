@@ -1,3 +1,7 @@
+// ictl-lint: allow-file(raw-bdd-member) — the manager and BddRef ARE the
+// implementation of the handle discipline tools/ictl_lint enforces; their
+// node/cache/queue tables legitimately store raw handles.
+//
 // A small self-contained BDD (reduced ordered binary decision diagram)
 // manager — the third engine's substrate.  No external dependencies, in the
 // spirit of the interner in src/support/: nodes are hash-consed through
@@ -326,14 +330,58 @@ class BddManager {
   [[nodiscard]] Bdd node_high(Bdd f) const;
   [[nodiscard]] static bool is_terminal(Bdd f) noexcept { return f <= kBddTrue; }
 
-  /// Deep structural audit (test support): order invariant, reducedness,
-  /// unique-table membership and canonicity, reference-count and live-count
-  /// agreement against the externally referenced roots.  O(n log n);
-  /// returns false on any violation.
-  [[nodiscard]] bool check_invariants() const;
+  // ---- Deep audits ---------------------------------------------------------
+
+  /// Audit tiers, cumulative: each level runs every check below it.
+  enum class AuditLevel : std::uint32_t {
+    /// Order invariant, reducedness, global canonicity, unique-subtable
+    /// membership, live-linkage closure (no live node points at a retired
+    /// one), order maps mutually inverse.
+    kStructure = 0,
+    /// Reference-count recount from the externally referenced roots PLUS the
+    /// deferred-death queue (queued zombies still hold their cones' counts),
+    /// live-node and per-variable live totals, queue/flag coherence,
+    /// retired-implies-unreferenced.
+    kLiveness = 1,
+    /// Computed-table and rename-memo epoch coherence: no current-epoch
+    /// entry references a retired handle or carries an epoch from the
+    /// future (which would spontaneously validate after an invalidation).
+    kCaches = 2,
+    /// SatCount consistency on every externally rooted function:
+    /// normalization (odd mantissa, zero => exponent 0, exponent >= 0),
+    /// exact-vs-double agreement, brute-force evaluation cross-check on
+    /// small managers.
+    kFull = 3,
+  };
+
+  /// Everything a deep audit found wrong, one line per violated invariant.
+  struct AuditReport {
+    std::vector<std::string> failures;
+    [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+    /// All failures joined by newlines (empty when ok()).
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  /// Deep cross-structure audit up to `level` (see AuditLevel).  Truly
+  /// const — unlike the PR 6 check_invariants it does NOT settle the
+  /// deferred-death queue: the liveness recount treats queued zombies as
+  /// roots, which is exactly the state their cones' counts still reflect.
+  /// O(n log n) from the canonicity map.
+  [[nodiscard]] AuditReport audit(AuditLevel level = AuditLevel::kFull) const;
+
+  /// Throws Error listing every failure when audit(level) fails.  The
+  /// ICTL_AUDIT build calls this automatically at GC, reorder, and
+  /// store/load epochs; `where` names the epoch in the error text.
+  void assert_audit(AuditLevel level = AuditLevel::kFull,
+                    const char* where = "audit") const;
+
+  /// audit(kFull).ok() — the boolean test-support entry point.
+  [[nodiscard]] bool check_invariants() const { return audit().ok(); }
 
  private:
   friend class ProtectScope;
+  friend struct AuditInjector;  // tests/symbolic/audit_test.cpp: seeds
+                                // corruption to prove each tier fires
 
   struct Node {
     std::uint32_t var;  // kTerminalVar for the two terminals
@@ -405,6 +453,15 @@ class BddManager {
   void exchange_blocks(std::uint32_t pos, std::uint32_t block_size);
   void sift_block(std::uint32_t top_var, std::uint32_t block_size,
                   std::uint32_t num_blocks, double max_growth);
+
+  // Per-tier audit passes (audit() composes them; AuditInjector's tests
+  // drive audit_satcount directly with hand-corrupted counts).
+  void audit_structure(AuditReport& report) const;
+  void audit_liveness(AuditReport& report) const;
+  void audit_caches(AuditReport& report) const;
+  void audit_counts(AuditReport& report) const;
+  static void audit_satcount(const SatCount& count, const std::string& what,
+                             AuditReport& report);
 
   Bdd ite_rec(Bdd f, Bdd g, Bdd h);
   Bdd exists_rec(Bdd f, Bdd cube);

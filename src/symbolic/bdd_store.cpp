@@ -169,6 +169,9 @@ void save_bdds(const BddManager& mgr, std::ostream& out,
     w.u32(file_id.at(root));
   }
   w.finish();
+#ifdef ICTL_AUDIT
+  mgr.assert_audit(BddManager::AuditLevel::kFull, "save_bdds");
+#endif
 }
 
 LoadedBdds load_bdds(std::istream& in) {
@@ -234,6 +237,9 @@ LoadedBdds load_bdds(std::istream& in) {
     result.roots.emplace_back(std::move(name), BddRef(mgr, handle[id]));
   }
   r.verify();
+#ifdef ICTL_AUDIT
+  mgr.assert_audit(BddManager::AuditLevel::kFull, "load_bdds");
+#endif
   return result;
 }
 
@@ -315,6 +321,11 @@ TransitionSystem load_transition_system(std::istream& in,
                           std::move(partition), kind, std::move(registry),
                           std::move(props), std::move(indices));
   if (reach_tag == 1) system.adopt_reachable(blobs.root("reach"));
+#ifdef ICTL_AUDIT
+  // The constructor audited the raw system; re-audit with the adopted
+  // fixpoint so a saved non-fixpoint can never be reloaded silently.
+  system.assert_audit("load_transition_system");
+#endif
   return system;
 }
 

@@ -56,6 +56,9 @@ TransitionSystem::TransitionSystem(std::shared_ptr<BddManager> mgr,
   }
 
   if (kind_ == PartitionKind::kConjunctive) build_quantification_schedule();
+#ifdef ICTL_AUDIT
+  assert_audit("construction");
+#endif
 }
 
 TransitionSystem::TransitionSystem(std::shared_ptr<BddManager> mgr,
@@ -199,6 +202,9 @@ Bdd TransitionSystem::reachable() const {
     }
   }
   reachable_ = std::move(reach);
+#ifdef ICTL_AUDIT
+  assert_audit("reachable fixpoint");
+#endif
   return reachable_->get();
 }
 
@@ -226,6 +232,125 @@ std::optional<Bdd> TransitionSystem::prop_states(kripke::PropId p) const {
       [](const auto& entry, kripke::PropId key) { return entry.first < key; });
   if (it == props_.end() || it->first != p) return std::nullopt;
   return it->second.get();
+}
+
+// ---- Deep audit -------------------------------------------------------------
+
+BddManager::AuditReport TransitionSystem::audit() const {
+  BddManager::AuditReport report;
+  const auto fail = [&](std::string message) {
+    report.failures.push_back("TransitionSystem: " + std::move(message));
+  };
+  const std::uint32_t n = num_state_vars_;
+
+  // Support discipline: state sets live over unprimed variables only, the
+  // relation parts over the declared interleaved pairs.
+  const auto unprimed_only = [&](Bdd f, const std::string& what) {
+    for (const std::uint32_t v : mgr_->support_vars(f)) {
+      if (v >= 2 * n)
+        fail(what + " mentions BDD variable " + std::to_string(v) +
+             " outside the state space");
+      else if (v % 2 != 0)
+        fail(what + " mentions primed variable " + std::to_string(v));
+    }
+  };
+  unprimed_only(initial_.get(), "initial set");
+  for (std::size_t k = 0; k < parts_.size(); ++k)
+    for (const std::uint32_t v : mgr_->support_vars(parts_[k]))
+      if (v >= 2 * n)
+        fail("partition part " + std::to_string(k) + " mentions BDD variable " +
+             std::to_string(v) + " outside the declared variable set");
+  for (const auto& [prop, fn] : props_)
+    unprimed_only(fn.get(), "prop " + std::to_string(prop) + " function");
+
+  // The prime/unprime rename maps are mutual inverses over the state pairs.
+  if (to_primed_.size() < 2 * n || to_unprimed_.size() < 2 * n) {
+    fail("rename maps shorter than the state variable block");
+  } else {
+    for (std::uint32_t v = 0; v < n; ++v)
+      if (to_primed_[unprimed(v)] != primed(v) ||
+          to_unprimed_[primed(v)] != unprimed(v) ||
+          to_unprimed_[to_primed_[unprimed(v)]] != unprimed(v))
+        fail("rename maps not mutually inverse at state variable " +
+             std::to_string(v));
+  }
+
+  // Quantification cubes span exactly their halves of the interleaving.
+  const auto cube_support_is = [&](Bdd cube, bool primed_half,
+                                   const std::string& what) {
+    std::vector<std::uint32_t> expect(n);
+    for (std::uint32_t v = 0; v < n; ++v)
+      expect[v] = primed_half ? primed(v) : unprimed(v);
+    if (mgr_->support_vars(cube) != expect)
+      fail(what + " does not span exactly its half of the state variables");
+  };
+  cube_support_is(unprimed_cube_.get(), false, "unprimed cube");
+  cube_support_is(primed_cube_.get(), true, "primed cube");
+
+  // Early-quantification schedule (conjunctive partitions): each quantified
+  // variable retired exactly at the LAST part whose support mentions it,
+  // never-mentioned variables in the leading cube.  Together that is both
+  // soundness (nothing quantified while a later part still constrains it)
+  // and completeness (every primed/unprimed variable is quantified
+  // somewhere — a gap would leak primed variables into image results).
+  if (kind_ == PartitionKind::kConjunctive) {
+    if (pre_schedule_cubes_.size() != parts_.size() ||
+        post_schedule_cubes_.size() != parts_.size()) {
+      fail("quantification schedule length does not match the partition");
+    } else {
+      constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+      std::vector<std::size_t> last_primed(n, kNever), last_unprimed(n, kNever);
+      for (std::size_t k = 0; k < parts_.size(); ++k)
+        for (const std::uint32_t v : mgr_->support_vars(parts_[k])) {
+          if (v / 2 >= n) continue;
+          (v % 2 != 0 ? last_primed : last_unprimed)[v / 2] = k;
+        }
+      const auto check_half = [&](const std::vector<BddRef>& cubes,
+                                  const BddRef& leading,
+                                  const std::vector<std::size_t>& last,
+                                  bool primed_half, const std::string& what) {
+        std::vector<std::vector<std::uint32_t>> expect(parts_.size());
+        std::vector<std::uint32_t> expect_leading;
+        for (std::uint32_t v = 0; v < n; ++v) {
+          const std::uint32_t bdd_var = primed_half ? primed(v) : unprimed(v);
+          if (last[v] == kNever)
+            expect_leading.push_back(bdd_var);
+          else
+            expect[last[v]].push_back(bdd_var);
+        }
+        for (std::size_t k = 0; k < parts_.size(); ++k)
+          if (mgr_->support_vars(cubes[k].get()) != expect[k])
+            fail(what + " schedule cube " + std::to_string(k) +
+                 " does not quantify exactly the variables last mentioned there");
+        if (mgr_->support_vars(leading.get()) != expect_leading)
+          fail(what + " leading cube does not cover exactly the never-mentioned "
+                      "variables");
+      };
+      check_half(pre_schedule_cubes_, pre_leading_cube_, last_primed, true, "pre");
+      check_half(post_schedule_cubes_, post_leading_cube_, last_unprimed, false,
+                 "post");
+    }
+  }
+
+  // Reachable (when computed): a set over unprimed variables containing the
+  // initial states and closed under the post image — i.e., a fixpoint.
+  if (reachable_.has_value()) {
+    const Bdd reach = reachable_->get();
+    unprimed_only(reach, "reachable set");
+    if (mgr_->bdd_diff(initial_.get(), reach).get() != kBddFalse)
+      fail("initial states escape the reachable set");
+    const BddRef image = post_image(reach);
+    if (mgr_->bdd_diff(image.get(), reach).get() != kBddFalse)
+      fail("reachable set is not a fixpoint: post_image adds states");
+  }
+  return report;
+}
+
+void TransitionSystem::assert_audit(const char* where) const {
+  const BddManager::AuditReport report = audit();
+  if (!report.ok())
+    throw Error(std::string("TransitionSystem audit failed at ") + where + ":\n" +
+                report.to_string());
 }
 
 // ---- Generic explicit-to-symbolic bridge ------------------------------------

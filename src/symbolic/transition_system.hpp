@@ -152,7 +152,23 @@ class TransitionSystem {
     return index_set_;
   }
 
+  /// Deep cross-structure audit (the system-level counterpart of
+  /// BddManager::audit): supports lie inside the declared variable sets
+  /// (parts over the interleaved pairs, initial/props/reachable over
+  /// unprimed variables only), the prime/unprime rename maps are mutual
+  /// inverses over the state pairs, the early-quantification schedule
+  /// quantifies each variable exactly at the last part mentioning it, and —
+  /// once computed — reachable() contains the initial states and is closed
+  /// under post_image.
+  [[nodiscard]] BddManager::AuditReport audit() const;
+
+  /// Throws Error listing every failure when audit() fails.  The ICTL_AUDIT
+  /// build calls this at construction and after each reachable() fixpoint.
+  void assert_audit(const char* where = "audit") const;
+
  private:
+  friend struct AuditInjector;  // tests/symbolic/audit_test.cpp: seeds
+                                // corruption to prove each check fires
   /// Computes the early-quantification schedules (conjunctive partitions):
   /// for each part, the cube of primed (pre) / unprimed (post) variables
   /// whose last mention across the partition order is that part, plus the

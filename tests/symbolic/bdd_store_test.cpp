@@ -237,15 +237,23 @@ TEST(BddStoreTransitionSystem, M64RingRoundTripIsExactAndFast) {
         << "part " << k;
 
   // Reload must beat recomputation by at least 10x (the acceptance bound;
-  // the fixpoint saturation dominates the build).
+  // the fixpoint saturation dominates the build).  Skipped under ICTL_AUDIT:
+  // the load path then deep-audits the whole store — including re-verifying
+  // the adopted fixpoint via post_image — which is the point of that build,
+  // not a perf regression.
   const auto recompute = t1 - t0;
   const auto reload = t3 - t2;
+#ifndef ICTL_AUDIT
   EXPECT_LE(reload * 10, recompute)
       << "reload "
       << std::chrono::duration_cast<std::chrono::milliseconds>(reload).count()
       << "ms vs recompute "
       << std::chrono::duration_cast<std::chrono::milliseconds>(recompute).count()
       << "ms";
+#else
+  static_cast<void>(recompute);
+  static_cast<void>(reload);
+#endif
 
   // CTL verdicts are identical on the reloaded system.  P2 and I3 are the
   // two specifications the engine pins at large r (the full six-spec

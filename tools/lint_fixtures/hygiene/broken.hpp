@@ -1,0 +1,3 @@
+#pragma once
+// Fixture: not self-contained -- uses std::string without <string>.
+inline std::string greet() { return "hi"; }

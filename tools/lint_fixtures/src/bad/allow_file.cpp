@@ -1,0 +1,5 @@
+// ictl-lint: allow-file(naked-new)
+// Fixture: allow-file suppresses every firing of the rule in the file.
+namespace fixture {
+inline int* make() { return new int(42); }
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: raw-bdd-binding and discarded-ref firings and suppressions.
+namespace fixture {
+
+using Bdd = unsigned;
+
+struct Manager {
+  Bdd bdd_and(Bdd a, Bdd b);
+  Bdd bdd_or(Bdd a, Bdd b);
+  int protect_scope();
+};
+
+void leaky(Manager& m, Bdd a, Bdd b) {
+  Bdd x = m.bdd_and(a, b);
+  m.bdd_or(a, x);
+  Bdd y = m.bdd_or(a, b);  // ictl-lint: allow(raw-bdd-binding)
+  static_cast<void>(x + y);
+}
+
+void scoped(Manager& m, Bdd a, Bdd b) {
+  const auto guard = m.protect_scope();
+  Bdd x = m.bdd_and(a, b);
+  static_cast<void>(guard + static_cast<int>(x));
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: raw-bdd-member firings and suppressions.
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+
+using Bdd = unsigned;
+class BddRef {};
+
+class Holder {
+ public:
+  void set(Bdd b);
+
+ private:
+  Bdd root_ = 0;
+  std::vector<Bdd> frontier_;
+  Bdd legacy_;  // ictl-lint: allow(raw-bdd-member)
+  BddRef rooted_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: naked-new / naked-delete firings; `= delete` is exempt.
+namespace fixture {
+
+struct Node {
+  Node() = default;
+  Node(const Node&) = delete;
+  int value = 0;
+};
+
+int leak() {
+  Node* n = new Node();
+  const int v = n->value;
+  delete n;
+  int* arr = new int[4];  // ictl-lint: allow(naked-new)
+  delete[] arr;  // ictl-lint: allow(naked-new)
+  return v;
+}
+
+}  // namespace fixture

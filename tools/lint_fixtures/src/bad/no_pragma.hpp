@@ -1,0 +1,4 @@
+// Fixture: missing-pragma-once (this header intentionally lacks it).
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,4 @@
+// Fixture: include-cycle (with cycle_b.hpp).
+#pragma once
+
+#include "cycle_b.hpp"

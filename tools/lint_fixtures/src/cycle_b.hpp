@@ -1,0 +1,4 @@
+// Fixture: include-cycle (with cycle_a.hpp).
+#pragma once
+
+#include "cycle_a.hpp"
