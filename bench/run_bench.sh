@@ -14,7 +14,10 @@
 # Environment:
 #   BUILD_DIR         build tree to use (default: build)
 #   BENCHES           space-separated binary names (default: every bench_*
-#                     binary found in $BUILD_DIR/bench)
+#                     binary found in $BUILD_DIR/bench: bench_conjecture,
+#                     bench_correspondence, bench_eval, bench_ltl_to_buchi,
+#                     bench_mc_direct_vs_reduced, bench_ring_certificate,
+#                     bench_state_explosion, bench_symbolic)
 #   BENCHMARK_FILTER  regex forwarded as --benchmark_filter (default: all)
 #   BENCH_BASELINE    snapshot to diff against with bench/compare_bench.py
 #                     (default: the highest-numbered committed BENCH_N.json
@@ -27,7 +30,7 @@ set -euo pipefail
 usage() {
   # The usage text is the header comment above, minus the shebang and the
   # leading '# ' — one source of truth for both.
-  sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 cd "$(dirname "$0")/.." || exit 1

@@ -1,0 +1,88 @@
+// The flat fixpoint-program IR: a CTL state formula compiled to a
+// straight-line register program whose instructions are satisfying-set
+// operations (ROADMAP item 5's compile-to-program stretch, in the spirit of
+// nesfab's generated table-driven loops).
+//
+// One program is compiled per formula DAG and then evaluated by any engine
+// that models the StateSetOps concept (state_set_ops.hpp): explicit bitsets
+// over CSR, BDDs, or the naive reference.  Registers hold whole satisfying
+// sets; EU/EG are single instructions — fixpoint loop headers whose
+// iteration schedule is the backend's own (frontier worklists explicitly,
+// frontier/gfp rounds symbolically) — so compiling changes *where* the
+// recursion lives, never the per-engine fixpoint algorithm.
+//
+// Index quantifiers are expanded at compile time over the index set the
+// compiler was built with, and theta (`one P`) stays a leaf: leaves carry
+// the original formula node, which the backend's leaf() resolves against
+// its own label representation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/formula.hpp"
+
+namespace ictl::eval {
+
+/// Physical register index into the evaluator's set file.
+using Reg = std::uint32_t;
+
+enum class OpCode : std::uint8_t {
+  kConstTrue,   ///< dst = the whole universe (backend's top)
+  kConstFalse,  ///< dst = the empty set
+  kLeaf,        ///< dst = satisfying set of leaves[leaf]
+  kNot,         ///< dst = complement of a (relative to the backend universe)
+  kAnd,         ///< dst = a & b
+  kOr,          ///< dst = a | b
+  kIff,         ///< dst = (a & b) | (!a & !b)
+  kEX,          ///< dst = EX a
+  kEU,          ///< dst = lfp Z . b | (a & EX Z)   — fixpoint loop header
+  kEG,          ///< dst = gfp Z . a & EX Z         — fixpoint loop header
+};
+
+/// True for the two fixpoint loop headers.
+[[nodiscard]] constexpr bool is_fixpoint(OpCode op) noexcept {
+  return op == OpCode::kEU || op == OpCode::kEG;
+}
+
+struct Instruction {
+  OpCode op;
+  Reg dst = 0;
+  Reg a = 0;           ///< first operand register (unused for consts/leaf)
+  Reg b = 0;           ///< second operand register (kAnd/kOr/kIff/kEU)
+  std::uint32_t leaf = 0;  ///< kLeaf: index into FixpointProgram::leaves
+};
+
+/// A compiled formula: straight-line code over a small register file.
+/// Programs are immutable once built and safe to share across evaluators
+/// and threads — all mutable state lives in the evaluator's register file.
+struct FixpointProgram {
+  std::vector<Instruction> code;
+  /// Leaf table: the original (hash-consed) leaf formula nodes, resolved by
+  /// the backend at kLeaf instructions.  Distinct leaves appear once.
+  std::vector<logic::FormulaPtr> leaves;
+  /// Register-file size; the allocator reuses slots whose value is dead.
+  std::uint32_t num_registers = 0;
+  /// Register holding the satisfying set of the root formula on return.
+  Reg result = 0;
+  /// Identity of the compiled formula node (logic::Formula::id — never
+  /// reused, so (structure fingerprint, formula_id) is a stable cache key).
+  std::uint64_t formula_id = 0;
+  /// The root formula, retained so disassembly can render the source and
+  /// so the hash-cons table keeps the DAG alive for the program's lifetime.
+  logic::FormulaPtr root;
+
+  [[nodiscard]] std::size_t num_fixpoint_ops() const noexcept {
+    std::size_t n = 0;
+    for (const Instruction& in : code) n += is_fixpoint(in.op) ? 1 : 0;
+    return n;
+  }
+
+  /// Deterministic textual rendering for golden tests: source line, leaf
+  /// table, register count, then one line per instruction.  Fixpoint
+  /// instructions carry their loop-header equation as a trailing comment.
+  [[nodiscard]] std::string disassemble() const;
+};
+
+}  // namespace ictl::eval

@@ -1,0 +1,67 @@
+// Compiles CTL state formulas (the logic::is_ctl fragment, plus EX for the
+// NEXTTIME experiment) into FixpointProgram register code.
+//
+// One compile per formula DAG: programs are cached by the never-reused
+// logic::Formula::id and shared by shared_ptr, so every engine evaluating
+// the same formula runs the identical instruction sequence.  Two layers of
+// common-subexpression elimination keep programs minimal:
+//   * hash-consed subformulas lower once (memo on Formula::id — structural
+//     equality IS pointer identity, so structurally equal subformulas
+//     compile to one register), and
+//   * instruction-level value numbering folds duplicates the expansion
+//     dualities introduce (e.g. the two `!b` uses inside A[a U b], or the
+//     shared `true` of nested EF).
+// A linear-scan register allocator then reuses slots whose value is dead,
+// so the register file stays near the formula's operand width rather than
+// its instruction count — registers hold whole satisfying sets (bitsets or
+// BDD roots), so dead-slot reuse is what keeps evaluation memory flat.
+//
+// Index quantifiers (/\i, \/i) expand over the compiler's index set into
+// and/or chains of bind_index instances; `one P` and atoms stay leaves for
+// the backend to resolve.  Compilation throws LogicError on non-state
+// formulas, unbound index variables, and index quantifiers over an empty
+// index set — the same conditions the recursive checkers rejected.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/fixpoint_program.hpp"
+#include "logic/formula.hpp"
+
+namespace ictl::eval {
+
+class ProgramCompiler {
+ public:
+  /// `index_set` is the structure's process-index universe, captured once:
+  /// compiled programs bake its expansion in, exactly like the recursive
+  /// checkers expanded quantifiers against their structure's index set.
+  explicit ProgramCompiler(std::vector<std::uint32_t> index_set);
+
+  /// Compiles `f` (cached by Formula::id) into an immutable shared program.
+  [[nodiscard]] std::shared_ptr<const FixpointProgram> compile(
+      const logic::FormulaPtr& f);
+
+  struct Stats {
+    std::size_t programs_compiled = 0;
+    std::size_t cache_hits = 0;  ///< compile() calls answered from the cache
+    std::size_t cse_hits = 0;    ///< instructions folded by value numbering
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& index_set() const noexcept {
+    return index_set_;
+  }
+
+ private:
+  std::vector<std::uint32_t> index_set_;
+  // Program cache keyed on hash-consed node identity; each cached program
+  // retains its root formula, which keeps the DAG's cons-table entries
+  // alive so structurally equal rebuilds still hit this cache.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const FixpointProgram>> cache_;
+  Stats stats_;
+};
+
+}  // namespace ictl::eval

@@ -1,0 +1,56 @@
+// The backend concept behind the one evaluation core: a StateSetOps models
+// satisfying sets of one engine (explicit bitsets, BDD roots, or the naive
+// reference) and supplies the primitive set operations the FixpointProgram
+// instructions are defined over.
+//
+// Semantics contract: `top()` is the backend's universe and `complement`
+// is taken relative to it.  The explicit engines use the whole state space;
+// the symbolic engine uses the reachable set (its structures are compared
+// against reachable-restricted explicit ones, so the engines still agree
+// state-for-state — the same convention the recursive checkers followed).
+// `eu`/`eg` are whole fixpoints, not single steps: the IR's loop headers
+// delegate the iteration schedule to the backend so each engine keeps its
+// native algorithm (frontier worklists, successor-counting elimination,
+// symbolic frontier rounds) and its allocation discipline.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "logic/formula.hpp"
+
+namespace ictl::eval {
+
+// clang-format off
+template <typename O>
+concept StateSetOps =
+    requires(O ops, const typename O::Set& s, const logic::FormulaPtr& f) {
+      typename O::Set;
+      { ops.top() } -> std::same_as<typename O::Set>;
+      { ops.bottom() } -> std::same_as<typename O::Set>;
+      { ops.leaf(f) } -> std::same_as<typename O::Set>;
+      { ops.complement(s) } -> std::same_as<typename O::Set>;
+      { ops.conj(s, s) } -> std::same_as<typename O::Set>;
+      { ops.disj(s, s) } -> std::same_as<typename O::Set>;
+      { ops.iff(s, s) } -> std::same_as<typename O::Set>;
+      { ops.ex(s) } -> std::same_as<typename O::Set>;
+      { ops.eu(s, s) } -> std::same_as<typename O::Set>;
+      { ops.eg(s) } -> std::same_as<typename O::Set>;
+      // Iterations (worklist steps or fixpoint rounds — the backend's
+      // natural unit) taken by the most recent eu/eg call, for stats.
+      { ops.last_fixpoint_iterations() } -> std::convertible_to<std::uint64_t>;
+    };
+// clang-format on
+
+/// Per-checker evaluation counters, accumulated across program runs by
+/// ProgramEvaluator and surfaced by the checker façades.
+struct EvalStats {
+  std::uint64_t programs_run = 0;
+  std::uint64_t instructions = 0;         ///< instructions executed
+  std::uint64_t leaf_evals = 0;           ///< kLeaf instructions executed
+  std::uint64_t fixpoint_ops = 0;         ///< kEU/kEG instructions executed
+  std::uint64_t fixpoint_iterations = 0;  ///< backend iterations across them
+  std::uint32_t register_high_water = 0;  ///< widest register file seen
+};
+
+}  // namespace ictl::eval

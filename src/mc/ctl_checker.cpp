@@ -1,25 +1,31 @@
 #include "mc/ctl_checker.hpp"
 
+#include <vector>
+
 #include "logic/classify.hpp"
 #include "logic/printer.hpp"
-#include "logic/rewrite.hpp"
-#include "mc/leaf_sat.hpp"
 #include "support/error.hpp"
 
 namespace ictl::mc {
 
-using logic::Formula;
 using logic::FormulaPtr;
-using logic::Kind;
+
+namespace {
+
+std::vector<std::uint32_t> index_set_of(const kripke::Structure& m) {
+  const auto indices = m.index_set();
+  return {indices.begin(), indices.end()};
+}
+
+}  // namespace
 
 CtlChecker::CtlChecker(const kripke::Structure& m, CtlCheckerOptions options)
-    : m_(m), options_(options) {
+    : m_(m),
+      ops_(m, options.unknown_atoms_are_false),
+      compiler_(index_set_of(m)),
+      evaluator_(ops_) {
   support::require<ModelError>(m.is_total(),
                                "CtlChecker: transition relation must be total");
-  // Pre-size the scratch arena so the fixpoint primitives never allocate:
-  // the worklist holds each state at most once per eu/eg call.
-  worklist_.reserve(m.num_states());
-  succ_in_count_.reserve(m.num_states());
 }
 
 const SatSet& CtlChecker::sat(const FormulaPtr& f) {
@@ -28,8 +34,7 @@ const SatSet& CtlChecker::sat(const FormulaPtr& f) {
   support::require<LogicError>(
       logic::is_ctl(f), "CtlChecker: formula outside the CTL fragment: " +
                             logic::to_string(f) + " (use the CTL* checker)");
-  SatSet result = compute(f);
-  retained_.push_back(f);
+  SatSet result = evaluator_.run(*compiler_.compile(f));
   return memo_.emplace(f->id(), std::move(result)).first->second;
 }
 
@@ -37,192 +42,13 @@ bool CtlChecker::holds_initially(const FormulaPtr& f) {
   return sat(f).test(m_.initial());
 }
 
-SatSet CtlChecker::compute(const FormulaPtr& f) {
-  const std::size_t n = m_.num_states();
-  switch (f->kind()) {
-    case Kind::kTrue: {
-      SatSet s(n);
-      s.set_all();
-      return s;
-    }
-    case Kind::kFalse:
-      return SatSet(n);
-    case Kind::kAtom:
-    case Kind::kIndexedAtom:
-    case Kind::kExactlyOne:
-      return sat_leaf(f);
-    case Kind::kNot: {
-      SatSet s = sat(f->lhs());
-      s.flip();
-      return s;
-    }
-    case Kind::kAnd:
-      return sat(f->lhs()) & sat(f->rhs());
-    case Kind::kOr:
-      return sat(f->lhs()) | sat(f->rhs());
-    case Kind::kImplies: {
-      SatSet s = sat(f->lhs());
-      s.flip();
-      s |= sat(f->rhs());
-      return s;
-    }
-    case Kind::kIff: {
-      SatSet s = sat(f->lhs());
-      s ^= sat(f->rhs());
-      s.flip();
-      return s;
-    }
-    case Kind::kExistsPath:
-    case Kind::kForallPath:
-      return sat_path_quantified(f);
-    case Kind::kForallIndex:
-    case Kind::kExistsIndex: {
-      const auto indices = m_.index_set();
-      support::require<LogicError>(
-          !indices.empty(),
-          "CtlChecker: structure has an empty index set but the formula "
-          "quantifies over indices: " +
-              logic::to_string(f));
-      SatSet acc(n);
-      if (f->kind() == Kind::kForallIndex) acc.set_all();
-      for (const std::uint32_t i : indices) {
-        const FormulaPtr inst = logic::bind_index(f->lhs(), f->name(), i);
-        if (f->kind() == Kind::kForallIndex)
-          acc &= sat(inst);
-        else
-          acc |= sat(inst);
-      }
-      return acc;
-    }
-    default:
-      throw LogicError("CtlChecker: not a state formula: " + logic::to_string(f));
-  }
-}
-
-SatSet CtlChecker::sat_leaf(const FormulaPtr& f) {
-  return leaf_sat_set(m_, f, options_.unknown_atoms_are_false);
-}
-
-SatSet CtlChecker::sat_path_quantified(const FormulaPtr& f) {
-  const std::size_t n = m_.num_states();
-  const bool exists = f->kind() == Kind::kExistsPath;
-  const FormulaPtr& g = f->lhs();
-
-  auto complement = [&](SatSet s) {
-    s.flip();
-    return s;
-  };
-  auto top = [&] {
-    SatSet s(n);
-    s.set_all();
-    return s;
-  };
-
-  switch (g->kind()) {
-    case Kind::kEventually: {
-      const SatSet target = sat(g->lhs());
-      if (exists) return eu(top(), target);          // EF f = E[true U f]
-      return complement(eg(complement(target)));     // AF f = !EG !f
-    }
-    case Kind::kAlways: {
-      const SatSet body = sat(g->lhs());
-      if (exists) return eg(body);                          // EG f
-      return complement(eu(top(), complement(body)));       // AG f = !EF !f
-    }
-    case Kind::kUntil: {
-      const SatSet a = sat(g->lhs());
-      const SatSet b = sat(g->rhs());
-      if (exists) return eu(a, b);
-      // A[a U b] = !( E[!b U (!a & !b)] | EG !b )
-      SatSet na = a;
-      na.flip();
-      SatSet nb = b;
-      nb.flip();
-      SatSet bad = eu(nb, na & nb);
-      bad |= eg(nb);
-      return complement(std::move(bad));
-    }
-    case Kind::kRelease: {
-      const SatSet a = sat(g->lhs());
-      const SatSet b = sat(g->rhs());
-      if (exists) {
-        // E[a R b] = EG b | E[b U (a & b)]
-        SatSet res = eg(b);
-        res |= eu(b, a & b);
-        return res;
-      }
-      // A[a R b] = !E[!a U !b]
-      SatSet na = a;
-      na.flip();
-      SatSet nb = b;
-      nb.flip();
-      return complement(eu(std::move(na), std::move(nb)));
-    }
-    default:
-      throw LogicError(
-          "CtlChecker: path quantifier not applied to F/G/U/R (outside CTL): " +
-          logic::to_string(f));
-  }
-}
-
-SatSet CtlChecker::ex(const SatSet& f) {
-  SatSet s(m_.num_states());
-  m_.pre_image(f, s);
-  return s;
-}
-
-SatSet CtlChecker::eu(const SatSet& f, const SatSet& g) {
-  // Frontier-based backward reachability from g through f-states; each
-  // state enters the worklist at most once, each transition is scanned at
-  // most once.  The worklist is the checker's scratch (no allocation).
-  SatSet result = g;
-  worklist_.clear();
-  g.for_each([&](std::size_t s) { worklist_.push_back(static_cast<kripke::StateId>(s)); });
-  std::size_t head = 0;
-  while (head < worklist_.size()) {
-    const kripke::StateId s = worklist_[head++];
-    for (const kripke::StateId p : m_.predecessors(s)) {
-      if (!result.test(p) && f.test(p)) {
-        result.set(p);
-        worklist_.push_back(p);
-      }
-    }
-  }
-  return result;
-}
-
-SatSet CtlChecker::eg(const SatSet& f) {
-  // Greatest fixpoint of X = f & EX X by elimination: start from X = f and
-  // maintain, for every state still in X, the number of its successors
-  // inside X.  States whose count reaches zero leave X, decrementing only
-  // their predecessors' counts — predecessors of states that never leave
-  // are never re-examined, so the whole fixpoint is O(|S| + |R|) instead of
-  // (rounds x EX-of-the-whole-set).
-  const std::size_t n = m_.num_states();
-  SatSet x = f;
-  succ_in_count_.assign(n, 0);
-  worklist_.clear();
-  x.for_each([&](std::size_t s) {
-    std::uint32_t count = 0;
-    for (const kripke::StateId t : m_.successors(static_cast<kripke::StateId>(s)))
-      count += x.test(t) ? 1 : 0;
-    succ_in_count_[s] = count;
-    if (count == 0) worklist_.push_back(static_cast<kripke::StateId>(s));
-  });
-  // Seed removals after the counting scan so every count is exact w.r.t. f.
-  for (const kripke::StateId s : worklist_) x.reset(s);
-  std::size_t head = 0;
-  while (head < worklist_.size()) {
-    const kripke::StateId s = worklist_[head++];
-    for (const kripke::StateId p : m_.predecessors(s)) {
-      // Invariant: states in x have count > 0, so the decrement is safe.
-      if (x.test(p) && --succ_in_count_[p] == 0) {
-        x.reset(p);
-        worklist_.push_back(p);
-      }
-    }
-  }
-  return x;
+std::shared_ptr<const eval::FixpointProgram> CtlChecker::program(
+    const FormulaPtr& f) {
+  support::require<LogicError>(f != nullptr, "CtlChecker::program: null formula");
+  support::require<LogicError>(
+      logic::is_ctl(f), "CtlChecker: formula outside the CTL fragment: " +
+                            logic::to_string(f) + " (use the CTL* checker)");
+  return compiler_.compile(f);
 }
 
 }  // namespace ictl::mc

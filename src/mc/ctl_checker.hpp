@@ -4,22 +4,28 @@
 //
 // Works on the CTL fragment (see logic::is_ctl): booleans and index
 // quantifiers over state formulas with path quantifiers applied directly to
-// F/G/U/R.  Primitive satisfying-set computations on the structure's CSR
-// transition engine: EX via Structure::pre_image, E[f U g] by frontier-based
-// backward reachability, EG f by successor-counting elimination (only the
-// predecessors of states that leave the set are re-examined — never EX of
-// the whole set per round).  Every other connective reduces to these through
-// the standard dualities.  Linear-time in |S| + |R| per formula node.
+// F/G/U/R.  The checker is a thin façade over the compiled evaluation core
+// (src/eval): each formula DAG is compiled once into a flat FixpointProgram
+// (CSE'd, register-allocated) and executed by the ProgramEvaluator over
+// ExplicitStateOps — bitset primitives on the structure's CSR transition
+// engine: EX via Structure::pre_image, E[f U g] by frontier-based backward
+// reachability, EG f by successor-counting elimination.  Every other
+// connective reduces to these through the standard dualities, applied at
+// compile time.  Linear-time in |S| + |R| per formula node.
 //
-// The checker owns a scratch arena (worklist + counters, pre-reserved at
-// construction) that the primitives reuse, so sat() performs no heap
-// allocation per fixpoint iteration once the checker is warm.
+// The backend owns a scratch arena (worklist + counters, pre-reserved at
+// construction) that the fixpoint instructions reuse, so sat() performs no
+// heap allocation per fixpoint iteration once the checker is warm.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
+#include "eval/program_compiler.hpp"
+#include "eval/program_evaluator.hpp"
 #include "kripke/structure.hpp"
 #include "logic/formula.hpp"
+#include "mc/explicit_ops.hpp"
 #include "support/bitset.hpp"
 
 namespace ictl::mc {
@@ -45,30 +51,34 @@ class CtlChecker {
   /// True when the initial state satisfies `f`.
   [[nodiscard]] bool holds_initially(const logic::FormulaPtr& f);
 
+  /// The compiled program for `f` (cached; tests and tools inspect its
+  /// disassembly).  Same fragment check as sat(), no evaluation.
+  [[nodiscard]] std::shared_ptr<const eval::FixpointProgram> program(
+      const logic::FormulaPtr& f);
+
   [[nodiscard]] const kripke::Structure& structure() const noexcept { return m_; }
 
+  /// Compile-side counters (programs compiled, cache and CSE hits).
+  [[nodiscard]] const eval::ProgramCompiler::Stats& compile_stats() const noexcept {
+    return compiler_.stats();
+  }
+  /// Run-side counters (instructions executed, fixpoint iterations,
+  /// register high-water mark) accumulated across every sat() call.
+  [[nodiscard]] const eval::EvalStats& eval_stats() const noexcept {
+    return evaluator_.stats();
+  }
+
  private:
-  SatSet compute(const logic::FormulaPtr& f);
-  SatSet sat_leaf(const logic::FormulaPtr& f);
-  SatSet sat_path_quantified(const logic::FormulaPtr& f);  // f = E(g) or A(g)
-
-  // Primitives.  Results are freshly allocated once per formula node; the
-  // fixpoint loops inside reuse the scratch arena below and allocate nothing.
-  [[nodiscard]] SatSet ex(const SatSet& f);                    // EX f
-  [[nodiscard]] SatSet eu(const SatSet& f, const SatSet& g);   // E[f U g]
-  [[nodiscard]] SatSet eg(const SatSet& f);                    // EG f
-
   const kripke::Structure& m_;
-  CtlCheckerOptions options_;
-  // Memo keyed on hash-consed node identity (Formula::id — never reused, so
-  // no stale-entry aliasing); retaining the formulas keeps their cons-table
-  // entries alive so structurally equal rebuilds still hit the cache.
+  ExplicitStateOps ops_;
+  eval::ProgramCompiler compiler_;
+  eval::ProgramEvaluator<ExplicitStateOps> evaluator_;
+  // Result memo keyed on hash-consed node identity (Formula::id — never
+  // reused, so no stale-entry aliasing); each entry is the program's root
+  // register after a run.  The compiler's program cache retains the root
+  // formulas, keeping their cons-table entries alive so structurally equal
+  // rebuilds still hit both caches.
   std::unordered_map<std::uint64_t, SatSet> memo_;
-  std::vector<logic::FormulaPtr> retained_;
-  // Scratch arena, reserved to num_states() at construction and reused by
-  // every eu/eg call.
-  std::vector<kripke::StateId> worklist_;
-  std::vector<std::uint32_t> succ_in_count_;
 };
 
 }  // namespace ictl::mc

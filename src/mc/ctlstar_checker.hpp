@@ -53,6 +53,13 @@ class Checker {
   [[nodiscard]] const CheckerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const kripke::Structure& structure() const noexcept { return m_; }
 
+  /// Evaluation-core counters of the CTL fast path (the lazily created
+  /// CtlChecker compiles formulas to fixpoint programs; these are its
+  /// run-side stats).  All zeroes before the first fast-path hit.
+  [[nodiscard]] eval::EvalStats ctl_eval_stats() const noexcept {
+    return ctl_ != nullptr ? ctl_->eval_stats() : eval::EvalStats{};
+  }
+
  private:
   SatSet compute(const logic::FormulaPtr& f);
   SatSet sat_exists_path(const logic::FormulaPtr& g);

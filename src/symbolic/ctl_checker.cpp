@@ -4,20 +4,28 @@
 
 #include "logic/classify.hpp"
 #include "logic/printer.hpp"
-#include "logic/rewrite.hpp"
 #include "support/error.hpp"
 
 namespace ictl::symbolic {
 
 using logic::FormulaPtr;
-using logic::Kind;
+
+namespace {
+
+std::vector<std::uint32_t> index_set_of(const TransitionSystem* system) {
+  support::require<ModelError>(system != nullptr, "CtlChecker: null system");
+  const auto indices = system->index_set();
+  return {indices.begin(), indices.end()};
+}
+
+}  // namespace
 
 CtlChecker::CtlChecker(std::shared_ptr<const TransitionSystem> system,
                        CtlCheckerOptions options)
-    : system_(std::move(system)), options_(options) {
-  support::require<ModelError>(system_ != nullptr, "CtlChecker: null system");
-  reach_ = BddRef(system_->manager(), system_->reachable());
-}
+    : system_(std::move(system)),
+      compiler_(index_set_of(system_.get())),
+      ops_(system_, options.unknown_atoms_are_false),
+      evaluator_(ops_) {}
 
 Bdd CtlChecker::sat(const FormulaPtr& f) {
   support::require<LogicError>(f != nullptr, "CtlChecker::sat: null formula");
@@ -26,8 +34,7 @@ Bdd CtlChecker::sat(const FormulaPtr& f) {
   support::require<LogicError>(
       logic::is_ctl(f), "symbolic CtlChecker: formula outside the CTL fragment: " +
                             logic::to_string(f));
-  BddRef result = compute(f);
-  retained_.push_back(f);
+  BddRef result = evaluator_.run(*compiler_.compile(f));
   const Bdd handle = result.get();
   memo_.emplace(f->id(), std::move(result));  // the memo roots it from here on
   return handle;
@@ -43,194 +50,13 @@ double CtlChecker::count_sat(const FormulaPtr& f) {
   return system_->count_states(sat(f));
 }
 
-BddRef CtlChecker::compute(const FormulaPtr& f) {
-  BddManager& m = system_->manager();
-  switch (f->kind()) {
-    case Kind::kTrue:
-      return reach_;
-    case Kind::kFalse:
-      return BddRef(m, kBddFalse);
-    case Kind::kAtom:
-    case Kind::kIndexedAtom:
-    case Kind::kExactlyOne:
-      return sat_leaf(f);
-    case Kind::kNot:
-      return complement(sat(f->lhs()));
-    case Kind::kAnd:
-      return m.bdd_and(sat(f->lhs()), sat(f->rhs()));
-    case Kind::kOr:
-      return m.bdd_or(sat(f->lhs()), sat(f->rhs()));
-    case Kind::kImplies:
-      return m.bdd_or(complement(sat(f->lhs())), sat(f->rhs()));
-    case Kind::kIff: {
-      // Raw handles are safe here: both operands are memo-rooted by sat().
-      const Bdd a = sat(f->lhs());
-      const Bdd b = sat(f->rhs());
-      return m.bdd_or(m.bdd_and(a, b), m.bdd_and(complement(a), complement(b)));
-    }
-    case Kind::kExistsPath:
-    case Kind::kForallPath:
-      return sat_path_quantified(f);
-    case Kind::kForallIndex:
-    case Kind::kExistsIndex: {
-      const auto indices = system_->index_set();
-      support::require<LogicError>(
-          !indices.empty(),
-          "symbolic CtlChecker: system has an empty index set but the formula "
-          "quantifies over indices: " +
-              logic::to_string(f));
-      BddRef acc(m, f->kind() == Kind::kForallIndex ? reach_ : kBddFalse);
-      for (const std::uint32_t i : indices) {
-        const FormulaPtr inst = logic::bind_index(f->lhs(), f->name(), i);
-        if (f->kind() == Kind::kForallIndex)
-          acc = m.bdd_and(acc, sat(inst));
-        else
-          acc = m.bdd_or(acc, sat(inst));
-      }
-      return acc;
-    }
-    default:
-      throw LogicError("symbolic CtlChecker: not a state formula: " +
-                       logic::to_string(f));
-  }
-}
-
-BddRef CtlChecker::sat_leaf(const FormulaPtr& f) {
-  BddManager& m = system_->manager();
-  const kripke::PropRegistry& reg = *system_->registry();
-
-  const auto restrict_or_unknown =
-      [&](std::optional<kripke::PropId> prop) -> BddRef {
-    if (!prop.has_value()) {
-      support::require<LogicError>(
-          options_.unknown_atoms_are_false,
-          "symbolic CtlChecker: unknown atomic proposition: " + logic::to_string(f));
-      return BddRef(m, kBddFalse);
-    }
-    // Registered proposition without a characteristic function: false in
-    // every state — mirroring the explicit engine, where a prop registered
-    // after the build has an empty label column, not an error.
-    const std::optional<Bdd> states = system_->prop_states(*prop);
-    if (!states.has_value()) return BddRef(m, kBddFalse);
-    return m.bdd_and(reach_, *states);
-  };
-
-  switch (f->kind()) {
-    case Kind::kAtom: {
-      std::optional<kripke::PropId> prop = reg.find_plain(f->name());
-      // Mirror mc::leaf_sat_set: bare names may refer to index-erased
-      // propositions of a reduction when no plain prop shadows them.
-      if (!prop.has_value()) prop = reg.find_indexed_base(f->name());
-      return restrict_or_unknown(prop);
-    }
-    case Kind::kIndexedAtom: {
-      support::require<LogicError>(
-          f->index_value().has_value(),
-          "symbolic CtlChecker: indexed atom with unbound index variable '" +
-              f->index_var() + "': " + logic::to_string(f));
-      return restrict_or_unknown(reg.find_indexed(f->name(), *f->index_value()));
-    }
-    case Kind::kExactlyOne: {
-      // A registered theta takes precedence, exactly as in mc::leaf_sat_set:
-      // with a characteristic function it is the answer; registered but
-      // function-less (theta postdates the build) it is the empty column.
-      if (const auto theta = reg.find_theta(f->name())) {
-        const auto states = system_->prop_states(*theta);
-        return states.has_value() ? m.bdd_and(reach_, *states)
-                                  : BddRef(m, kBddFalse);
-      }
-      // Otherwise the running none/one scan over the member functions.
-      BddRef none(m, reach_);
-      BddRef one(m, kBddFalse);
-      for (const kripke::PropId p : reg.indexed_with_base(f->name())) {
-        const auto member = system_->prop_states(p);
-        if (!member.has_value()) continue;
-        one = m.bdd_or(m.bdd_and(one, m.bdd_not(*member)),
-                       m.bdd_and(none, *member));
-        none = m.bdd_and(none, m.bdd_not(*member));
-      }
-      return one;
-    }
-    default:
-      throw LogicError("symbolic CtlChecker: not a literal leaf: " +
-                       logic::to_string(f));
-  }
-}
-
-BddRef CtlChecker::sat_path_quantified(const FormulaPtr& f) {
-  BddManager& m = system_->manager();
-  const bool exists = f->kind() == Kind::kExistsPath;
-  const FormulaPtr& g = f->lhs();
-
-  switch (g->kind()) {
-    case Kind::kEventually: {
-      const Bdd target = sat(g->lhs());  // memo-rooted
-      if (exists) return eu(reach_, target);          // EF f = E[true U f]
-      return complement(eg(complement(target)));      // AF f = !EG !f
-    }
-    case Kind::kAlways: {
-      const Bdd body = sat(g->lhs());  // memo-rooted
-      if (exists) return eg(body);                    // EG f
-      return complement(eu(reach_, complement(body)));  // AG f = !EF !f
-    }
-    case Kind::kUntil: {
-      const Bdd a = sat(g->lhs());  // memo-rooted
-      const Bdd b = sat(g->rhs());
-      if (exists) return eu(a, b);
-      // A[a U b] = !( E[!b U (!a & !b)] | EG !b )
-      const BddRef na = complement(a);
-      const BddRef nb = complement(b);
-      return complement(m.bdd_or(eu(nb, m.bdd_and(na, nb)), eg(nb)));
-    }
-    case Kind::kRelease: {
-      const Bdd a = sat(g->lhs());  // memo-rooted
-      const Bdd b = sat(g->rhs());
-      if (exists)  // E[a R b] = EG b | E[b U (a & b)]
-        return m.bdd_or(eg(b), eu(b, m.bdd_and(a, b)));
-      // A[a R b] = !E[!a U !b]
-      return complement(eu(complement(a), complement(b)));
-    }
-    default:
-      throw LogicError(
-          "symbolic CtlChecker: path quantifier not applied to F/G/U/R "
-          "(outside CTL): " +
-          logic::to_string(f));
-  }
-}
-
-BddRef CtlChecker::complement(Bdd f) const {
-  return system_->manager().bdd_diff(reach_, f);
-}
-
-BddRef CtlChecker::ex(Bdd f) const {
-  return system_->manager().bdd_and(reach_, system_->pre_image(f));
-}
-
-BddRef CtlChecker::eu(Bdd f, Bdd g) const {
-  // Least fixpoint of  Z = g | (f & EX Z)  from below, frontier style:
-  // only the states added in the previous round are pre-imaged, mirroring
-  // the explicit checker's worklist EU.  (f and g stay rooted in the
-  // caller's frame for the duration of the call.)
-  BddManager& m = system_->manager();
-  BddRef z(m, g);
-  BddRef frontier(m, g);
-  while (frontier.get() != kBddFalse) {
-    BddRef next = m.bdd_or(z, m.bdd_and(f, ex(frontier)));
-    frontier = m.bdd_diff(next, z);
-    z = std::move(next);
-  }
-  return z;
-}
-
-BddRef CtlChecker::eg(Bdd f) const {
-  // Greatest fixpoint of  Z = f & EX Z  from above.
-  BddManager& m = system_->manager();
-  BddRef z(m, f);
-  while (true) {
-    BddRef next = m.bdd_and(z, ex(z));
-    if (next.get() == z.get()) return z;
-    z = std::move(next);
-  }
+std::shared_ptr<const eval::FixpointProgram> CtlChecker::program(
+    const FormulaPtr& f) {
+  support::require<LogicError>(f != nullptr, "CtlChecker::program: null formula");
+  support::require<LogicError>(
+      logic::is_ctl(f), "symbolic CtlChecker: formula outside the CTL fragment: " +
+                            logic::to_string(f));
+  return compiler_.compile(f);
 }
 
 }  // namespace ictl::symbolic

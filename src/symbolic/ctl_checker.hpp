@@ -2,13 +2,18 @@
 // symbolic::TransitionSystem — the BDD twin of mc::CtlChecker, behind the
 // same hash-consed formula AST and the same CTL fragment.
 //
+// The checker is a thin façade over the compiled evaluation core
+// (src/eval): formulas compile once into flat FixpointPrograms — the *same*
+// programs the explicit and naive engines run — and the ProgramEvaluator
+// executes them over SymbolicStateOps, whose registers are BddRef roots
+// (GC/reorder-safe for exactly as long as a slot is live) and whose
+// fixpoint instructions run frontier EU and gfp EG with protect_scope()
+// around each iteration body.
+//
 // Satisfying sets are BDDs over the system's unprimed state variables,
 // always intersected with the reachable set: the explicit engine works on
 // M_r's reachable restriction, so complement, EX, EU and EG here are taken
 // relative to reachable() and the two engines agree state-for-state.
-// EX is one pre_image; E[f U g] the least fixpoint of  Z = g | (f & EX Z);
-// EG f the greatest fixpoint of  Z = f & EX Z.  Every other connective
-// reduces through the same dualities as the explicit checker.
 //
 // Memoization is keyed on hash-consed node identity (logic::Formula::id),
 // exactly like the explicit checkers, so a formula DAG shared across
@@ -18,7 +23,10 @@
 #include <memory>
 #include <unordered_map>
 
+#include "eval/program_compiler.hpp"
+#include "eval/program_evaluator.hpp"
 #include "logic/formula.hpp"
+#include "symbolic/symbolic_ops.hpp"
 #include "symbolic/transition_system.hpp"
 
 namespace ictl::symbolic {
@@ -46,34 +54,33 @@ class CtlChecker {
   /// Number of reachable states satisfying `f`.
   [[nodiscard]] double count_sat(const logic::FormulaPtr& f);
 
+  /// The compiled program for `f` (cached, shared with every engine that
+  /// compiles the same formula DAG against the same index set).
+  [[nodiscard]] std::shared_ptr<const eval::FixpointProgram> program(
+      const logic::FormulaPtr& f);
+
   [[nodiscard]] const TransitionSystem& system() const noexcept { return *system_; }
 
+  /// Compile-side counters (programs compiled, cache and CSE hits).
+  [[nodiscard]] const eval::ProgramCompiler::Stats& compile_stats() const noexcept {
+    return compiler_.stats();
+  }
+  /// Run-side counters (instructions executed, fixpoint iterations,
+  /// register high-water mark) accumulated across every sat() call.
+  [[nodiscard]] const eval::EvalStats& eval_stats() const noexcept {
+    return evaluator_.stats();
+  }
+
  private:
-  // The helpers return BddRef so every fixpoint intermediate is rooted for
-  // exactly as long as some frame still needs it: sifting and GC see the
-  // true live set even mid-check.  sat() hands out raw handles because the
-  // memo below keeps its entries rooted for the checker's lifetime.
-  BddRef compute(const logic::FormulaPtr& f);
-  BddRef sat_leaf(const logic::FormulaPtr& f);
-  BddRef sat_path_quantified(const logic::FormulaPtr& f);  // f = E(g) or A(g)
-
-  /// reach & !f — complement within the reachable universe.
-  [[nodiscard]] BddRef complement(Bdd f) const;
-  [[nodiscard]] BddRef ex(Bdd f) const;                    // EX f
-  [[nodiscard]] BddRef eu(Bdd f, Bdd g) const;             // E[f U g]
-  [[nodiscard]] BddRef eg(Bdd f) const;                    // EG f
-
   std::shared_ptr<const TransitionSystem> system_;
-  CtlCheckerOptions options_;
-  // Checker-rooted: the system caches reachable() too, but holding our own
-  // ref keeps the universe alive even if the system is mutated or outlived
-  // — raw Bdd members are exactly what tools/ictl_lint forbids.
-  BddRef reach_;
-  // Memo keyed on hash-consed node identity; the BddRef values root every
-  // memoized satisfying set, and retaining the formulas keeps the
-  // cons-table entries alive so re-built formulas keep hitting.
+  eval::ProgramCompiler compiler_;
+  SymbolicStateOps ops_;
+  eval::ProgramEvaluator<SymbolicStateOps> evaluator_;
+  // Result memo keyed on hash-consed node identity; the BddRef values root
+  // every memoized satisfying set (sat() hands out raw handles because the
+  // memo keeps them rooted for the checker's lifetime), and the compiler's
+  // program cache retains the formulas so rebuilds keep hitting.
   std::unordered_map<std::uint64_t, BddRef> memo_;
-  std::vector<logic::FormulaPtr> retained_;
 };
 
 }  // namespace ictl::symbolic

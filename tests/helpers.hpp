@@ -116,4 +116,14 @@ inline std::vector<ring::RingSystem> ring_family(
   return family;
 }
 
+/// The Section 5 property suite {P1..P4, I2, I3} as (name, formula) pairs —
+/// the single builder every suite that checks, compiles, differentials or
+/// benches the paper's specifications goes through.  Delegates to
+/// ring::section5_specifications() (src/ring/ring.cpp), the library's
+/// source of truth, so tests can never drift from the shipped formulas.
+inline std::vector<std::pair<std::string, logic::FormulaPtr>>
+section_five_properties() {
+  return ring::section5_specifications();
+}
+
 }  // namespace ictl::testing

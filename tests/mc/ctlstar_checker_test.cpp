@@ -127,6 +127,52 @@ TEST(CtlStarChecker, MemoizationReturnsSameSet) {
   EXPECT_EQ(&first, &second);
 }
 
+TEST(CtlStarChecker, FastPathPropagatesUnknownAtomPolicy) {
+  // Regression pin: CheckerOptions::unknown_atoms_are_false must reach the
+  // lazily created CTL fast-path checker, so both routes through Checker
+  // agree on formulas mentioning unregistered atoms.
+  auto reg = kripke::make_registry();
+  const auto m = three_states(reg);
+  // "nosuch" is never registered; the formula is CTL, so with the fast
+  // path enabled it is decided by the compiled-program checker.
+  const auto f = parse_formula("A G (nosuch -> p)");
+
+  CheckerOptions lax;
+  lax.unknown_atoms_are_false = true;
+  Checker fast_lax(m, lax);
+  CheckerOptions lax_no_fast = lax;
+  lax_no_fast.use_ctl_fast_path = false;
+  Checker tableau_lax(m, lax_no_fast);
+  // Vacuously true everywhere when the unknown atom reads as false.
+  EXPECT_TRUE(fast_lax.sat(f).all());
+  EXPECT_TRUE(fast_lax.sat(f) == tableau_lax.sat(f));
+  EXPECT_EQ(fast_lax.stats().ctl_fast_path_hits, 1u);
+  EXPECT_EQ(tableau_lax.stats().ctl_fast_path_hits, 0u);
+
+  // Strict mode must throw on both routes — if the option were dropped on
+  // the fast path, the lax checker above would have thrown here instead.
+  Checker fast_strict(m);
+  CheckerOptions strict_no_fast;
+  strict_no_fast.use_ctl_fast_path = false;
+  Checker tableau_strict(m, strict_no_fast);
+  EXPECT_THROW(static_cast<void>(fast_strict.sat(f)), LogicError);
+  EXPECT_THROW(static_cast<void>(tableau_strict.sat(f)), LogicError);
+}
+
+TEST(CtlStarChecker, FastPathExposesEvalCoreStats) {
+  auto reg = kripke::make_registry();
+  const auto m = three_states(reg);
+  Checker checker(m);
+  EXPECT_EQ(checker.ctl_eval_stats().programs_run, 0u);
+  static_cast<void>(checker.sat(parse_formula("A G (p -> A F q)")));
+  const eval::EvalStats stats = checker.ctl_eval_stats();
+  EXPECT_EQ(stats.programs_run, 1u);
+  EXPECT_GT(stats.instructions, 0u);
+  EXPECT_GT(stats.fixpoint_ops, 0u);
+  EXPECT_GT(stats.fixpoint_iterations, 0u);
+  EXPECT_GT(stats.register_high_water, 0u);
+}
+
 TEST(CtlStarChecker, RejectsPathFormulaAtTopLevel) {
   auto reg = kripke::make_registry();
   const auto m = three_states(reg);

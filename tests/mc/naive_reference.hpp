@@ -135,6 +135,17 @@ inline SatSet sat(const kripke::Structure& m, const logic::FormulaPtr& f) {
           bad |= eg(m, nb);
           return complement(std::move(bad));
         }
+        case Kind::kRelease: {
+          const SatSet a = sat(m, g->lhs());
+          const SatSet b = sat(m, g->rhs());
+          if (exists) {  // E[a R b] = EG b | E[b U (a & b)]
+            SatSet res = eg(m, b);
+            res |= eu(m, b, a & b);
+            return res;
+          }
+          // A[a R b] = !E[!a U !b]
+          return complement(eu(m, complement(a), complement(b)));
+        }
         default:
           throw LogicError("naive::sat: unsupported path formula");
       }
@@ -143,5 +154,75 @@ inline SatSet sat(const kripke::Structure& m, const logic::FormulaPtr& f) {
       throw LogicError("naive::sat: unsupported state formula");
   }
 }
+
+/// The naive engine as an eval::StateSetOps backend: the differential
+/// harness runs the *same* compiled FixpointProgram on these primitives,
+/// the production CSR ops, and the BDD ops.  EG deliberately recomputes EX
+/// of the whole candidate set per round (counting rounds as iterations) —
+/// slow but obviously correct.
+class NaiveStateOps {
+ public:
+  using Set = SatSet;
+
+  explicit NaiveStateOps(const kripke::Structure& m) : m_(m) {}
+
+  [[nodiscard]] Set top() const {
+    Set s(m_.num_states());
+    s.set_all();
+    return s;
+  }
+  [[nodiscard]] Set bottom() const { return Set(m_.num_states()); }
+  [[nodiscard]] Set leaf(const logic::FormulaPtr& f) const { return naive::leaf(m_, f); }
+  [[nodiscard]] Set complement(const Set& s) const {
+    Set r = s;
+    r.flip();
+    return r;
+  }
+  [[nodiscard]] Set conj(const Set& a, const Set& b) const { return a & b; }
+  [[nodiscard]] Set disj(const Set& a, const Set& b) const { return a | b; }
+  [[nodiscard]] Set iff(const Set& a, const Set& b) const {
+    Set r = a;
+    r ^= b;
+    r.flip();
+    return r;
+  }
+  [[nodiscard]] Set ex(const Set& f) const { return naive::ex(m_, f); }
+  [[nodiscard]] Set eu(const Set& f, const Set& g) {
+    last_iterations_ = 0;
+    Set result = g;
+    std::vector<kripke::StateId> stack;
+    g.for_each([&](std::size_t s) { stack.push_back(static_cast<kripke::StateId>(s)); });
+    while (!stack.empty()) {
+      ++last_iterations_;
+      const kripke::StateId s = stack.back();
+      stack.pop_back();
+      for (const kripke::StateId p : m_.predecessors(s)) {
+        if (!result.test(p) && f.test(p)) {
+          result.set(p);
+          stack.push_back(p);
+        }
+      }
+    }
+    return result;
+  }
+  [[nodiscard]] Set eg(const Set& f) {
+    last_iterations_ = 0;
+    Set x = f;
+    while (true) {
+      ++last_iterations_;
+      Set next = naive::ex(m_, x);
+      next &= f;
+      if (next == x) return x;
+      x = std::move(next);
+    }
+  }
+  [[nodiscard]] std::uint64_t last_fixpoint_iterations() const noexcept {
+    return last_iterations_;
+  }
+
+ private:
+  const kripke::Structure& m_;
+  std::uint64_t last_iterations_ = 0;
+};
 
 }  // namespace ictl::mc::naive

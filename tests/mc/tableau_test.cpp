@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "../helpers.hpp"
 #include "logic/parser.hpp"
 #include "logic/rewrite.hpp"
 #include "support/error.hpp"
@@ -85,6 +86,18 @@ TEST(Tableau, RejectsStateOperators) {
   // E/A must have been abstracted away before tableau construction.
   EXPECT_THROW(static_cast<void>(build_gba(logic::parse_formula("E F p"))),
                LogicError);
+}
+
+TEST(Tableau, RejectsSectionFiveStateFormulas) {
+  // The paper's Section 5 specifications are state formulas (path
+  // quantifiers and index quantifiers at top level): each must take the
+  // labeling/abstraction route — the tableau rejects them all, even after
+  // desugaring to NNF.
+  for (const auto& [name, f] : testing::section_five_properties()) {
+    EXPECT_THROW(static_cast<void>(build_gba(logic::to_nnf(logic::desugar(f)))),
+                 LogicError)
+        << name;
+  }
 }
 
 TEST(Tableau, RejectsSugaredInput) {

@@ -154,5 +154,17 @@ TEST(RingGraph, SharedRegistryKeepsLabelsComparable) {
   EXPECT_EQ(a.structure().registry().get(), b.structure().registry().get());
 }
 
+TEST(RingGraph, SectionFivePropertiesHoldOnSmallRings) {
+  // The graph the builders above pin is exactly the one the paper's
+  // specification suite must hold on; route the whole suite (shared
+  // builder, tests/helpers.hpp) through the labeling checker at small r.
+  for (const std::uint32_t r : {2u, 3u, 4u}) {
+    const auto sys = testing::ring_of(r);
+    mc::CtlChecker checker(sys.structure());
+    for (const auto& [name, f] : testing::section_five_properties())
+      EXPECT_TRUE(checker.holds_initially(f)) << "r=" << r << " " << name;
+  }
+}
+
 }  // namespace
 }  // namespace ictl::ring

@@ -163,7 +163,7 @@ TEST_P(RingDifferential, SectionFiveSpecificationsAgree) {
   const SymbolicRing sym = build_symbolic_ring(r, nullptr, reg);
   mc::CtlChecker explicit_checker(explicit_sys.structure());
   CtlChecker symbolic_checker(sym.system);
-  for (const auto& [name, f] : ring::section5_specifications()) {
+  for (const auto& [name, f] : testing::section_five_properties()) {
     EXPECT_EQ(symbolic_checker.holds_initially(f),
               explicit_checker.holds_initially(f))
         << "r=" << r << " " << name;
@@ -267,7 +267,7 @@ TEST(ThreeEngineDifferential, SurvivesSiftingAndRandomInitialOrders) {
       const SymbolicRing sym = build_symbolic_ring(r, mgr, reg, options);
       CtlChecker symbolic_checker(sym.system);
 
-      for (const auto& [name, f] : ring::section5_specifications())
+      for (const auto& [name, f] : testing::section_five_properties())
         EXPECT_EQ(symbolic_checker.holds_initially(f),
                   explicit_checker.holds_initially(f))
             << "r=" << r << " variant=" << variant << " " << name;

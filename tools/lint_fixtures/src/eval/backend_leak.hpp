@@ -1,0 +1,12 @@
+// Fixture: the evaluation core reaching into a backend.  eval/ may include
+// project headers from eval/, logic/ and support/ only; kripke/ and
+// symbolic/ must stay behind the StateSetOps concept.
+#pragma once
+
+#include "logic/formula.hpp"      // fine: the IR speaks formulas
+#include "support/error.hpp"      // fine: shared error types
+#include "kripke/structure.hpp"   // violation: explicit backend leaks in
+#include "symbolic/bdd.hpp"       // violation: BDD backend leaks in
+
+// System headers are always fine.
+#include <vector>
