@@ -9,6 +9,8 @@
 // register high-water).
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "ictl.hpp"
@@ -91,6 +93,15 @@ void BM_CompiledCtlLabelingOnRing(benchmark::State& state) {
       static_cast<double>(stats.fixpoint_iterations);
   state.counters["register_high_water"] =
       static_cast<double>(stats.register_high_water);
+  // Per-opcode executed-instruction counts (one checker run), so the
+  // BENCH_N.json snapshot records the opcode mix, not just the total.
+  for (std::size_t i = 0; i < eval::kNumOpCodes; ++i) {
+    if (stats.op_count[i] == 0) continue;
+    state.counters["op_" +
+                   std::string(eval::opcode_name(
+                       static_cast<eval::OpCode>(i)))] =
+        static_cast<double>(stats.op_count[i]);
+  }
 }
 BENCHMARK(BM_CompiledCtlLabelingOnRing)
     ->DenseRange(2, 13, 1)

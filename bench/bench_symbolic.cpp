@@ -8,6 +8,7 @@
 // computed-cache hit rate, peak node count, sift passes/swaps.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -16,6 +17,27 @@
 namespace {
 
 using namespace ictl;
+
+// Reports the growth of an obs::Registry counter across the timed loop as a
+// benchmark counter of the same name.  Counters record whenever the
+// instrumentation is compiled in (no runtime arming needed); in an obs-off
+// build the delta is 0 and the key simply reads as absent activity.
+class RegistryDelta {
+ public:
+  RegistryDelta(const char* scope, const char* name)
+      : scope_(scope),
+        name_(name),
+        start_(obs::Registry::global().value(scope, name)) {}
+  void report(benchmark::State& state) const {
+    state.counters[name_] = static_cast<double>(
+        obs::Registry::global().value(scope_, name_) - start_);
+  }
+
+ private:
+  const char* scope_;
+  const char* name_;
+  std::uint64_t start_;
+};
 
 void report_manager_counters(benchmark::State& state,
                              const symbolic::BddManager& mgr) {
@@ -59,6 +81,8 @@ BENCHMARK(BM_SymbolicBuildRing)
 void BM_SymbolicReachable(benchmark::State& state) {
   const auto r = static_cast<std::uint32_t>(state.range(0));
   std::shared_ptr<symbolic::TransitionSystem> last;
+  const RegistryDelta sweeps("sym", "saturation_sweeps");
+  const RegistryDelta posts("sym", "post_images");
   for (auto _ : state) {
     // Build + chained-saturation least fixpoint + count: the whole "how
     // many states" pipeline.
@@ -67,6 +91,8 @@ void BM_SymbolicReachable(benchmark::State& state) {
     last = ring.system;
   }
   if (last != nullptr) report_manager_counters(state, last->manager());
+  sweeps.report(state);
+  posts.report(state);
 }
 BENCHMARK(BM_SymbolicReachable)
     ->Arg(16)
@@ -128,11 +154,13 @@ void BM_SymbolicSectionFiveSuite(benchmark::State& state) {
   const auto r = static_cast<std::uint32_t>(state.range(0));
   const auto ring = symbolic::build_symbolic_ring(r);
   const auto specs = ring::section5_specifications();
+  const RegistryDelta pres("sym", "pre_images");
   for (auto _ : state) {
     symbolic::CtlChecker checker(ring.system);
     for (const auto& [name, f] : specs)
       benchmark::DoNotOptimize(checker.holds_initially(f));
   }
+  pres.report(state);
 }
 BENCHMARK(BM_SymbolicSectionFiveSuite)
     ->Arg(8)

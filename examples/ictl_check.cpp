@@ -4,13 +4,20 @@
 //   $ ./ictl_check <structure-file> "<formula>"
 //   $ ./ictl_check --demo            (writes and checks a demo model)
 //
+// Observability switches (combinable with either form):
+//   --profile      print the obs percent-of-total profile report at exit
+//   --trace=FILE   record a Chrome-trace JSON (chrome://tracing, Perfetto)
+//   --stats=FILE   write the unified obs::Registry counter JSON ("-" = stdout)
+//
 // Prints the verdict, the number of satisfying states, the ICTL*
 // restriction report (whether Theorem 5 would license transferring the
 // verdict across network sizes), and — for E/A-shaped CTL formulas — a
 // witness or counterexample trace.
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "ictl.hpp"
 
@@ -66,43 +73,96 @@ int run(const ictl::kripke::Structure& m, const std::string& formula_text) {
       std::cout << "          (demonstrates "
                 << logic::to_string(explanation->shape) << ")\n";
     }
+    checker.publish_stats(obs::Registry::global());
   }
   return result.holds ? 0 : 1;
+}
+
+int flush_observability(const std::string& trace_path, bool profile,
+                        const std::string& stats_path) {
+  using namespace ictl;
+  if (!trace_path.empty()) {
+    const std::size_t events = obs::trace_stop_to_file(trace_path);
+    std::cout << "trace   : " << events << " events -> " << trace_path << "\n";
+  }
+  if (profile) std::cout << obs::Profiler::global().report();
+  if (!stats_path.empty()) {
+    const std::string json = obs::Registry::global().to_json();
+    if (stats_path == "-") {
+      std::cout << json << "\n";
+    } else {
+      std::ofstream out(stats_path);
+      if (!out) {
+        std::cerr << "cannot open " << stats_path << "\n";
+        return 2;
+      }
+      out << json << "\n";
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ictl;
-  if (argc == 2 && std::string(argv[1]) == "--demo") {
+
+  bool demo = false;
+  bool profile = false;
+  std::string trace_path;
+  std::string stats_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--demo") == 0)
+      demo = true;
+    else if (std::strcmp(arg, "--profile") == 0)
+      profile = true;
+    else if (std::strncmp(arg, "--trace=", 8) == 0)
+      trace_path = arg + 8;
+    else if (std::strncmp(arg, "--stats=", 8) == 0)
+      stats_path = arg + 8;
+    else
+      positional.emplace_back(arg);
+  }
+  if (demo ? !positional.empty() : positional.size() != 2) {
+    std::cerr << "usage: " << argv[0]
+              << " [--profile] [--trace=FILE] [--stats=FILE]"
+                 " <structure-file> \"<formula>\"\n"
+              << "       " << argv[0] << " [observability switches] --demo\n";
+    return 2;
+  }
+  if (!trace_path.empty())
+    obs::trace_start();
+  else if (profile)
+    obs::set_enabled(true);
+
+  int status = 0;
+  if (demo) {
     auto registry = kripke::make_registry();
     const auto m = kripke::parse_structure(kDemoModel, registry);
     std::cout << "demo model:\n" << kripke::to_text(m) << "\n";
-    int status = 0;
     for (const char* text :
          {"AG !(busy[1] & busy[2] & idle[1])", "forall i. AG (busy[i] -> AF idle[i])",
           "EF (busy[1] & busy[2])", "AG (idle[1] -> AF busy[1])"}) {
       std::cout << "---\n";
       status |= run(m, text) == 2 ? 2 : 0;
     }
-    return status;
+  } else {
+    std::ifstream file(positional[0]);
+    if (!file) {
+      std::cerr << "cannot open " << positional[0] << "\n";
+      return 2;
+    }
+    try {
+      auto registry = kripke::make_registry();
+      const auto m = kripke::read_structure(file, registry);
+      status = run(m, positional[1]);
+    } catch (const Error& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
   }
-  if (argc != 3) {
-    std::cerr << "usage: " << argv[0] << " <structure-file> \"<formula>\"\n"
-              << "       " << argv[0] << " --demo\n";
-    return 2;
-  }
-  std::ifstream file(argv[1]);
-  if (!file) {
-    std::cerr << "cannot open " << argv[1] << "\n";
-    return 2;
-  }
-  try {
-    auto registry = kripke::make_registry();
-    const auto m = kripke::read_structure(file, registry);
-    return run(m, argv[2]);
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 2;
-  }
+  const int obs_status = flush_observability(trace_path, profile, stats_path);
+  return obs_status != 0 ? obs_status : status;
 }

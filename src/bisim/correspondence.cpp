@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "bisim/stuttering.hpp"
+#include "obs/obs.hpp"
 #include "support/bitset.hpp"
 #include "support/error.hpp"
 
@@ -152,6 +153,7 @@ FindResult find_correspondence(const kripke::Structure& m1, const kripke::Struct
       m1.registry() == m2.registry(),
       "find_correspondence: structures must share a proposition registry");
 
+  ICTL_PROFILE("bisim", "find_correspondence");
   FindResult result;
   const std::size_t n1 = m1.num_states();
   const std::size_t n2 = m2.num_states();
@@ -162,6 +164,7 @@ FindResult find_correspondence(const kripke::Structure& m1, const kripke::Struct
   // Candidate pairs: equal labels, optionally same stuttering class.
   std::vector<std::uint32_t> stutter_class;
   if (options.use_stuttering_prefilter) {
+    ICTL_PROFILE("bisim", "stuttering_prefilter");
     const kripke::Structure u = kripke::disjoint_union(m1, m2);
     const Partition p = stuttering_partition(u);
     stutter_class.resize(n1 + n2);
@@ -171,15 +174,19 @@ FindResult find_correspondence(const kripke::Structure& m1, const kripke::Struct
   // md[s * n2 + s2] = current lower bound on the minimal degree; kInf = dead.
   std::vector<std::uint64_t> md(n1 * n2, kInf);
   std::vector<std::uint64_t> candidates;
-  for (StateId s = 0; s < n1; ++s) {
-    for (StateId s2 = 0; s2 < n2; ++s2) {
-      if (options.use_stuttering_prefilter &&
-          stutter_class[s] != stutter_class[n1 + s2])
-        continue;
-      if (!labels_equal(m1, s, m2, s2)) continue;
-      md[static_cast<std::size_t>(s) * n2 + s2] = 0;
-      candidates.push_back(static_cast<std::uint64_t>(s) * n2 + s2);
+  {
+    ICTL_PROFILE("bisim", "candidate_generation");
+    for (StateId s = 0; s < n1; ++s) {
+      for (StateId s2 = 0; s2 < n2; ++s2) {
+        if (options.use_stuttering_prefilter &&
+            stutter_class[s] != stutter_class[n1 + s2])
+          continue;
+        if (!labels_equal(m1, s, m2, s2)) continue;
+        md[static_cast<std::size_t>(s) * n2 + s2] = 0;
+        candidates.push_back(static_cast<std::uint64_t>(s) * n2 + s2);
+      }
     }
+    ICTL_SPAN_ARG("candidates", candidates.size());
   }
   result.candidate_pairs = candidates.size();
 
@@ -236,57 +243,62 @@ FindResult find_correspondence(const kripke::Structure& m1, const kripke::Struct
     }
   };
 
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    ++result.iterations;
-    for (const std::uint64_t k : candidates) {
-      std::uint64_t& entry = md[k];
-      if (entry >= kInf) continue;
-      const auto s = static_cast<StateId>(k / n2);
-      const auto s2 = static_cast<StateId>(k % n2);
+  {
+    ICTL_PROFILE("bisim", "degree_fixpoint");
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++result.iterations;
+      for (const std::uint64_t k : candidates) {
+        std::uint64_t& entry = md[k];
+        if (entry >= kInf) continue;
+        const auto s = static_cast<StateId>(k / n2);
+        const auto s2 = static_cast<StateId>(k % n2);
 
-      // Minimal degree satisfying clause 2b:
-      //   min( A + 1, max over s-moves of per-move cost ), where
-      //   A = min over s'-moves t2 of md(s, t2)   (first disjunct), and the
-      //   per-move cost of s->t is 0 when t pairs with some s'-move, else
-      //   md(t, s2) + 1 (t stays against s2, consuming one degree).
-      std::uint64_t stay_b = kInf;  // A + 1
-      for (const StateId t2 : m2.successors(s2))
-        stay_b = std::min(stay_b, md_of(s, t2) >= kInf ? kInf : md_of(s, t2) + 1);
-      std::uint64_t all_b = 0;
-      for (const StateId t : m1.successors(s)) {
-        if (joint_b.test(static_cast<std::size_t>(t) * n2 + s2)) continue;
-        const std::uint64_t cost = md_of(t, s2) >= kInf ? kInf : md_of(t, s2) + 1;
-        all_b = std::max(all_b, cost);
-      }
-      const std::uint64_t need_b = std::min(stay_b, all_b);
+        // Minimal degree satisfying clause 2b:
+        //   min( A + 1, max over s-moves of per-move cost ), where
+        //   A = min over s'-moves t2 of md(s, t2)   (first disjunct), and the
+        //   per-move cost of s->t is 0 when t pairs with some s'-move, else
+        //   md(t, s2) + 1 (t stays against s2, consuming one degree).
+        std::uint64_t stay_b = kInf;  // A + 1
+        for (const StateId t2 : m2.successors(s2))
+          stay_b = std::min(stay_b, md_of(s, t2) >= kInf ? kInf : md_of(s, t2) + 1);
+        std::uint64_t all_b = 0;
+        for (const StateId t : m1.successors(s)) {
+          if (joint_b.test(static_cast<std::size_t>(t) * n2 + s2)) continue;
+          const std::uint64_t cost = md_of(t, s2) >= kInf ? kInf : md_of(t, s2) + 1;
+          all_b = std::max(all_b, cost);
+        }
+        const std::uint64_t need_b = std::min(stay_b, all_b);
 
-      // Mirror for clause 2c.
-      std::uint64_t stay_c = kInf;
-      for (const StateId t : m1.successors(s))
-        stay_c = std::min(stay_c, md_of(t, s2) >= kInf ? kInf : md_of(t, s2) + 1);
-      std::uint64_t all_c = 0;
-      for (const StateId t2 : m2.successors(s2)) {
-        if (joint_c.test(static_cast<std::size_t>(s) * n2 + t2)) continue;
-        const std::uint64_t cost = md_of(s, t2) >= kInf ? kInf : md_of(s, t2) + 1;
-        all_c = std::max(all_c, cost);
-      }
-      const std::uint64_t need_c = std::min(stay_c, all_c);
+        // Mirror for clause 2c.
+        std::uint64_t stay_c = kInf;
+        for (const StateId t : m1.successors(s))
+          stay_c = std::min(stay_c, md_of(t, s2) >= kInf ? kInf : md_of(t, s2) + 1);
+        std::uint64_t all_c = 0;
+        for (const StateId t2 : m2.successors(s2)) {
+          if (joint_c.test(static_cast<std::size_t>(s) * n2 + t2)) continue;
+          const std::uint64_t cost = md_of(s, t2) >= kInf ? kInf : md_of(s, t2) + 1;
+          all_c = std::max(all_c, cost);
+        }
+        const std::uint64_t need_c = std::min(stay_c, all_c);
 
-      const std::uint64_t need = std::max({entry, need_b, need_c});
-      if (need != entry) {
-        entry = need > cap ? kInf : need;
-        if (entry >= kInf) on_death(s, s2);
-        changed = true;
+        const std::uint64_t need = std::max({entry, need_b, need_c});
+        if (need != entry) {
+          entry = need > cap ? kInf : need;
+          if (entry >= kInf) on_death(s, s2);
+          changed = true;
+        }
       }
     }
+    ICTL_SPAN_ARG("iterations", result.iterations);
   }
 
   std::size_t surviving = 0;
   for (const std::uint64_t k : candidates)
     if (md[k] < kInf) ++surviving;
   result.surviving_pairs = surviving;
+  ICTL_SPAN_ARG("surviving", surviving);
 
   const std::uint64_t init_md = md_of(m1.initial(), m2.initial());
   if (init_md >= kInf) return result;  // no correspondence

@@ -13,6 +13,32 @@ void append_reg(std::string& out, Reg r) {
 
 }  // namespace
 
+const char* opcode_name(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::kConstTrue:
+      return "true";
+    case OpCode::kConstFalse:
+      return "false";
+    case OpCode::kLeaf:
+      return "leaf";
+    case OpCode::kNot:
+      return "not";
+    case OpCode::kAnd:
+      return "and";
+    case OpCode::kOr:
+      return "or";
+    case OpCode::kIff:
+      return "iff";
+    case OpCode::kEX:
+      return "ex";
+    case OpCode::kEU:
+      return "eu";
+    case OpCode::kEG:
+      return "eg";
+  }
+  return "?";
+}
+
 std::string FixpointProgram::disassemble() const {
   std::string out = "program: ";
   out += root != nullptr ? logic::to_string(root) : "<null>";

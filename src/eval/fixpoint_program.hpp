@@ -41,6 +41,14 @@ enum class OpCode : std::uint8_t {
   kEG,          ///< dst = gfp Z . a & EX Z         — fixpoint loop header
 };
 
+/// Number of OpCode values — sizes per-opcode stat arrays (EvalStats).
+inline constexpr std::size_t kNumOpCodes = 10;
+
+/// Stable lowercase mnemonic ("true", "and", "eu", ...) — the label used by
+/// disassembly, per-opcode evaluator spans, and bench counters alike.  The
+/// pointer has static storage duration, as obs span names require.
+[[nodiscard]] const char* opcode_name(OpCode op) noexcept;
+
 /// True for the two fixpoint loop headers.
 [[nodiscard]] constexpr bool is_fixpoint(OpCode op) noexcept {
   return op == OpCode::kEU || op == OpCode::kEG;

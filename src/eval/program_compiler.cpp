@@ -4,6 +4,7 @@
 
 #include "logic/printer.hpp"
 #include "logic/rewrite.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace ictl::eval {
@@ -278,6 +279,8 @@ std::shared_ptr<const FixpointProgram> ProgramCompiler::compile(
     ++stats_.cache_hits;
     return it->second;
   }
+  // Below the cache hit: a memoized return is not a compilation.
+  ICTL_PROFILE("eval", "compile");
   Emitter emitter(index_set_, stats_);
   const Reg root_value = emitter.lower(f);
   auto program = emitter.finish(root_value, f);

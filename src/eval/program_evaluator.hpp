@@ -17,6 +17,7 @@
 
 #include "eval/fixpoint_program.hpp"
 #include "eval/state_set_ops.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace ictl::eval {
@@ -32,9 +33,22 @@ class ProgramEvaluator {
     ++stats_.programs_run;
     if (program.num_registers > stats_.register_high_water)
       stats_.register_high_water = program.num_registers;
+    // obs::enabled() is the constant false when the spine is compiled out,
+    // so the timed branch below folds away entirely in obs-off builds.
     for (const Instruction& in : program.code) {
-      typename Ops::Set value = execute(in, program, regs);
-      regs[in.dst] = std::move(value);
+      const auto op_index = static_cast<std::size_t>(in.op);
+      ++stats_.op_count[op_index];
+      if (obs::enabled()) {
+        obs::SpanGuard span("eval", opcode_name(in.op));
+        typename Ops::Set value = execute(in, program, regs);
+        if (is_fixpoint(in.op))
+          obs::span_arg("iterations", ops_.last_fixpoint_iterations());
+        stats_.op_ns[op_index] += span.elapsed_ns();
+        regs[in.dst] = std::move(value);
+      } else {
+        typename Ops::Set value = execute(in, program, regs);
+        regs[in.dst] = std::move(value);
+      }
     }
     stats_.instructions += program.code.size();
     return std::move(regs[program.result]);

@@ -1,0 +1,33 @@
+#include "eval/publish.hpp"
+
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace ictl::eval {
+
+void publish_stats(const EvalStats& stats, obs::Registry& registry,
+                   std::string_view scope) {
+  registry.set(scope, "programs_run", stats.programs_run);
+  registry.set(scope, "instructions", stats.instructions);
+  registry.set(scope, "leaf_evals", stats.leaf_evals);
+  registry.set(scope, "fixpoint_ops", stats.fixpoint_ops);
+  registry.set(scope, "fixpoint_iterations", stats.fixpoint_iterations);
+  registry.set(scope, "register_high_water", stats.register_high_water);
+  for (std::size_t i = 0; i < kNumOpCodes; ++i) {
+    const char* name = opcode_name(static_cast<OpCode>(i));
+    if (stats.op_count[i] != 0)
+      registry.set(scope, "op_" + std::string(name), stats.op_count[i]);
+    if (stats.op_ns[i] != 0)
+      registry.set(scope, "op_" + std::string(name) + "_ns", stats.op_ns[i]);
+  }
+}
+
+void publish_stats(const ProgramCompiler::Stats& stats, obs::Registry& registry,
+                   std::string_view scope) {
+  registry.set(scope, "programs_compiled", stats.programs_compiled);
+  registry.set(scope, "cache_hits", stats.cache_hits);
+  registry.set(scope, "cse_hits", stats.cse_hits);
+}
+
+}  // namespace ictl::eval

@@ -1,0 +1,30 @@
+// Bridges the evaluation core's hot-path stats structs into the obs
+// registry: the structs stay the cheap recorders the evaluator/compiler
+// bump inline, and every checker façade's publish_stats() calls through
+// here so the per-engine counters land under one key scheme
+// ("<scope>/instructions", "<scope>/op_eu", ...) in the unified JSON
+// export (obs::Registry::to_json).
+#pragma once
+
+#include <string_view>
+
+#include "eval/program_compiler.hpp"
+#include "eval/state_set_ops.hpp"
+
+namespace ictl::obs {
+class Registry;  // obs/obs.hpp
+}
+
+namespace ictl::eval {
+
+/// Mirrors run-side counters (instructions, fixpoint iterations, per-opcode
+/// counts and — when spans were enabled — per-opcode nanoseconds) into
+/// `registry` under `scope`.
+void publish_stats(const EvalStats& stats, obs::Registry& registry,
+                   std::string_view scope);
+
+/// Mirrors compile-side counters (programs compiled, cache/CSE hits).
+void publish_stats(const ProgramCompiler::Stats& stats, obs::Registry& registry,
+                   std::string_view scope);
+
+}  // namespace ictl::eval

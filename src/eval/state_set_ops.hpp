@@ -14,9 +14,11 @@
 // symbolic frontier rounds) and its allocation discipline.
 #pragma once
 
+#include <array>
 #include <concepts>
 #include <cstdint>
 
+#include "eval/fixpoint_program.hpp"
 #include "logic/formula.hpp"
 
 namespace ictl::eval {
@@ -51,6 +53,12 @@ struct EvalStats {
   std::uint64_t fixpoint_ops = 0;         ///< kEU/kEG instructions executed
   std::uint64_t fixpoint_iterations = 0;  ///< backend iterations across them
   std::uint32_t register_high_water = 0;  ///< widest register file seen
+  /// Executions per opcode, indexed by OpCode (always recorded).
+  std::array<std::uint64_t, kNumOpCodes> op_count{};
+  /// Nanoseconds per opcode, indexed by OpCode.  Recorded only while
+  /// obs::enabled() — zero otherwise, since timing every instruction of a
+  /// disabled run would tax the hot path for nothing.
+  std::array<std::uint64_t, kNumOpCodes> op_ns{};
 };
 
 }  // namespace ictl::eval

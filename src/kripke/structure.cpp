@@ -5,6 +5,7 @@
 #include <queue>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace ictl::kripke {
@@ -27,6 +28,9 @@ void Structure::pre_image(const support::DynamicBitset& set,
   ICTL_ASSERT(set.size() == num_states());
   ICTL_ASSERT(out.size() == num_states());
   ICTL_ASSERT(&set != &out);
+  // Counter only — this is the explicit engine's innermost kernel, called
+  // once per EX; timing lives in the evaluator's per-opcode spans.
+  ICTL_COUNT("kripke", "pre_images");
   out.reset_all();
   set.for_each([&](std::size_t t) {
     const std::uint32_t begin = pred_offsets_[t];
@@ -40,6 +44,7 @@ void Structure::post_image(const support::DynamicBitset& set,
   ICTL_ASSERT(set.size() == num_states());
   ICTL_ASSERT(out.size() == num_states());
   ICTL_ASSERT(&set != &out);
+  ICTL_COUNT("kripke", "post_images");
   out.reset_all();
   set.for_each([&](std::size_t s) {
     const std::uint32_t begin = succ_offsets_[s];

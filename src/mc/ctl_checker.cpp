@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "eval/publish.hpp"
 #include "logic/classify.hpp"
 #include "logic/printer.hpp"
 #include "support/error.hpp"
@@ -49,6 +50,11 @@ std::shared_ptr<const eval::FixpointProgram> CtlChecker::program(
       logic::is_ctl(f), "CtlChecker: formula outside the CTL fragment: " +
                             logic::to_string(f) + " (use the CTL* checker)");
   return compiler_.compile(f);
+}
+
+void CtlChecker::publish_stats(obs::Registry& registry) const {
+  eval::publish_stats(eval_stats(), registry, "mc/eval");
+  eval::publish_stats(compile_stats(), registry, "mc/compile");
 }
 
 }  // namespace ictl::mc

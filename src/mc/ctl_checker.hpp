@@ -28,6 +28,10 @@
 #include "mc/explicit_ops.hpp"
 #include "support/bitset.hpp"
 
+namespace ictl::obs {
+class Registry;  // obs/obs.hpp — publish_stats bridges into the registry
+}
+
 namespace ictl::mc {
 
 using SatSet = support::DynamicBitset;
@@ -67,6 +71,10 @@ class CtlChecker {
   [[nodiscard]] const eval::EvalStats& eval_stats() const noexcept {
     return evaluator_.stats();
   }
+
+  /// Mirrors both stats blocks into `registry` under "mc/eval" and
+  /// "mc/compile" (the unified obs::Registry export).
+  void publish_stats(obs::Registry& registry) const;
 
  private:
   const kripke::Structure& m_;

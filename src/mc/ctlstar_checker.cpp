@@ -5,6 +5,7 @@
 #include "logic/rewrite.hpp"
 #include "mc/leaf_sat.hpp"
 #include "mc/product.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace ictl::mc {
@@ -145,6 +146,7 @@ SatSet Checker::sat_exists_path(const FormulaPtr& g) {
   // some path, and g only looks at the first state.
   if (logic::is_state_formula(g)) return sat(g);
 
+  ICTL_PROFILE("ctlstar", "exists_path");
   const FormulaPtr abstracted = abstract_state_subformulas(g);
   const FormulaPtr nnf = logic::to_nnf(logic::desugar(abstracted));
   const Gba gba = build_gba(nnf);
@@ -176,7 +178,17 @@ SatSet Checker::sat_exists_path(const FormulaPtr& g) {
   ProductStats pstats;
   SatSet result = exists_fair_path(m_, gba, resolver, &pstats);
   stats_.product_states += pstats.product_states;
+  ICTL_SPAN_ARG("product_states", pstats.product_states);
   return result;
+}
+
+void Checker::publish_stats(obs::Registry& registry) const {
+  registry.set("ctlstar", "tableau_builds", stats_.tableau_builds);
+  registry.set("ctlstar", "tableau_nodes_built", stats_.tableau_nodes_built);
+  registry.set("ctlstar", "gba_nodes", stats_.gba_nodes);
+  registry.set("ctlstar", "product_states", stats_.product_states);
+  registry.set("ctlstar", "ctl_fast_path_hits", stats_.ctl_fast_path_hits);
+  if (ctl_ != nullptr) ctl_->publish_stats(registry);
 }
 
 }  // namespace ictl::mc

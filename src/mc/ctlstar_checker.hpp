@@ -60,6 +60,10 @@ class Checker {
     return ctl_ != nullptr ? ctl_->eval_stats() : eval::EvalStats{};
   }
 
+  /// Mirrors CheckerStats into `registry` under "ctlstar", plus the lazy
+  /// CTL fast path's stats (when it was created) under "mc/...".
+  void publish_stats(obs::Registry& registry) const;
+
  private:
   SatSet compute(const logic::FormulaPtr& f);
   SatSet sat_exists_path(const logic::FormulaPtr& g);

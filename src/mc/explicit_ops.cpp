@@ -1,6 +1,7 @@
 #include "mc/explicit_ops.hpp"
 
 #include "mc/leaf_sat.hpp"
+#include "obs/obs.hpp"
 
 namespace ictl::mc {
 
@@ -51,6 +52,7 @@ Set ExplicitStateOps::ex(const Set& f) const {
 }
 
 Set ExplicitStateOps::eu(const Set& f, const Set& g) {
+  ICTL_PROFILE("mc", "eu_fixpoint");
   Set result = g;
   worklist_.clear();
   g.for_each([&](std::size_t s) {
@@ -67,6 +69,7 @@ Set ExplicitStateOps::eu(const Set& f, const Set& g) {
     }
   }
   last_iterations_ = head;
+  ICTL_SPAN_ARG("worklist_pops", head);
   return result;
 }
 
@@ -75,6 +78,7 @@ Set ExplicitStateOps::eg(const Set& f) {
   // maintain, for every state still in X, the number of its successors
   // inside X.  States whose count reaches zero leave X, decrementing only
   // their predecessors' counts.
+  ICTL_PROFILE("mc", "eg_fixpoint");
   const std::size_t n = m_.num_states();
   Set x = f;
   succ_in_count_.assign(n, 0);
@@ -101,6 +105,7 @@ Set ExplicitStateOps::eg(const Set& f) {
     }
   }
   last_iterations_ = head;
+  ICTL_SPAN_ARG("eliminated", head);
   return x;
 }
 

@@ -7,6 +7,8 @@
 #include <numeric>
 #include <tuple>
 
+#include "obs/obs.hpp"
+
 namespace ictl::symbolic {
 
 namespace {
@@ -352,6 +354,7 @@ void BddManager::insert_unique(std::uint32_t v, Bdd id) {
 }
 
 void BddManager::grow_subtable(SubTable& t) {
+  ICTL_COUNT("bdd", "subtable_grows");
   rehash_subtable(t, t.buckets.size() * 2);
 }
 
@@ -431,7 +434,11 @@ std::size_t BddManager::garbage_collect() {
     gc_pending_ = true;  // deferred: runs when the scope/pause closes
     return 0;
   }
+  // The span sits below the deferral guard: a deferred GC did no work and
+  // must not pollute the gc_sweep timing distribution.
+  ICTL_PROFILE("bdd", "gc_sweep");
   const std::size_t retired = collect_dead_nodes();
+  ICTL_SPAN_ARG("retired", retired);
   ++stats_.gc_runs;
   stats_.gc_retired += retired;
   if (retired == 0) return 0;
@@ -500,6 +507,24 @@ void BddManager::invalidate_operation_caches() {
   ++cache_epoch_;
   ++rename_epoch_;
   ++stats_.cache_invalidations;
+}
+
+void BddManager::publish_stats(obs::Registry& registry) const {
+  registry.set("bdd", "unique_hits", stats_.unique_hits);
+  registry.set("bdd", "unique_misses", stats_.unique_misses);
+  registry.set("bdd", "cache_hits", stats_.cache_hits);
+  registry.set("bdd", "cache_misses", stats_.cache_misses);
+  registry.set("bdd", "cache_evictions", stats_.cache_evictions);
+  registry.set("bdd", "cache_invalidations", stats_.cache_invalidations);
+  registry.set("bdd", "reorder_hook_calls", stats_.reorder_hook_calls);
+  registry.set("bdd", "sift_passes", stats_.sift_passes);
+  registry.set("bdd", "sift_swaps", stats_.sift_swaps);
+  registry.set("bdd", "sift_rewrites", stats_.sift_rewrites);
+  registry.set("bdd", "peak_nodes", stats_.peak_nodes);
+  registry.set("bdd", "gc_runs", stats_.gc_runs);
+  registry.set("bdd", "gc_retired", stats_.gc_retired);
+  registry.set("bdd", "live_nodes", live_nodes_);
+  registry.set("bdd", "total_nodes", nodes_.size());
 }
 
 // ---- ITE and the boolean operators -----------------------------------------
@@ -813,6 +838,7 @@ void BddManager::exchange_blocks(std::uint32_t pos, std::uint32_t block_size) {
 
 void BddManager::sift_block(std::uint32_t top_var, std::uint32_t block_size,
                             std::uint32_t num_blocks, double max_growth) {
+  ICTL_PROFILE_ARG("bdd", "sift_journey", "top_var", top_var);
   ICTL_ASSERT(var2level_[top_var] % block_size == 0);
   std::uint32_t pos = var2level_[top_var] / block_size;
   const std::size_t start_size = live_nodes_;
@@ -882,6 +908,7 @@ std::size_t BddManager::reorder_now(const ReorderOptions& options) {
           "adjacent levels (unprimed above primed)");
   }
   in_reorder_ = true;
+  ICTL_PROFILE_ARG("bdd", "sift_pass", "live_nodes", live_nodes_);
   ++stats_.sift_passes;
   // Sweep before ranking: the block-population ranking and the sift's
   // size accounting must both see the true live set, zombies settled.

@@ -56,6 +56,10 @@
 
 #include "support/error.hpp"
 
+namespace ictl::obs {
+class Registry;  // obs/obs.hpp — publish_stats bridges into the registry
+}
+
 namespace ictl::symbolic {
 
 /// Handle to a BDD node owned by a BddManager.
@@ -253,6 +257,10 @@ class BddManager {
     std::size_t gc_retired = 0;           ///< nodes retired across all sweeps
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Mirrors stats() plus table gauges (live/peak nodes) into `registry`
+  /// under "bdd/" — the unified-export bridge (obs::Registry::to_json).
+  void publish_stats(obs::Registry& registry) const;
 
   // ---- Dynamic reordering --------------------------------------------------
 

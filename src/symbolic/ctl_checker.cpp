@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "eval/publish.hpp"
 #include "logic/classify.hpp"
 #include "logic/printer.hpp"
 #include "support/error.hpp"
@@ -57,6 +58,12 @@ std::shared_ptr<const eval::FixpointProgram> CtlChecker::program(
       logic::is_ctl(f), "symbolic CtlChecker: formula outside the CTL fragment: " +
                             logic::to_string(f));
   return compiler_.compile(f);
+}
+
+void CtlChecker::publish_stats(obs::Registry& registry) const {
+  eval::publish_stats(eval_stats(), registry, "sym/eval");
+  eval::publish_stats(compile_stats(), registry, "sym/compile");
+  system_->manager().publish_stats(registry);
 }
 
 }  // namespace ictl::symbolic

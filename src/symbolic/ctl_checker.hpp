@@ -29,6 +29,10 @@
 #include "symbolic/symbolic_ops.hpp"
 #include "symbolic/transition_system.hpp"
 
+namespace ictl::obs {
+class Registry;  // obs/obs.hpp — publish_stats bridges into the registry
+}
+
 namespace ictl::symbolic {
 
 struct CtlCheckerOptions {
@@ -70,6 +74,11 @@ class CtlChecker {
   [[nodiscard]] const eval::EvalStats& eval_stats() const noexcept {
     return evaluator_.stats();
   }
+
+  /// Mirrors both stats blocks into `registry` under "sym/eval" and
+  /// "sym/compile", plus the owning BddManager's counters under "bdd" —
+  /// the symbolic engine's full view in one unified export.
+  void publish_stats(obs::Registry& registry) const;
 
  private:
   std::shared_ptr<const TransitionSystem> system_;

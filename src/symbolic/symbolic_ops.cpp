@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "logic/printer.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace ictl::symbolic {
@@ -53,6 +54,7 @@ BddRef SymbolicStateOps::ex_raw(Bdd f) const {
 }
 
 Set SymbolicStateOps::eu(const Set& f, const Set& g) {
+  ICTL_PROFILE("sym", "eu_fixpoint");
   BddManager& m = system_->manager();
   BddRef z(m, g.get());
   BddRef frontier(m, g.get());
@@ -68,10 +70,12 @@ Set SymbolicStateOps::eu(const Set& f, const Set& g) {
     frontier = m.bdd_diff(next, z);
     z = std::move(next);
   }
+  ICTL_SPAN_ARG("iterations", last_iterations_);
   return z;
 }
 
 Set SymbolicStateOps::eg(const Set& f) {
+  ICTL_PROFILE("sym", "eg_fixpoint");
   BddManager& m = system_->manager();
   BddRef z(m, f.get());
   last_iterations_ = 0;
@@ -79,7 +83,10 @@ Set SymbolicStateOps::eg(const Set& f) {
     ++last_iterations_;
     const auto scope = m.protect_scope();
     BddRef next = m.bdd_and(z, ex_raw(z.get()));
-    if (next.get() == z.get()) return z;
+    if (next.get() == z.get()) {
+      ICTL_SPAN_ARG("iterations", last_iterations_);
+      return z;
+    }
     z = std::move(next);
   }
 }

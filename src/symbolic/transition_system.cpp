@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace ictl::symbolic {
@@ -138,6 +139,7 @@ std::size_t TransitionSystem::relation_node_count() const {
 }
 
 BddRef TransitionSystem::pre_image(Bdd states) const {
+  ICTL_COUNT("sym", "pre_images");
   const BddRef primed_states = mgr_->rename(states, to_primed_);
   if (kind_ == PartitionKind::kDisjunctive) {
     // One relational product against the combined relation.  Disjunctive
@@ -150,6 +152,7 @@ BddRef TransitionSystem::pre_image(Bdd states) const {
   }
   // Conjunctive: fold the parts through the relational product, retiring
   // each primed variable at its scheduled part.
+  ICTL_PROFILE_ARG("sym", "early_quant_fold", "parts", parts_.size());
   BddRef acc = mgr_->exists(primed_states, pre_leading_cube_);
   for (std::size_t k = 0; k < parts_.size(); ++k)
     acc = mgr_->and_exists(acc, parts_[k], pre_schedule_cubes_[k]);
@@ -157,10 +160,12 @@ BddRef TransitionSystem::pre_image(Bdd states) const {
 }
 
 BddRef TransitionSystem::post_image(Bdd states) const {
+  ICTL_COUNT("sym", "post_images");
   if (kind_ == PartitionKind::kDisjunctive) {
     const BddRef next = mgr_->and_exists(transitions(), states, unprimed_cube_);
     return mgr_->rename(next, to_unprimed_);
   }
+  ICTL_PROFILE_ARG("sym", "early_quant_fold", "parts", parts_.size());
   BddRef acc = mgr_->exists(states, post_leading_cube_);
   for (std::size_t k = 0; k < parts_.size(); ++k)
     acc = mgr_->and_exists(acc, parts_[k], post_schedule_cubes_[k]);
@@ -169,6 +174,7 @@ BddRef TransitionSystem::post_image(Bdd states) const {
 
 Bdd TransitionSystem::reachable() const {
   if (reachable_.has_value()) return reachable_->get();
+  ICTL_PROFILE_ARG("sym", "reach_fixpoint", "parts", parts_.size());
   BddRef reach = initial_;
   if (kind_ == PartitionKind::kDisjunctive && parts_.size() > 1) {
     // Chained saturation sweeps: each part is applied to ITS OWN fixpoint
@@ -181,6 +187,8 @@ Bdd TransitionSystem::reachable() const {
     bool changed = true;
     while (changed) {
       changed = false;
+      ICTL_PROFILE("sym", "saturation_sweep");
+      ICTL_COUNT("sym", "saturation_sweeps");
       for (const BddRef& part : parts_) {
         while (true) {
           const BddRef img = mgr_->rename(
@@ -196,6 +204,7 @@ Bdd TransitionSystem::reachable() const {
     // Frontier iteration: only the newly discovered states are imaged.
     BddRef frontier = initial_;
     while (frontier.get() != kBddFalse) {
+      ICTL_COUNT("sym", "frontier_rounds");
       BddRef next = mgr_->bdd_or(reach, post_image(frontier));
       frontier = mgr_->bdd_diff(next, reach);
       reach = std::move(next);

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""check_trace -- validate a Chrome-trace-event JSON file.
+
+Checks that the file is what chrome://tracing / Perfetto would accept from
+obs::trace_stop():
+
+  * top-level object with a "traceEvents" array;
+  * every event has name / cat / ph / ts / pid / tid, with ph one of B or E;
+  * timestamps are monotonically non-decreasing in buffer order (the obs
+    buffer is append-only single-threaded, so any regression is a bug);
+  * B and E events pair up with stack discipline per (pid, tid): every E
+    matches the innermost open B's (name, cat), and nothing stays open;
+  * with --require CAT/NAME (repeatable): a complete B/E span with that
+    category and name exists -- used by the ctest case to prove that every
+    instrumented layer landed in the timeline.
+
+Exit status: 0 valid, 1 malformed or missing a required span, 2 usage/IO.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(prog="check_trace", description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="CAT/NAME",
+        help="require a complete span with this category and name (repeatable)",
+    )
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="minimum number of events (default 1: an empty trace is a bug)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_trace: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        return fail(f"{args.trace} is not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail('top level must be an object with a "traceEvents" array')
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail('"traceEvents" must be an array')
+    if len(events) < args.min_events:
+        return fail(f"only {len(events)} events (expected >= {args.min_events})")
+
+    open_stacks = {}  # (pid, tid) -> [(name, cat)]
+    complete = set()  # (cat, name) of spans whose B and E both appeared
+    last_ts = None
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"event {i} is not an object")
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                return fail(f"event {i} lacks required key {key!r}")
+        if ev["ph"] not in ("B", "E"):
+            return fail(f"event {i} has phase {ev['ph']!r} (expected B or E)")
+        if not isinstance(ev["ts"], (int, float)):
+            return fail(f"event {i} timestamp is not numeric")
+        if last_ts is not None and ev["ts"] < last_ts:
+            return fail(
+                f"event {i} timestamp {ev['ts']} regresses below {last_ts}"
+            )
+        last_ts = ev["ts"]
+
+        stack = open_stacks.setdefault((ev["pid"], ev["tid"]), [])
+        if ev["ph"] == "B":
+            stack.append((ev["name"], ev["cat"]))
+        else:
+            if not stack:
+                return fail(f"event {i}: E for {ev['name']!r} with no open B")
+            name, cat = stack.pop()
+            if (name, cat) != (ev["name"], ev["cat"]):
+                return fail(
+                    f"event {i}: E for {ev['cat']}/{ev['name']} does not "
+                    f"match innermost open B {cat}/{name}"
+                )
+            complete.add(f"{ev['cat']}/{ev['name']}")
+
+    dangling = [
+        f"{cat}/{name}"
+        for stack in open_stacks.values()
+        for name, cat in stack
+    ]
+    if dangling:
+        return fail("unclosed B events: " + ", ".join(dangling))
+
+    missing = [spec for spec in args.require if spec not in complete]
+    if missing:
+        return fail(
+            "required spans absent: "
+            + ", ".join(missing)
+            + "; present: "
+            + ", ".join(sorted(complete))
+        )
+
+    print(
+        f"check_trace: OK ({len(events)} events, "
+        f"{len(complete)} distinct spans)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

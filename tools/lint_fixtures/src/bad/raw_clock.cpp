@@ -1,0 +1,25 @@
+// Fixture: obs-clock firings.  Raw steady_clock / high_resolution_clock
+// outside src/obs/ and bench/ opens a second timing domain that profile
+// spans and Chrome traces cannot see; obs::now_ns() is the one clock.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t bad_steady() {
+  const auto t = std::chrono::steady_clock::now();  // violation
+  return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}
+
+std::uint64_t bad_high_resolution() {
+  using clock = std::chrono::high_resolution_clock;  // violation
+  return static_cast<std::uint64_t>(clock::now().time_since_epoch().count());
+}
+
+std::uint64_t tolerated() {
+  // A comment naming std::chrono::steady_clock must not fire.
+  const auto t = std::chrono::steady_clock::now();  // ictl-lint: allow(obs-clock)
+  return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: the telemetry spine reaching upward.  src/obs/ must stay a leaf
+// every subsystem can include, so it may include project headers from obs/
+// and support/ only.  (This file also sits inside src/obs/, so its raw
+// chrono use below is exempt from obs-clock -- the spine IS the clock.)
+#include "obs/obs.hpp"             // fine: the spine's own headers
+#include "support/error.hpp"       // fine: shared error types
+#include "kripke/structure.hpp"    // violation: a backend pulled into the spine
+#include "eval/fixpoint_program.hpp"  // violation: the eval core pulled in
+
+// System headers are always fine.
+#include <chrono>
+
+namespace fixture {
+
+long exempt_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture
