@@ -80,7 +80,14 @@ for b in "${BENCH_LIST[@]}"; do
   if [ -n "$FILTER" ]; then
     args+=("--benchmark_filter=$FILTER")
   fi
-  "$bin" "${args[@]}" >"$TMPDIR_RESULTS/$b.json"
+  # Fail loudly and immediately on a non-zero benchmark exit: the merge step
+  # below never runs, so a crash can't leave a partial snapshot behind.
+  status=0
+  "$bin" "${args[@]}" >"$TMPDIR_RESULTS/$b.json" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "run_bench: $b exited with status $status; aborting without writing $OUT" >&2
+    exit "$status"
+  fi
 done
 
 python3 - "$OUT" "$TMPDIR_RESULTS" <<'EOF'

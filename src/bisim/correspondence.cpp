@@ -5,6 +5,8 @@
 
 #include "bisim/stuttering.hpp"
 #include "obs/obs.hpp"
+#include "rt/budget.hpp"
+#include "rt/failpoint.hpp"
 #include "support/bitset.hpp"
 #include "support/error.hpp"
 
@@ -246,10 +248,16 @@ FindResult find_correspondence(const kripke::Structure& m1, const kripke::Struct
   {
     ICTL_PROFILE("bisim", "degree_fixpoint");
     bool changed = true;
+    std::uint64_t scanned = 0;
     while (changed) {
       changed = false;
       ++result.iterations;
+      rt::charge_iteration("bisim/degree_fixpoint");
+      ICTL_FAILPOINT("bisim/degree_round");
       for (const std::uint64_t k : candidates) {
+        // Rounds over a large candidate set can be long on their own;
+        // keep the deadline responsive with a batched in-round check.
+        if ((++scanned & 0xfff) == 0) rt::checkpoint("bisim/degree_fixpoint");
         std::uint64_t& entry = md[k];
         if (entry >= kInf) continue;
         const auto s = static_cast<StateId>(k / n2);

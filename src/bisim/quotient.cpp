@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rt/budget.hpp"
 #include "support/error.hpp"
 
 namespace ictl::bisim {
@@ -43,6 +44,7 @@ std::vector<bool> divergent_blocks(const kripke::Structure& m, const Partition& 
   bool changed = true;
   while (changed) {
     changed = false;
+    rt::charge_iteration("bisim/divergence");
     for (StateId s = 0; s < m.num_states(); ++s) {
       if (!divergent_state[s]) continue;
       bool has = false;

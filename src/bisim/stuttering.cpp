@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rt/budget.hpp"
+
 namespace ictl::bisim {
 namespace {
 
@@ -26,6 +28,7 @@ std::vector<Partition::Signature> exit_signatures(const kripke::Structure& m,
   bool changed = true;
   while (changed) {
     changed = false;
+    rt::charge_iteration("bisim/stutter_signatures");
     for (StateId s = 0; s < n; ++s) {
       for (const StateId t : m.successors(s)) {
         if (!p.same_block(s, t)) continue;
@@ -54,6 +57,7 @@ std::vector<bool> divergent_states(const kripke::Structure& m, const Partition& 
   bool changed = true;
   while (changed) {
     changed = false;
+    rt::charge_iteration("bisim/divergence");
     for (StateId s = 0; s < n; ++s) {
       if (!divergent[s]) continue;
       bool has_divergent_inert_succ = false;
@@ -77,6 +81,7 @@ std::vector<bool> divergent_states(const kripke::Structure& m, const Partition& 
 Partition stuttering_partition(const kripke::Structure& m, StutteringOptions options) {
   Partition p = Partition::by_labels(m);
   while (true) {
+    rt::charge_iteration("bisim/stutter_refine");
     const auto sig = exit_signatures(m, p);
     std::vector<bool> divergent;
     if (options.divergence_sensitive) divergent = divergent_states(m, p);

@@ -18,6 +18,8 @@
 #include "eval/fixpoint_program.hpp"
 #include "eval/state_set_ops.hpp"
 #include "obs/obs.hpp"
+#include "rt/budget.hpp"
+#include "rt/failpoint.hpp"
 #include "support/error.hpp"
 
 namespace ictl::eval {
@@ -36,6 +38,12 @@ class ProgramEvaluator {
     // obs::enabled() is the constant false when the spine is compiled out,
     // so the timed branch below folds away entirely in obs-off builds.
     for (const Instruction& in : program.code) {
+      // Between-instruction checkpoint: every register is a whole rooted
+      // set here, so a budget trip unwinds without leaving partial state.
+      // The fixpoint opcodes additionally checkpoint per iteration inside
+      // the backend eu/eg loops.
+      rt::checkpoint("eval/program");
+      ICTL_FAILPOINT("eval/instruction");
       const auto op_index = static_cast<std::size_t>(in.op);
       ++stats_.op_count[op_index];
       if (obs::enabled()) {

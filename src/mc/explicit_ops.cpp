@@ -2,6 +2,8 @@
 
 #include "mc/leaf_sat.hpp"
 #include "obs/obs.hpp"
+#include "rt/budget.hpp"
+#include "rt/failpoint.hpp"
 
 namespace ictl::mc {
 
@@ -58,8 +60,12 @@ Set ExplicitStateOps::eu(const Set& f, const Set& g) {
   g.for_each([&](std::size_t s) {
     worklist_.push_back(static_cast<kripke::StateId>(s));
   });
+  ICTL_FAILPOINT("mc/eu");
   std::size_t head = 0;
   while (head < worklist_.size()) {
+    // Batched budget checkpoint: one pop is a handful of loads, so the
+    // deadline/work check amortizes over 4096 of them.
+    if ((head & 0xfff) == 0) rt::charge_work(0x1000, "mc/eu_fixpoint");
     const kripke::StateId s = worklist_[head++];
     for (const kripke::StateId p : m_.predecessors(s)) {
       if (!result.test(p) && f.test(p)) {
@@ -93,8 +99,10 @@ Set ExplicitStateOps::eg(const Set& f) {
   });
   // Seed removals after the counting scan so every count is exact w.r.t. f.
   for (const kripke::StateId s : worklist_) x.reset(s);
+  ICTL_FAILPOINT("mc/eg");
   std::size_t head = 0;
   while (head < worklist_.size()) {
+    if ((head & 0xfff) == 0) rt::charge_work(0x1000, "mc/eg_fixpoint");
     const kripke::StateId s = worklist_[head++];
     for (const kripke::StateId p : m_.predecessors(s)) {
       // Invariant: states in x have count > 0, so the decrement is safe.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "logic/printer.hpp"
+#include "rt/budget.hpp"
 #include "support/error.hpp"
 
 namespace ictl::mc {
@@ -26,7 +27,9 @@ std::optional<std::vector<StateId>> bfs_until(const kripke::Structure& m,
   std::queue<StateId> frontier;
   frontier.push(start);
   parent[start] = start;
+  std::uint64_t pops = 0;
   while (!frontier.empty()) {
+    if ((++pops & 0xfff) == 0) rt::charge_work(0x1000, "mc/witness_bfs");
     const StateId s = frontier.front();
     frontier.pop();
     for (const StateId t : m.successors(s)) {

@@ -1,0 +1,85 @@
+// Deterministic fault injection: named failpoints compiled into the
+// engines' checkpoint sites, disarmed by default, and armed per-name from
+// tests, the CLI, or the ICTL_FAILPOINT environment variable.  A tripped
+// failpoint throws ictl::Interrupted from exactly the program point named —
+// the tool that proves a budget trip (which throws from the same sites)
+// leaves every manager consistent, reusable, and audit-clean.
+//
+// Cost model, copied from the obs macros:
+//   * compiled out (-DICTL_FAILPOINTS=OFF): ICTL_FAILPOINT(name) expands to
+//     static_cast<void>(0) — zero runtime, zero data, builds clean under
+//     -Werror;
+//   * compiled in, disarmed (the default): one load of a global bool and a
+//     never-taken branch;
+//   * armed: a map lookup per hit on the named sites until the trigger
+//     fires, then the failpoint disarms itself (one-shot) and throws.
+//
+// Arming forms (programmatic arm_failpoint, or a spec string from the env
+// var / ictl_check --failpoint=):
+//   "sym/eu_iter"      trip on the first hit
+//   "sym/eu_iter@7"    skip 7 hits, trip on the 8th
+//   "a@2,b"            comma-separated list arms several at once
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ictl::rt {
+
+/// True when the ICTL_FAILPOINTS gate compiled the hooks in.  Tests that
+/// need a failpoint to fire GTEST_SKIP on the compiled-out configuration.
+#if defined(ICTL_FAILPOINTS)
+inline constexpr bool kFailpointsCompiledIn = true;
+#else
+inline constexpr bool kFailpointsCompiledIn = false;
+#endif
+
+namespace detail {
+/// True while at least one failpoint is armed — the fast-path guard the
+/// ICTL_FAILPOINT macro reads before paying for a lookup.
+extern bool g_failpoints_armed;
+
+/// Slow path behind the macro: looks `name` up among the armed failpoints,
+/// decrements its skip count, and throws ictl::Interrupted when it fires.
+void failpoint_hit(const char* name);
+}  // namespace detail
+
+/// Arms `name`: the (skip + 1)-th ICTL_FAILPOINT(name) hit throws
+/// ictl::Interrupted and disarms it (one-shot).  Re-arming an armed name
+/// resets its skip count.  No-op when compiled out.
+void arm_failpoint(std::string_view name, std::uint64_t skip = 0);
+
+/// Disarms everything (tests call this in TearDown for hygiene; a fired
+/// failpoint has already disarmed itself).
+void disarm_failpoints();
+
+/// Number of currently armed failpoints.
+[[nodiscard]] std::size_t armed_failpoints();
+
+/// Parses an arming spec ("name", "name@N", comma-separated) and arms each
+/// entry.  Returns false (arming nothing) on a malformed spec.  This is the
+/// one parser behind both the ICTL_FAILPOINT environment variable and the
+/// ictl_check --failpoint= flag.
+bool arm_failpoints_from_spec(std::string_view spec);
+
+/// arm_failpoints_from_spec(getenv("ICTL_FAILPOINT")); false when unset.
+/// Runs once automatically before main() so env arming needs no code.
+bool arm_failpoints_from_env();
+
+}  // namespace ictl::rt
+
+#if defined(ICTL_FAILPOINTS)
+
+/// Names a fault-injection site.  `name` must be a string literal.
+#define ICTL_FAILPOINT(name)                                              \
+  do {                                                                    \
+    if (::ictl::rt::detail::g_failpoints_armed)                           \
+      ::ictl::rt::detail::failpoint_hit((name));                          \
+  } while (false)
+
+#else  // !defined(ICTL_FAILPOINTS)
+
+#define ICTL_FAILPOINT(name) static_cast<void>(0)
+
+#endif  // defined(ICTL_FAILPOINTS)

@@ -8,6 +8,8 @@
 #include <tuple>
 
 #include "obs/obs.hpp"
+#include "rt/budget.hpp"
+#include "rt/failpoint.hpp"
 
 namespace ictl::symbolic {
 
@@ -380,6 +382,38 @@ void BddManager::run_deferred_maintenance() {
     gc_pending_ = false;
     garbage_collect();
   }
+  enforce_node_budget();
+}
+
+void BddManager::enforce_node_budget() {
+  rt::ResourceBudget* budget = rt::current_budget();
+  if (budget == nullptr || budget->node_cap() == 0) return;
+  // Inside a scope/pause neither GC nor sifting may run; the cap is
+  // re-checked at the next maintenance point outside, exactly like a
+  // deferred sweep.
+  if (in_reorder_ || protect_scope_depth_ > 0 || reorder_pause_depth_ > 0)
+    return;
+  const std::size_t cap = budget->node_cap();
+  if (live_nodes_ - queued_dead_count_ <= cap) return;
+  // Ladder step 1: reclaim garbage.
+  ICTL_COUNT("bdd", "node_budget_gcs");
+  garbage_collect();
+  if (live_nodes_ <= cap) return;
+  // Ladder step 2: forced sifting shrinks the live set itself.  Pair-group
+  // when the current order keeps every (2k, 2k+1) pair adjacent (the
+  // TransitionSystem interleaving sifting must preserve), else sift single
+  // variables.
+  ICTL_COUNT("bdd", "node_budget_sifts");
+  ReorderOptions options;
+  options.group_pairs = num_vars_ % 2 == 0;
+  for (std::uint32_t v = 0; options.group_pairs && v < num_vars_; v += 2)
+    if (var2level_[v + 1] != var2level_[v] + 1) options.group_pairs = false;
+  reorder_now(options);
+  if (live_nodes_ <= cap) return;
+  // Ladder step 3: nothing left to shed.  The throw happens here, at the
+  // maintenance point — every result of the public op that triggered it is
+  // already rooted, so unwinding leaves the manager consistent.
+  budget->trip(BudgetKind::kNodes, "bdd/node_cap");
 }
 
 void BddManager::fire_pending_reorder_hook() {
@@ -434,6 +468,10 @@ std::size_t BddManager::garbage_collect() {
     gc_pending_ = true;  // deferred: runs when the scope/pause closes
     return 0;
   }
+  // The failpoint sits below the deferral guard and above the first
+  // mutation: a throw here proves unwinding through every caller of a
+  // (possibly auto-triggered) sweep leaves the manager untouched.
+  ICTL_FAILPOINT("bdd/gc");
   // The span sits below the deferral guard: a deferred GC did no work and
   // must not pollute the gc_sweep timing distribution.
   ICTL_PROFILE("bdd", "gc_sweep");
@@ -907,6 +945,8 @@ std::size_t BddManager::reorder_now(const ReorderOptions& options) {
           "BddManager::reorder_now: pair grouping needs each (2k, 2k+1) pair on "
           "adjacent levels (unprimed above primed)");
   }
+  // Above in_reorder_: a throw must not leave the flag stuck.
+  ICTL_FAILPOINT("bdd/reorder");
   in_reorder_ = true;
   ICTL_PROFILE_ARG("bdd", "sift_pass", "live_nodes", live_nodes_);
   ++stats_.sift_passes;
@@ -930,7 +970,17 @@ std::size_t BddManager::reorder_now(const ReorderOptions& options) {
       options.rewrite_budget != 0 ? options.rewrite_budget
                                   : 16 * live_nodes_ + 4096;
   const std::size_t rewrites_at_start = stats_.sift_rewrites;
+  bool interrupted = false;
   for (const std::uint32_t b : ranking) {
+    // Deadline/cancellation poll between block journeys.  Throwing from
+    // inside a journey would strand in_reorder_ and half-moved blocks, so
+    // stop placing further blocks, finish the pass bookkeeping below
+    // (caches invalidated, flags reset, audit run), and only then raise
+    // from the checkpoint after the epilogue.
+    if (rt::interrupt_pending()) {
+      interrupted = true;
+      break;
+    }
     sift_block(b * block_size, block_size, num_blocks, options.max_growth);
     // Swaps rewrite dead nodes alongside live ones (handles must keep
     // their functions), so every block journey grows the zombie pile;
@@ -947,6 +997,7 @@ std::size_t BddManager::reorder_now(const ReorderOptions& options) {
 #ifdef ICTL_AUDIT
   assert_audit(AuditLevel::kFull, "reorder_now");
 #endif
+  if (interrupted) rt::checkpoint("bdd/sift_pass");
   return live_nodes_;
 }
 

@@ -424,6 +424,13 @@ class BddManager {
   void run_deferred_maintenance();
   void fire_pending_reorder_hook();
 
+  /// Graceful degradation under an installed ResourceBudget node cap: when
+  /// the live set is over the cap, escalate GC -> forced sifting -> only
+  /// then throw BudgetExceeded{kNodes}.  Runs at the deferred-maintenance
+  /// point (never mid-recursion, never inside a protect scope), so a throw
+  /// unwinds across rooted results only and the manager stays reusable.
+  void enforce_node_budget();
+
   // Liveness bookkeeping (see the header comment).
   [[nodiscard]] bool is_live(Bdd f) const {
     return ext_ref_[f] != 0 || ref_[f] > 0;

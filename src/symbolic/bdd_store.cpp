@@ -4,10 +4,12 @@
 #include <array>
 #include <cstring>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "rt/failpoint.hpp"
 #include "support/error.hpp"
 
 namespace ictl::symbolic {
@@ -107,6 +109,21 @@ class Reader {
   std::uint64_t fnv_ = kFnvOffset;
 };
 
+/// Bytes left between the current position and the end of the stream, or
+/// nullopt when the stream is unseekable (a pipe).  Lets the load paths
+/// reject an allocation-bomb header — a declared count that could not
+/// possibly fit in the rest of the file — before reserving for it.
+std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1) || end < here || !in.good())
+    return std::nullopt;
+  return static_cast<std::uint64_t>(end - here);
+}
+
 }  // namespace
 
 Bdd LoadedBdds::root(std::string_view name) const {
@@ -193,6 +210,18 @@ LoadedBdds load_bdds(std::istream& in) {
   const std::uint32_t num_roots = r.u32();
   support::require<Error>(num_roots <= kMaxNodes + 2,
                           "load_bdds: corrupt root count");
+  // kMaxNodes alone still admits a ~17 GB handle vector from a 30-byte file;
+  // when the stream is seekable, cross-check the declared counts against the
+  // bytes actually present (12 per node record, >= 8 per root entry, 8 for
+  // the trailing checksum) before reserving anything.
+  if (const auto left = remaining_bytes(in)) {
+    const std::uint64_t need_nodes = num_nodes * std::uint64_t{12};
+    support::require<Error>(*left >= 8 && need_nodes <= *left - 8,
+                            "load_bdds: node count exceeds remaining file size");
+    support::require<Error>(std::uint64_t{num_roots} * 8 <= *left - 8 - need_nodes,
+                            "load_bdds: root count exceeds remaining file size");
+  }
+  ICTL_FAILPOINT("store/load_bdds");
 
   LoadedBdds result;
   result.manager = std::make_shared<BddManager>(num_vars);
@@ -294,11 +323,24 @@ TransitionSystem load_transition_system(std::istream& in,
   const std::uint32_t num_props = r.u32();
   support::require<Error>(num_parts <= kMaxNodes && num_props <= kMaxNodes,
                           "load_transition_system: corrupt header counts");
+  // Same allocation-bomb guard as load_bdds: every prop id takes 4 header
+  // bytes, and every part/prop must reappear as a named root (>= 13 bytes:
+  // name length, "part/<k>", file id) in the BDD section that follows.
+  if (const auto left = remaining_bytes(in)) {
+    support::require<Error>(
+        std::uint64_t{num_props} * 4 <= *left && std::uint64_t{num_parts} * 13 <= *left,
+        "load_transition_system: header counts exceed remaining file size");
+  }
   std::vector<kripke::PropId> prop_ids(num_props);
   for (std::uint32_t k = 0; k < num_props; ++k) prop_ids[k] = r.u32();
   const std::uint32_t num_indices = r.u32();
   support::require<Error>(num_indices <= kMaxNodes,
                           "load_transition_system: corrupt index-set size");
+  if (const auto left = remaining_bytes(in)) {
+    support::require<Error>(
+        std::uint64_t{num_indices} * 4 <= *left,
+        "load_transition_system: index-set size exceeds remaining file size");
+  }
   std::vector<std::uint32_t> indices(num_indices);
   for (std::uint32_t k = 0; k < num_indices; ++k) indices[k] = r.u32();
   const std::uint32_t reach_tag = r.u32();

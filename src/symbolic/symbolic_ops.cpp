@@ -5,6 +5,8 @@
 
 #include "logic/printer.hpp"
 #include "obs/obs.hpp"
+#include "rt/budget.hpp"
+#include "rt/failpoint.hpp"
 #include "support/error.hpp"
 
 namespace ictl::symbolic {
@@ -60,6 +62,10 @@ Set SymbolicStateOps::eu(const Set& f, const Set& g) {
   BddRef frontier(m, g.get());
   last_iterations_ = 0;
   while (frontier.get() != kBddFalse) {
+    // Checkpoint before opening the scope: a trip here unwinds across
+    // nothing but the rooted z/frontier locals.
+    rt::charge_iteration("sym/eu_fixpoint");
+    ICTL_FAILPOINT("sym/eu_iter");
     ++last_iterations_;
     // The scope covers one iteration body: GC and growth-triggered sifting
     // are deferred across the and/or/pre_image chain (whose intermediates
@@ -80,6 +86,8 @@ Set SymbolicStateOps::eg(const Set& f) {
   BddRef z(m, f.get());
   last_iterations_ = 0;
   while (true) {
+    rt::charge_iteration("sym/eg_fixpoint");
+    ICTL_FAILPOINT("sym/eg_iter");
     ++last_iterations_;
     const auto scope = m.protect_scope();
     BddRef next = m.bdd_and(z, ex_raw(z.get()));

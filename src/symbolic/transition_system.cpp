@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "obs/obs.hpp"
+#include "rt/budget.hpp"
+#include "rt/failpoint.hpp"
 #include "support/error.hpp"
 
 namespace ictl::symbolic {
@@ -154,8 +156,12 @@ BddRef TransitionSystem::pre_image(Bdd states) const {
   // each primed variable at its scheduled part.
   ICTL_PROFILE_ARG("sym", "early_quant_fold", "parts", parts_.size());
   BddRef acc = mgr_->exists(primed_states, pre_leading_cube_);
-  for (std::size_t k = 0; k < parts_.size(); ++k)
+  for (std::size_t k = 0; k < parts_.size(); ++k) {
+    // Per-part checkpoint in the conjunctive fold: acc is rooted between
+    // and_exists steps, so a trip here leaves nothing half-quantified.
+    rt::checkpoint("sym/image_fold");
     acc = mgr_->and_exists(acc, parts_[k], pre_schedule_cubes_[k]);
+  }
   return acc;
 }
 
@@ -167,8 +173,10 @@ BddRef TransitionSystem::post_image(Bdd states) const {
   }
   ICTL_PROFILE_ARG("sym", "early_quant_fold", "parts", parts_.size());
   BddRef acc = mgr_->exists(states, post_leading_cube_);
-  for (std::size_t k = 0; k < parts_.size(); ++k)
+  for (std::size_t k = 0; k < parts_.size(); ++k) {
+    rt::checkpoint("sym/image_fold");
     acc = mgr_->and_exists(acc, parts_[k], post_schedule_cubes_[k]);
+  }
   return mgr_->rename(acc, to_unprimed_);
 }
 
@@ -189,8 +197,13 @@ Bdd TransitionSystem::reachable() const {
       changed = false;
       ICTL_PROFILE("sym", "saturation_sweep");
       ICTL_COUNT("sym", "saturation_sweeps");
+      ICTL_FAILPOINT("sym/saturation_sweep");
       for (const BddRef& part : parts_) {
         while (true) {
+          // Per-application checkpoint: reach is the only accumulating
+          // root, so a trip mid-saturation unwinds to a reusable manager
+          // (and reachable_ stays unset — a retry recomputes from scratch).
+          rt::charge_iteration("sym/saturation");
           const BddRef img = mgr_->rename(
               mgr_->and_exists(part, reach, unprimed_cube_), to_unprimed_);
           BddRef next = mgr_->bdd_or(reach, img);
@@ -204,6 +217,8 @@ Bdd TransitionSystem::reachable() const {
     // Frontier iteration: only the newly discovered states are imaged.
     BddRef frontier = initial_;
     while (frontier.get() != kBddFalse) {
+      rt::charge_iteration("sym/reach_frontier");
+      ICTL_FAILPOINT("sym/reach_round");
       ICTL_COUNT("sym", "frontier_rounds");
       BddRef next = mgr_->bdd_or(reach, post_image(frontier));
       frontier = mgr_->bdd_diff(next, reach);

@@ -1,0 +1,98 @@
+// Unit tests for the deterministic fault-injection hooks (rt/failpoint.hpp):
+// one-shot arming and auto-disarm, skip counts, spec-string parsing
+// (including the validate-everything-before-arming-anything rule), and the
+// compiled-out configuration's graceful no-op behavior.
+#include <gtest/gtest.h>
+
+#include "rt/budget.hpp"
+#include "rt/failpoint.hpp"
+
+namespace ictl::rt {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm_failpoints(); }
+  void TearDown() override { disarm_failpoints(); }
+};
+
+TEST_F(FailpointTest, DisarmedSitesAreFree) {
+  ASSERT_EQ(armed_failpoints(), 0u);
+  for (int i = 0; i < 1000; ++i) ICTL_FAILPOINT("test/site");
+}
+
+TEST_F(FailpointTest, ArmedSiteFiresOnceAndDisarmsItself) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  arm_failpoint("test/one_shot");
+  EXPECT_EQ(armed_failpoints(), 1u);
+  EXPECT_THROW(ICTL_FAILPOINT("test/one_shot"), Interrupted);
+  // One-shot: the firing disarmed it, so a retry of the same code path
+  // (the budget-trip stress suite's re-run) sails through.
+  EXPECT_EQ(armed_failpoints(), 0u);
+  ICTL_FAILPOINT("test/one_shot");
+}
+
+TEST_F(FailpointTest, SkipCountDelaysTheTrip) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  arm_failpoint("test/skip", /*skip=*/2);
+  ICTL_FAILPOINT("test/skip");  // 1st hit: skipped
+  ICTL_FAILPOINT("test/skip");  // 2nd hit: skipped
+  EXPECT_EQ(armed_failpoints(), 1u);
+  EXPECT_THROW(ICTL_FAILPOINT("test/skip"), Interrupted);  // 3rd: fires
+  EXPECT_EQ(armed_failpoints(), 0u);
+}
+
+TEST_F(FailpointTest, OnlyTheNamedSiteFires) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  arm_failpoint("test/this");
+  ICTL_FAILPOINT("test/other");  // different name: untouched
+  EXPECT_EQ(armed_failpoints(), 1u);
+  EXPECT_THROW(ICTL_FAILPOINT("test/this"), Interrupted);
+}
+
+TEST_F(FailpointTest, RearmingResetsTheSkipCount) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  arm_failpoint("test/rearm", /*skip=*/5);
+  arm_failpoint("test/rearm");  // reset to trip on the next hit
+  EXPECT_EQ(armed_failpoints(), 1u);
+  EXPECT_THROW(ICTL_FAILPOINT("test/rearm"), Interrupted);
+}
+
+TEST_F(FailpointTest, SpecParsingArmsListsWithSkips) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  EXPECT_TRUE(arm_failpoints_from_spec("test/a@2,test/b"));
+  EXPECT_EQ(armed_failpoints(), 2u);
+  EXPECT_THROW(ICTL_FAILPOINT("test/b"), Interrupted);
+  ICTL_FAILPOINT("test/a");
+  ICTL_FAILPOINT("test/a");
+  EXPECT_THROW(ICTL_FAILPOINT("test/a"), Interrupted);
+  EXPECT_EQ(armed_failpoints(), 0u);
+}
+
+TEST_F(FailpointTest, MalformedSpecsArmNothing) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  for (const char* bad : {"", ",", "a,", ",b", "a@", "@2", "a@x", "a@2,"}) {
+    EXPECT_FALSE(arm_failpoints_from_spec(bad)) << "spec: '" << bad << "'";
+    EXPECT_EQ(armed_failpoints(), 0u) << "spec: '" << bad << "'";
+  }
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverything) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  ASSERT_TRUE(arm_failpoints_from_spec("test/x,test/y@9"));
+  disarm_failpoints();
+  EXPECT_EQ(armed_failpoints(), 0u);
+  ICTL_FAILPOINT("test/x");
+  ICTL_FAILPOINT("test/y");
+}
+
+TEST_F(FailpointTest, CompiledOutConfigurationIsInert) {
+  if (kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled in";
+  // Arming is a no-op and the macro never throws.
+  arm_failpoint("test/ghost");
+  EXPECT_EQ(armed_failpoints(), 0u);
+  ICTL_FAILPOINT("test/ghost");
+}
+
+}  // namespace
+}  // namespace ictl::rt

@@ -134,6 +134,81 @@ TEST(BddStore, TruncatedCorruptedAndMislabeledStreamsAreErrors) {
   EXPECT_THROW(static_cast<void>(load_bdds(in)), Error);
 }
 
+/// Overwrites a little-endian integer field inside a serialized blob.
+template <typename T>
+void patch_le(std::string& blob, std::size_t at, T value) {
+  ASSERT_LE(at + sizeof(T), blob.size());
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    blob[at + i] = static_cast<char>((value >> (8 * i)) & 0xff);
+}
+
+TEST(BddStore, AllocationBombHeadersAreRejectedBeforeReserving) {
+  auto mgr = std::make_shared<BddManager>(4);
+  const BddRef f = mgr->bdd_and(mgr->var(0), mgr->var(3));
+  std::stringstream stream;
+  const std::vector<std::pair<std::string, Bdd>> roots = {{"f", f}};
+  save_bdds(*mgr, stream, roots);
+  const std::string blob = stream.str();
+
+  // Header layout: magic(8) version(4) num_vars(4) order(4*num_vars)
+  // num_nodes(8) num_roots(4).  A tiny file declaring ~2^31 nodes or roots
+  // must fail the remaining-size cross-check instead of reserving gigabytes
+  // (the checksum alone would also catch it — but only AFTER the reserve).
+  const std::size_t nodes_at = 8 + 4 + 4 + 4 * mgr->num_vars();
+  const std::size_t roots_at = nodes_at + 8;
+  {
+    std::string bomb = blob;
+    patch_le<std::uint64_t>(bomb, nodes_at, std::uint64_t{1} << 31);
+    std::stringstream in(bomb);
+    try {
+      static_cast<void>(load_bdds(in));
+      FAIL() << "node-count bomb was accepted";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("remaining file size"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    std::string bomb = blob;
+    patch_le<std::uint32_t>(bomb, roots_at, (std::uint32_t{1} << 31) + 7);
+    std::stringstream in(bomb);
+    try {
+      static_cast<void>(load_bdds(in));
+      FAIL() << "root-count bomb was accepted";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("remaining file size"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(BddStoreTransitionSystem, AllocationBombHeadersAreRejected) {
+  auto reg = kripke::make_registry();
+  const auto m = testing::random_structure(reg, 9, 5);
+  auto orig = std::make_shared<const TransitionSystem>(from_structure(m));
+  std::stringstream stream;
+  save_transition_system(*orig, stream);
+  const std::string blob = stream.str();
+
+  // Header layout: magic(8) version(4) num_state_vars(4) kind(4)
+  // num_parts(4) num_props(4).
+  for (const std::size_t at : {std::size_t{20}, std::size_t{24}}) {
+    std::string bomb = blob;
+    patch_le<std::uint32_t>(bomb, at, (std::uint32_t{1} << 31) + 3);
+    std::stringstream in(bomb);
+    try {
+      static_cast<void>(load_transition_system(in, reg));
+      FAIL() << "count bomb at offset " << at << " was accepted";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("remaining file size"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(BddStoreTransitionSystem, BridgeSystemRoundTripsPropsAndVerdicts) {
   auto reg = kripke::make_registry();
   const auto m = testing::random_structure(reg, 23, 11);

@@ -1,0 +1,32 @@
+// budget-loop fixture: fixpoint-shaped while loops in an engine directory
+// must contain an rt:: budget checkpoint so the resource-budget layer can
+// interrupt them.
+
+namespace rt {
+void checkpoint(const char*);
+void charge_work(unsigned long long, const char*);
+}  // namespace rt
+
+void eu_fixpoint(bool changed) {
+  unsigned head = 0;
+  const unsigned worklist = 4;
+  while (head < worklist) {  // fires: worklist-shaped condition, no checkpoint
+    ++head;
+  }
+  while (changed) {  // fires: classic `changed` fixpoint, no checkpoint
+    changed = false;
+  }
+  while (changed) {  // clean: checkpointed body
+    rt::charge_work(1, "fixture/fixpoint");
+    changed = false;
+  }
+  unsigned frontier = 3;
+  // ictl-lint: allow(budget-loop)
+  while (frontier != 0) {  // clean: suppressed on the line above
+    --frontier;
+  }
+  while (head < 2) ++head;  // clean: condition is not fixpoint-shaped
+  do {
+    ++head;
+  } while (changed);  // clean: do-while tail, body already scanned above it
+}
